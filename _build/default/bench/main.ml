@@ -1,0 +1,393 @@
+(* Regenerates every table and figure of the paper's evaluation (§5) on the
+   synthetic benchmark suite, plus the complexity experiment of Figure 9 and
+   the related-work experiments of Figures 13/14. Run with no arguments for
+   everything, or name sections:
+
+     dune exec bench/main.exe -- table1 table2 fig9 fig10 fig11 fig12 fig13 scalars bechamel
+
+   Absolute times are this machine's, not a 440 MHz PA-8500's; the claims
+   being reproduced are the *ratios* and *shapes* (see EXPERIMENTS.md). *)
+
+let scale = ref 1.0
+
+(* ------------------------------------------------------------------ *)
+
+let time_min ~repeats f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    best := min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+(* HLO-analog and GVN time for one benchmark under one GVN config. *)
+let pipeline_times config funcs =
+  let hlo = ref 0.0 and gvn = ref 0.0 in
+  List.iter
+    (fun f ->
+      let r = Transform.Pipeline.run ~config f in
+      hlo := !hlo +. r.Transform.Pipeline.total_seconds;
+      gvn := !gvn +. r.Transform.Pipeline.gvn_seconds)
+    funcs;
+  (!hlo, !gvn)
+
+let gvn_time config funcs =
+  time_min ~repeats:3 (fun () ->
+      List.iter (fun f -> ignore (Pgvn.Driver.run config f)) funcs)
+
+(* ------------------------------------------------------------------ *)
+
+let table1 suite =
+  Fmt.pr "@\n=== Table 1: HLO and GVN time — optimistic / balanced / pessimistic ===@\n";
+  let rows = ref [] in
+  let tot = Array.make 6 0.0 in
+  List.iter
+    (fun (b, funcs) ->
+      (* HLO totals come from one pipeline run per config; the GVN columns
+         are repeated-minimum direct timings (less noise in the ratios). *)
+      let ho, _ = pipeline_times Pgvn.Config.full funcs in
+      let hb, _ = pipeline_times Pgvn.Config.balanced funcs in
+      let hp, _ = pipeline_times Pgvn.Config.pessimistic funcs in
+      let go = 2.0 *. gvn_time Pgvn.Config.full funcs in
+      let gb = 2.0 *. gvn_time Pgvn.Config.balanced funcs in
+      let gp = 2.0 *. gvn_time Pgvn.Config.pessimistic funcs in
+      (* the pipeline runs GVN twice (two rounds), hence the factor 2 for
+         the share columns *)
+      tot.(0) <- tot.(0) +. ho;
+      tot.(1) <- tot.(1) +. go;
+      tot.(2) <- tot.(2) +. hb;
+      tot.(3) <- tot.(3) +. gb;
+      tot.(4) <- tot.(4) +. hp;
+      tot.(5) <- tot.(5) +. gp;
+      rows :=
+        [
+          b.Workload.Suite.name;
+          Stats.Table.ms ho;
+          Stats.Table.ms go;
+          Stats.Table.pct go ho;
+          Stats.Table.ms hb;
+          Stats.Table.ms gb;
+          Stats.Table.pct gb hb;
+          Stats.Table.ratio go gb;
+          Stats.Table.ms hp;
+          Stats.Table.ms gp;
+          Stats.Table.pct gp hp;
+          Stats.Table.ratio gb gp;
+        ]
+        :: !rows)
+    suite;
+  let rows =
+    List.rev
+      ([
+         "All";
+         Stats.Table.ms tot.(0);
+         Stats.Table.ms tot.(1);
+         Stats.Table.pct tot.(1) tot.(0);
+         Stats.Table.ms tot.(2);
+         Stats.Table.ms tot.(3);
+         Stats.Table.pct tot.(3) tot.(2);
+         Stats.Table.ratio tot.(1) tot.(3);
+         Stats.Table.ms tot.(4);
+         Stats.Table.ms tot.(5);
+         Stats.Table.pct tot.(5) tot.(4);
+         Stats.Table.ratio tot.(3) tot.(5);
+       ]
+      :: !rows)
+  in
+  Stats.Table.render
+    ~columns:
+      [
+        ("Benchmark", Stats.Table.Left);
+        ("HLO(o)", Stats.Table.Right);
+        ("GVN(o)", Stats.Table.Right);
+        ("C=B/A", Stats.Table.Right);
+        ("HLO(b)", Stats.Table.Right);
+        ("GVN(b)", Stats.Table.Right);
+        ("F=E/D", Stats.Table.Right);
+        ("G=B/E", Stats.Table.Right);
+        ("HLO(p)", Stats.Table.Right);
+        ("GVN(p)", Stats.Table.Right);
+        ("J=I/H", Stats.Table.Right);
+        ("K=E/I", Stats.Table.Right);
+      ]
+    ~rows Fmt.stdout;
+  Fmt.pr "  (times in ms; o/b/p = optimistic/balanced/pessimistic;@\n";
+  Fmt.pr "   G = optimistic-vs-balanced GVN speedup, paper reports 1.39-1.90;@\n";
+  Fmt.pr "   K = balanced-vs-pessimistic ratio, paper reports ~1.00)@\n"
+
+let table2 suite =
+  Fmt.pr "@\n=== Table 2: GVN time — dense / sparse / basic ===@\n";
+  let rows = ref [] in
+  let tot = Array.make 3 0.0 in
+  List.iter
+    (fun (b, funcs) ->
+      let a = gvn_time Pgvn.Config.dense funcs in
+      let s = gvn_time Pgvn.Config.full funcs in
+      let c = gvn_time Pgvn.Config.basic funcs in
+      tot.(0) <- tot.(0) +. a;
+      tot.(1) <- tot.(1) +. s;
+      tot.(2) <- tot.(2) +. c;
+      rows :=
+        [
+          b.Workload.Suite.name;
+          Stats.Table.ms a;
+          Stats.Table.ms s;
+          Stats.Table.ms c;
+          Stats.Table.ratio a s;
+          Stats.Table.ratio s c;
+        ]
+        :: !rows)
+    suite;
+  let rows =
+    List.rev
+      ([
+         "All";
+         Stats.Table.ms tot.(0);
+         Stats.Table.ms tot.(1);
+         Stats.Table.ms tot.(2);
+         Stats.Table.ratio tot.(0) tot.(1);
+         Stats.Table.ratio tot.(1) tot.(2);
+       ]
+      :: !rows)
+  in
+  Stats.Table.render
+    ~columns:
+      [
+        ("Benchmark", Stats.Table.Left);
+        ("A:Dense", Stats.Table.Right);
+        ("B:Sparse", Stats.Table.Right);
+        ("C:Basic", Stats.Table.Right);
+        ("A/B", Stats.Table.Right);
+        ("B/C", Stats.Table.Right);
+      ]
+    ~rows Fmt.stdout;
+  Fmt.pr "  (A/B = sparseness speedup, paper reports 1.23-1.57;@\n";
+  Fmt.pr "   B/C = cost of reassociation + inference + phi-predication, paper 1.15-1.32)@\n"
+
+let all_funcs suite = List.concat_map snd suite
+
+let figure ~name ~against suite =
+  Fmt.pr "@\n=== %s ===@\n" name;
+  let cmp =
+    Stats.Strength.compare_configs ~config:Pgvn.Config.full ~baseline:against (all_funcs suite)
+  in
+  Stats.Strength.pp Fmt.stdout cmp
+
+let fig12 suite =
+  Fmt.pr "@\n=== Figure 12: optimistic vs balanced value numbering ===@\n";
+  let cmp =
+    Stats.Strength.compare_configs ~config:Pgvn.Config.full ~baseline:Pgvn.Config.balanced
+      (all_funcs suite)
+  in
+  Stats.Strength.pp Fmt.stdout cmp
+
+let scalars suite =
+  Fmt.pr "@\n=== Section 4/5 scalars: passes and inference visits per instruction ===@\n";
+  let funcs = all_funcs suite in
+  let n = List.length funcs in
+  let passes = ref 0 and instrs = ref 0 and vi = ref 0 and pi = ref 0 and pp = ref 0 in
+  List.iter
+    (fun f ->
+      let st = Pgvn.Driver.run Pgvn.Config.full f in
+      let s = st.Pgvn.State.stats in
+      passes := !passes + s.Pgvn.Run_stats.passes;
+      instrs := !instrs + s.Pgvn.Run_stats.instrs_processed;
+      vi := !vi + s.Pgvn.Run_stats.value_inference_visits;
+      pi := !pi + s.Pgvn.Run_stats.predicate_inference_visits;
+      pp := !pp + s.Pgvn.Run_stats.phi_predication_visits)
+    funcs;
+  Fmt.pr "  routines: %d@\n" n;
+  Fmt.pr "  average passes per routine:           %.2f   (paper: 1.98)@\n"
+    (float_of_int !passes /. float_of_int n);
+  Fmt.pr "  value-inference visits per instr:     %.2f   (paper: 0.91)@\n"
+    (float_of_int !vi /. float_of_int !instrs);
+  Fmt.pr "  predicate-inference visits per instr: %.2f   (paper: 0.38)@\n"
+    (float_of_int !pi /. float_of_int !instrs);
+  Fmt.pr "  phi-predication visits per instr:     %.2f   (paper: 0.16)@\n"
+    (float_of_int !pp /. float_of_int !instrs)
+
+let fig9 () =
+  Fmt.pr "@\n=== Figure 9: value-inference worst case (O(n^2) ladder) ===@\n";
+  let sizes = [ 8; 16; 32; 64; 128 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let f = Workload.Pathological.ladder_func n in
+        let t = time_min ~repeats:5 (fun () -> ignore (Pgvn.Driver.run Pgvn.Config.full f)) in
+        let st = Pgvn.Driver.run Pgvn.Config.full f in
+        (n, t, st.Pgvn.State.stats.Pgvn.Run_stats.value_inference_visits))
+      sizes
+  in
+  Stats.Table.render
+    ~columns:
+      [
+        ("n", Stats.Table.Right);
+        ("gvn ms", Stats.Table.Right);
+        ("vi visits", Stats.Table.Right);
+        ("visits/n", Stats.Table.Right);
+      ]
+    ~rows:
+      (List.map
+         (fun (n, t, v) ->
+           [
+             string_of_int n;
+             Stats.Table.ms t;
+             string_of_int v;
+             Printf.sprintf "%.1f" (float_of_int v /. float_of_int n);
+           ])
+         rows)
+    Fmt.stdout;
+  Fmt.pr "  (visits/n growing linearly in n means total work is quadratic,@\n";
+  Fmt.pr "   the paper's Figure 9 worst case)@\n"
+
+let fig13 () =
+  Fmt.pr "@\n=== Figure 13: Briggs-Torczon-Cooper pre-pass vs unified inference ===@\n";
+  let f = Workload.Corpus.func_of_src Workload.Corpus.figure13_src in
+  (* The guarded return's constancy, and the number of constant values
+     discovered, under each approach. *)
+  let measure config g =
+    let st = Pgvn.Driver.run config g in
+    let s = Pgvn.Driver.summarize st in
+    (* the guarded return is the one whose block has a conditional pred *)
+    let guarded = ref None in
+    for i = 0 to Ir.Func.num_instrs g - 1 do
+      match Ir.Func.instr g i with
+      | Ir.Func.Return v when Ir.Func.block_of_instr g i <> Ir.Func.entry ->
+          if !guarded = None then guarded := Some (Pgvn.Driver.value_constant st v)
+      | _ -> ()
+    done;
+    (s.Pgvn.Driver.constant_values, Option.join !guarded)
+  in
+  let pp_c ppf = function None -> Fmt.string ppf "non-constant" | Some c -> Fmt.pf ppf "const %d" c in
+  let c0, r0 = measure Pgvn.Config.emulate_click f in
+  let c1, r1 = measure Pgvn.Config.emulate_click (Baselines.Briggs_prepass.run f) in
+  let c2, r2 = measure Pgvn.Config.full f in
+  Fmt.pr "  F13: `if (K == 0) { i = f0(K)-f0(0); j = f0(L)-f0(0); return i+j; }` with L = K+0@\n";
+  Fmt.pr "    plain GVN (Click emulation):  %2d constants, guarded return %a@\n" c0 pp_c r0;
+  Fmt.pr "    Briggs pre-pass + plain GVN:  %2d constants, guarded return %a  (i=0 found, j missed)@\n"
+    c1 pp_c r1;
+  Fmt.pr "    unified predicated GVN:       %2d constants, guarded return %a  (both found)@\n" c2
+    pp_c r2
+
+(* Ablation: the contribution of each unified analysis, in strength (total
+   constants / unreachable values / classes over the suite) and GVN time.
+   These are the design choices DESIGN.md calls out. *)
+let ablation suite =
+  Fmt.pr "@\n=== Ablation: per-analysis contribution (whole suite totals) ===@\n";
+  let funcs = all_funcs suite in
+  let variants =
+    [
+      ("full", Pgvn.Config.full);
+      ("- value inference", { Pgvn.Config.full with value_inference = false });
+      ("- predicate inference", { Pgvn.Config.full with predicate_inference = false });
+      ("- phi-predication", { Pgvn.Config.full with phi_predication = false });
+      ("- reassociation", { Pgvn.Config.full with reassociation = false });
+      ("- unreachable code", { Pgvn.Config.full with unreachable_code = false });
+      ("- algebraic simpl.", { Pgvn.Config.full with algebraic_simplification = false });
+      ("+ phi-distribution", Pgvn.Config.full_extended);
+      ("basic (all four off)", Pgvn.Config.basic);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, config) ->
+        let consts = ref 0 and unreach = ref 0 and classes = ref 0 in
+        List.iter
+          (fun f ->
+            let s = Pgvn.Driver.summarize (Pgvn.Driver.run config f) in
+            consts := !consts + s.Pgvn.Driver.constant_values;
+            unreach := !unreach + s.Pgvn.Driver.unreachable_values;
+            classes := !classes + s.Pgvn.Driver.congruence_classes)
+          funcs;
+        let t = gvn_time config funcs in
+        [
+          name;
+          string_of_int !consts;
+          string_of_int !unreach;
+          string_of_int !classes;
+          Stats.Table.ms t;
+        ])
+      variants
+  in
+  Stats.Table.render
+    ~columns:
+      [
+        ("configuration", Stats.Table.Left);
+        ("constants", Stats.Table.Right);
+        ("unreachable", Stats.Table.Right);
+        ("classes", Stats.Table.Right);
+        ("gvn ms", Stats.Table.Right);
+      ]
+    ~rows Fmt.stdout;
+  Fmt.pr "  (more constants/unreachable and fewer classes = stronger)@\n"
+
+let bechamel_section () =
+  Fmt.pr "@\n=== Bechamel micro-benchmarks (one per table) ===@\n";
+  let open Bechamel in
+  let r = Workload.Corpus.func_of_src Workload.Corpus.routine_r_src in
+  let big = Workload.Generator.func ~seed:4242 ~name:"bench_big"
+      ~profile:{ Workload.Generator.default_profile with stmt_budget = 120 } () in
+  let mk name config f = Test.make ~name (Staged.stage (fun () -> ignore (Pgvn.Driver.run config f))) in
+  let tests =
+    [
+      (* Table 1's contrast: the three value-numbering modes. *)
+      mk "table1/optimistic" Pgvn.Config.full big;
+      mk "table1/balanced" Pgvn.Config.balanced big;
+      mk "table1/pessimistic" Pgvn.Config.pessimistic big;
+      (* Table 2's contrast: dense vs sparse vs basic. *)
+      mk "table2/dense" Pgvn.Config.dense big;
+      mk "table2/sparse" Pgvn.Config.full big;
+      mk "table2/basic" Pgvn.Config.basic big;
+      (* Figure 9's ladder at a fixed size. *)
+      mk "fig9/ladder64" Pgvn.Config.full (Workload.Pathological.ladder_func 64);
+      (* The running example. *)
+      mk "fig1/routine_r" Pgvn.Config.full r;
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~stabilize:true ~quota:(Time.second 0.4) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Fmt.pr "  %-24s %10.1f ns/run@\n" name est
+          | _ -> Fmt.pr "  %-24s (no estimate)@\n" name)
+        analyzed)
+    tests
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        match String.index_opt a '=' with
+        | Some i when String.sub a 0 i = "scale" ->
+            scale := float_of_string (String.sub a (i + 1) (String.length a - i - 1));
+            false
+        | _ -> true)
+      args
+  in
+  let want s = args = [] || List.mem s args in
+  Fmt.pr "Predicated GVN benchmark harness (scale=%.2f)@\n" !scale;
+  let suite = lazy (Workload.Suite.all ~scale:!scale ()) in
+  if want "table1" then table1 (Lazy.force suite);
+  if want "table2" then table2 (Lazy.force suite);
+  if want "fig10" then
+    figure ~name:"Figure 10: full optimistic vs emulated Click (strongest prior GVN)"
+      ~against:Pgvn.Config.emulate_click (Lazy.force suite);
+  if want "fig11" then
+    figure ~name:"Figure 11: full optimistic vs emulated Wegman-Zadeck SCCP"
+      ~against:Pgvn.Config.emulate_sccp (Lazy.force suite);
+  if want "fig12" then fig12 (Lazy.force suite);
+  if want "scalars" then scalars (Lazy.force suite);
+  if want "fig9" then fig9 ();
+  if want "fig13" then fig13 ();
+  if want "ablation" then ablation (Lazy.force suite);
+  if want "bechamel" then bechamel_section ()

@@ -1,0 +1,144 @@
+(* gvnopt: parse a mini-C file, run predicated global value numbering under
+   a chosen configuration, and report — or rewrite and print — the routine.
+
+     gvnopt file.mc                        optimize and print every routine
+     gvnopt --analyze file.mc              facts only (no rewriting)
+     gvnopt --preset click --stats file.mc
+     gvnopt --run 1,2,3 file.mc            interpret (before and after)
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+type action = Optimize | Analyze
+
+let preset_conv =
+  let parse = function
+    | "full" -> Ok Pgvn.Config.full
+    | "balanced" -> Ok Pgvn.Config.balanced
+    | "pessimistic" -> Ok Pgvn.Config.pessimistic
+    | "basic" -> Ok Pgvn.Config.basic
+    | "dense" -> Ok Pgvn.Config.dense
+    | "click" -> Ok Pgvn.Config.emulate_click
+    | "sccp" -> Ok Pgvn.Config.emulate_sccp
+    | "awz" -> Ok Pgvn.Config.emulate_awz
+    | s -> Error (`Msg (Printf.sprintf "unknown preset %S" s))
+  in
+  Arg.conv (parse, fun ppf _ -> Fmt.string ppf "<preset>")
+
+let pruning_conv =
+  let parse = function
+    | "minimal" -> Ok Ssa.Construct.Minimal
+    | "semi" | "semi-pruned" -> Ok Ssa.Construct.Semi_pruned
+    | "pruned" -> Ok Ssa.Construct.Pruned
+    | s -> Error (`Msg (Printf.sprintf "unknown pruning %S" s))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (Ssa.Construct.pruning_to_string p))
+
+let process ~config ~pruning ~action ~stats ~dump_input ~run_args path =
+  let src = read_file path in
+  let routines = Ir.Parser.parse_program src in
+  List.iter
+    (fun r ->
+      let f = Ssa.Construct.of_cir ~pruning (Ir.Lower.lower_routine r) in
+      Fmt.pr "=== %s ===@." r.Ir.Ast.name;
+      if dump_input then Fmt.pr "--- input SSA ---@.%a@." Ir.Printer.pp f;
+      let st = Pgvn.Driver.run config f in
+      let s = Pgvn.Driver.summarize st in
+      Fmt.pr
+        "values: %d | unreachable: %d | constant: %d | classes: %d | reachable blocks: %d/%d | passes: %d@."
+        s.Pgvn.Driver.values s.Pgvn.Driver.unreachable_values s.Pgvn.Driver.constant_values
+        s.Pgvn.Driver.congruence_classes s.Pgvn.Driver.reachable_blocks (Ir.Func.num_blocks f)
+        s.Pgvn.Driver.passes;
+      if stats then Fmt.pr "stats: %a@." Pgvn.Run_stats.pp st.Pgvn.State.stats;
+      (match action with
+      | Analyze ->
+          (* Print the non-trivial congruence facts. *)
+          for v = 0 to Ir.Func.num_instrs f - 1 do
+            if Ir.Func.defines_value (Ir.Func.instr f v) then
+              if Pgvn.Driver.value_unreachable st v then Fmt.pr "  v%d: unreachable@." v
+              else
+                match Pgvn.Driver.value_constant st v with
+                | Some c -> Fmt.pr "  v%d = %d@." v c
+                | None -> (
+                    match (Pgvn.State.cls st st.Pgvn.State.class_of.(v)).Pgvn.State.leader with
+                    | Pgvn.State.Lvalue l when l <> v -> Fmt.pr "  v%d == v%d@." v l
+                    | _ -> ())
+          done
+      | Optimize ->
+          let g = Transform.Simplify_cfg.fixpoint (Transform.Dce.run (Transform.Apply.rebuild st f)) in
+          Fmt.pr "--- optimized (%d -> %d instrs, %d -> %d blocks) ---@.%a@."
+            (Ir.Func.num_instrs f) (Ir.Func.num_instrs g) (Ir.Func.num_blocks f)
+            (Ir.Func.num_blocks g) Ir.Printer.pp g;
+          match run_args with
+          | None -> ()
+          | Some args ->
+              let a = Ir.Interp.run f args and b = Ir.Interp.run g args in
+              Fmt.pr "run(%a): input %a | optimized %a | %s@."
+                Fmt.(array ~sep:(any ",") int)
+                args Ir.Interp.pp_result a Ir.Interp.pp_result b
+                (if Ir.Interp.equal_result a b then "agree" else "DISAGREE")))
+    routines;
+  0
+
+let cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc") in
+  let preset =
+    Arg.(value & opt preset_conv Pgvn.Config.full & info [ "preset"; "p" ] ~doc:"GVN preset: full, balanced, pessimistic, basic, dense, click, sccp, awz.")
+  in
+  let complete =
+    Arg.(value & flag & info [ "complete" ] ~doc:"Use the complete algorithm (incremental reachable dominator tree).")
+  in
+  let pruning =
+    Arg.(value & opt pruning_conv Ssa.Construct.Semi_pruned & info [ "pruning" ] ~doc:"SSA construction: minimal, semi, pruned.")
+  in
+  let analyze = Arg.(value & flag & info [ "analyze"; "a" ] ~doc:"Report facts; do not rewrite.") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics.") in
+  let dump_input = Arg.(value & flag & info [ "dump-input" ] ~doc:"Print the input SSA form.") in
+  let run_args =
+    let ints_conv =
+      Arg.conv
+        ( (fun s ->
+            try Ok (Array.of_list (List.map int_of_string (String.split_on_char ',' s)))
+            with _ -> Error (`Msg "expected comma-separated integers")),
+          fun ppf _ -> Fmt.string ppf "<ints>" )
+    in
+    Arg.(value & opt (some ints_conv) None & info [ "run" ] ~doc:"Interpret with the given arguments (e.g. --run 1,2,3).")
+  in
+  let disable name =
+    Arg.(value & flag & info [ "no-" ^ name ] ~doc:(Printf.sprintf "Disable %s." name))
+  in
+  let no_reassoc = disable "reassociation" in
+  let no_pi = disable "predicate-inference" in
+  let no_vi = disable "value-inference" in
+  let no_pp = disable "phi-predication" in
+  let no_sparse = disable "sparse" in
+  let main preset complete pruning analyze stats dump_input run_args nr npi nvi npp nsp path =
+    let config =
+      {
+        preset with
+        Pgvn.Config.variant = (if complete then Pgvn.Config.Complete else preset.Pgvn.Config.variant);
+        reassociation = preset.Pgvn.Config.reassociation && not nr;
+        predicate_inference = preset.Pgvn.Config.predicate_inference && not npi;
+        value_inference = preset.Pgvn.Config.value_inference && not nvi;
+        phi_predication = preset.Pgvn.Config.phi_predication && not npp;
+        sparse = preset.Pgvn.Config.sparse && not nsp;
+      }
+    in
+    let action = if analyze then Analyze else Optimize in
+    process ~config ~pruning ~action ~stats ~dump_input ~run_args path
+  in
+  let term =
+    Term.(
+      const main $ preset $ complete $ pruning $ analyze $ stats $ dump_input $ run_args
+      $ no_reassoc $ no_pi $ no_vi $ no_pp $ no_sparse $ path)
+  in
+  Cmd.v (Cmd.info "gvnopt" ~doc:"Predicated global value numbering for mini-C routines") term
+
+let () = exit (Cmd.eval' cmd)

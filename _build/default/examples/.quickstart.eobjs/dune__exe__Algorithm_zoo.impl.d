@@ -1,0 +1,1 @@
+examples/algorithm_zoo.ml: Array Baselines Fmt Hashtbl Ir List Pgvn Workload

@@ -1,0 +1,1 @@
+examples/algorithm_zoo.mli:

@@ -1,0 +1,1 @@
+examples/compiler_pipeline.ml: Array Fmt Ir List Pgvn Ssa Transform Util

@@ -1,0 +1,1 @@
+examples/loop_optimization.ml: Fmt Ir List Pgvn Printf Transform Workload

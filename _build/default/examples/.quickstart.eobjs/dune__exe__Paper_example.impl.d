@@ -1,0 +1,1 @@
+examples/paper_example.ml: Array Fmt Ir List Pgvn Printf Util Workload

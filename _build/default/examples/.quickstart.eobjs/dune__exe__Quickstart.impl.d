@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Ir List Pgvn Transform

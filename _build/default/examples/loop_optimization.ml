@@ -1,0 +1,47 @@
+(* Cyclic congruences and loop-invariant values (§1.1): optimistic value
+   numbering initially ignores values carried by back edges, so it can
+   prove that two variables advancing in lockstep stay congruent across
+   iterations, and that a value redefined to itself in a loop is invariant.
+   Balanced and pessimistic value numbering treat cyclic φs as opaque and
+   find neither. *)
+
+let show_case ~name src =
+  Fmt.pr "--- %s ---@.%s@." name src;
+  let f = Workload.Corpus.func_of_src src in
+  let ret_const st =
+    let r = ref None in
+    for i = 0 to Ir.Func.num_instrs f - 1 do
+      match Ir.Func.instr f i with
+      | Ir.Func.Return v -> r := Pgvn.Driver.value_constant st v
+      | _ -> ()
+    done;
+    !r
+  in
+  List.iter
+    (fun (cname, config) ->
+      let st = Pgvn.Driver.run config f in
+      let s = Pgvn.Driver.summarize st in
+      Fmt.pr "  %-12s return %-10s classes %d  passes %d@." cname
+        (match ret_const st with Some c -> Printf.sprintf "const %d" c | None -> "unknown")
+        s.Pgvn.Driver.congruence_classes s.Pgvn.Driver.passes)
+    [
+      ("optimistic", Pgvn.Config.full);
+      ("balanced", Pgvn.Config.balanced);
+      ("pessimistic", Pgvn.Config.pessimistic);
+    ];
+  Fmt.pr "@."
+
+let () =
+  Fmt.pr "Optimistic vs balanced vs pessimistic on cyclic values@.@.";
+  (* x and y advance in lockstep: x - y ≡ 0, discovered only optimistically. *)
+  show_case ~name:"cyclic congruence (x-y = 0)" Workload.Corpus.cyclic_congruence_src;
+  (* acc = acc + 0 in a loop: loop-invariant, so the whole loop folds. *)
+  show_case ~name:"loop-invariant cyclic value" Workload.Corpus.loop_invariant_src;
+  (* And the optimizer actually rewrites the lockstep loop to return 0. *)
+  let f = Workload.Corpus.func_of_src Workload.Corpus.cyclic_congruence_src in
+  let g =
+    Transform.Simplify_cfg.fixpoint
+      (Transform.Dce.run (Transform.Apply.optimize ~config:Pgvn.Config.full f))
+  in
+  Fmt.pr "optimized lockstep loop (%d -> %d instructions):@.%a@." (Ir.Func.num_instrs f)
+    (Ir.Func.num_instrs g) Ir.Printer.pp g

@@ -1,0 +1,59 @@
+(* The paper's running example (Figures 1 and 2): routine R always returns
+   1, and the full unified algorithm is the only configuration that proves
+   it. This example reruns the §2.10 walkthrough across configurations. *)
+
+let ret_constant st f =
+  let result = ref None in
+  for i = 0 to Ir.Func.num_instrs f - 1 do
+    match Ir.Func.instr f i with
+    | Ir.Func.Return v when Pgvn.State.block_reachable st (Ir.Func.block_of_instr f i) ->
+        result := Pgvn.Driver.value_constant st v
+    | _ -> ()
+  done;
+  !result
+
+let () =
+  Fmt.pr "Routine R (paper Figure 1):@.%s@." Workload.Corpus.routine_r_src;
+  let f = Workload.Corpus.func_of_src Workload.Corpus.routine_r_src in
+  Fmt.pr "SSA form: %d blocks, %d instructions@.@." (Ir.Func.num_blocks f)
+    (Ir.Func.num_instrs f);
+
+  (* Empirically: R returns 1 on every input we try. *)
+  let rng = Util.Prng.create 2002 in
+  let all_one = ref true in
+  for _ = 1 to 1000 do
+    let args = Array.init 3 (fun _ -> Util.Prng.range rng (-50) 50) in
+    match Ir.Interp.run f args with Ir.Interp.Ret 1 -> () | _ -> all_one := false
+  done;
+  Fmt.pr "Interpreter: R returned 1 on 1000 random inputs: %b@.@." !all_one;
+
+  (* Which configurations can prove it? *)
+  let configs =
+    [
+      ("full (practical)", Pgvn.Config.full);
+      ("full (complete)", { Pgvn.Config.full with variant = Pgvn.Config.Complete });
+      ("no value inference", { Pgvn.Config.full with value_inference = false });
+      ("no predicate inference", { Pgvn.Config.full with predicate_inference = false });
+      ("no phi-predication", { Pgvn.Config.full with phi_predication = false });
+      ("no reassociation", { Pgvn.Config.full with reassociation = false });
+      ("Click emulation", Pgvn.Config.emulate_click);
+      ("Wegman-Zadeck SCCP emulation", Pgvn.Config.emulate_sccp);
+      ("AWZ emulation", Pgvn.Config.emulate_awz);
+      ("balanced", Pgvn.Config.balanced);
+      ("pessimistic", Pgvn.Config.pessimistic);
+    ]
+  in
+  Fmt.pr "%-32s %-14s %s@." "configuration" "return value" "(unreachable/constant/classes, passes)";
+  List.iter
+    (fun (name, config) ->
+      let st = Pgvn.Driver.run config f in
+      let s = Pgvn.Driver.summarize st in
+      let r =
+        match ret_constant st f with Some c -> Printf.sprintf "const %d" c | None -> "unknown"
+      in
+      Fmt.pr "%-32s %-14s (%d/%d/%d, %d)@." name r s.Pgvn.Driver.unreachable_values
+        s.Pgvn.Driver.constant_values s.Pgvn.Driver.congruence_classes s.Pgvn.Driver.passes)
+    configs;
+  Fmt.pr
+    "@.As the paper claims (§1.3): only the unified algorithm with all analyses@.\
+     enabled proves R ≡ 1 — disabling any single analysis breaks the chain.@."

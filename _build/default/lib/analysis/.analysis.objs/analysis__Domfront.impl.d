@@ -1,0 +1,1 @@
+lib/analysis/domfront.ml: Array Dom Graph List

@@ -1,0 +1,1 @@
+lib/analysis/domfront.mli: Dom Graph

@@ -1,0 +1,1 @@
+lib/analysis/inc_dom.ml: Array Dom Graph List

@@ -1,0 +1,1 @@
+lib/analysis/inc_dom.mli: Dom

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Bytes Char Ir

@@ -1,0 +1,1 @@
+lib/analysis/postdom.mli: Graph

@@ -1,0 +1,1 @@
+lib/analysis/rpo.ml: Array Graph Ir

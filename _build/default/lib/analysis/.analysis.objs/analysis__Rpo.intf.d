@@ -1,0 +1,1 @@
+lib/analysis/rpo.mli: Graph Ir

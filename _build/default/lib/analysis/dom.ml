@@ -1,0 +1,97 @@
+(* Dominator tree by the Cooper–Harvey–Kennedy iterative algorithm, plus the
+   derived queries the GVN core needs: immediate dominators, tree depth,
+   constant-time dominance tests (via a DFS interval labelling of the tree)
+   and nearest common ancestors. *)
+
+type t = {
+  idom : int array; (* immediate dominator; entry and unreachable -> -1 *)
+  depth : int array; (* tree depth; entry = 0; unreachable -> -1 *)
+  children : int array array;
+  tin : int array; (* DFS entry time in the dominator tree *)
+  tout : int array;
+  entry : int;
+}
+
+(* [compute ?rpo g] builds the dominator tree of the reachable part of [g]. *)
+let compute ?rpo (g : Graph.t) =
+  let rpo = match rpo with Some r -> r | None -> Rpo.compute g in
+  let n = g.n in
+  let idom = Array.make n (-1) in
+  idom.(g.entry) <- g.entry;
+  let intersect u v =
+    (* Walk the two fingers up by RPO number until they meet. *)
+    let u = ref u and v = ref v in
+    while !u <> !v do
+      while rpo.number.(!u) > rpo.number.(!v) do
+        u := idom.(!u)
+      done;
+      while rpo.number.(!v) > rpo.number.(!u) do
+        v := idom.(!v)
+      done
+    done;
+    !u
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> g.entry then begin
+          let new_idom = ref (-1) in
+          Array.iter
+            (fun p ->
+              if idom.(p) >= 0 then
+                new_idom := if !new_idom < 0 then p else intersect p !new_idom)
+            g.pred.(b);
+          if !new_idom >= 0 && idom.(b) <> !new_idom then begin
+            idom.(b) <- !new_idom;
+            changed := true
+          end
+        end)
+      rpo.order
+  done;
+  idom.(g.entry) <- -1;
+  (* Children lists in RPO order give a deterministic DFS labelling. *)
+  let child_lists = Array.make n [] in
+  let order = rpo.order in
+  for i = Array.length order - 1 downto 0 do
+    let b = order.(i) in
+    if idom.(b) >= 0 then child_lists.(idom.(b)) <- b :: child_lists.(idom.(b))
+  done;
+  let children = Array.map Array.of_list child_lists in
+  let depth = Array.make n (-1) in
+  let tin = Array.make n (-1) in
+  let tout = Array.make n (-1) in
+  let clock = ref 0 in
+  let rec dfs b d =
+    depth.(b) <- d;
+    tin.(b) <- !clock;
+    incr clock;
+    Array.iter (fun c -> dfs c (d + 1)) children.(b);
+    tout.(b) <- !clock;
+    incr clock
+  in
+  dfs g.entry 0;
+  { idom; depth; children; tin; tout; entry = g.entry }
+
+let reachable t b = t.depth.(b) >= 0
+
+(* [dominates t a b]: does [a] dominate [b]? (Reflexive.) *)
+let dominates t a b =
+  reachable t a && reachable t b && t.tin.(a) <= t.tin.(b) && t.tout.(b) <= t.tout.(a)
+
+let strictly_dominates t a b = a <> b && dominates t a b
+
+(* Nearest common ancestor of two reachable nodes in the dominator tree. *)
+let nca t a b =
+  if not (reachable t a && reachable t b) then invalid_arg "Dom.nca: unreachable node";
+  let a = ref a and b = ref b in
+  while !a <> !b do
+    if t.depth.(!a) > t.depth.(!b) then a := t.idom.(!a)
+    else if t.depth.(!b) > t.depth.(!a) then b := t.idom.(!b)
+    else begin
+      a := t.idom.(!a);
+      b := t.idom.(!b)
+    end
+  done;
+  !a

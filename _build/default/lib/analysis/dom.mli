@@ -1,0 +1,27 @@
+(** Dominators by the Cooper–Harvey–Kennedy iterative algorithm, with the
+    derived queries the GVN core needs: immediate dominators, depths,
+    constant-time dominance tests (DFS interval labelling of the tree) and
+    nearest common ancestors. Unreachable nodes get idom/depth -1. *)
+
+type t = {
+  idom : int array;  (** immediate dominator; entry and unreachable: -1 *)
+  depth : int array;  (** tree depth; entry 0; unreachable -1 *)
+  children : int array array;
+  tin : int array;
+  tout : int array;
+  entry : int;
+}
+
+val compute : ?rpo:Rpo.t -> Graph.t -> t
+(** The dominator tree of the reachable part of the graph. *)
+
+val reachable : t -> int -> bool
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does [a] dominate [b]? Reflexive; O(1). *)
+
+val strictly_dominates : t -> int -> int -> bool
+
+val nca : t -> int -> int -> int
+(** Nearest common ancestor in the dominator tree.
+    @raise Invalid_argument on unreachable nodes. *)

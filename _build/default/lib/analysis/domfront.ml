@@ -1,0 +1,22 @@
+(* Dominance frontiers by the Cooper–Harvey–Kennedy "two-finger" method:
+   for each join node, walk each predecessor up to the node's idom. *)
+
+let compute (g : Graph.t) (dom : Dom.t) : int array array =
+  let df = Array.make g.n [] in
+  let mem v l = List.exists (fun x -> x = v) l in
+  (* Unlike the φ-placement-only variant, single-predecessor nodes are
+     processed too: a self-loop puts a node in its own frontier. *)
+  for b = 0 to g.n - 1 do
+    if Dom.reachable dom b && Array.length g.pred.(b) >= 1 then
+      Array.iter
+        (fun p ->
+          if Dom.reachable dom p then begin
+            let runner = ref p in
+            while !runner <> dom.Dom.idom.(b) do
+              if not (mem b df.(!runner)) then df.(!runner) <- b :: df.(!runner);
+              runner := dom.Dom.idom.(!runner)
+            done
+          end)
+        g.pred.(b)
+  done;
+  Array.map Array.of_list df

@@ -1,0 +1,6 @@
+(** Dominance frontiers by the Cooper–Harvey–Kennedy two-finger method.
+    Full frontiers per the definition — [y ∈ DF(a)] iff [a] dominates a
+    predecessor of [y] and does not strictly dominate [y] — including
+    self-loop nodes in their own frontier. *)
+
+val compute : Graph.t -> Dom.t -> int array array

@@ -1,0 +1,27 @@
+(* A block-level view of a CFG: dense node ids, entry node, successor and
+   predecessor adjacency. All analyses in this library work on this view. *)
+
+type t = { n : int; entry : int; succ : int array array; pred : int array array }
+
+let make ~entry succ =
+  let n = Array.length succ in
+  let pred_lists = Array.make n [] in
+  for u = n - 1 downto 0 do
+    Array.iter (fun v -> pred_lists.(v) <- u :: pred_lists.(v)) succ.(u)
+  done;
+  { n; entry; succ; pred = Array.map Array.of_list pred_lists }
+
+let of_func (f : Ir.Func.t) = make ~entry:Ir.Func.entry (Ir.Func.succ_blocks f)
+let of_cir (c : Ir.Cir.t) = make ~entry:Ir.Cir.entry (Ir.Cir.succ_blocks c)
+
+(* Nodes reachable from the entry. *)
+let reachable g =
+  let seen = Array.make g.n false in
+  let rec dfs u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      Array.iter dfs g.succ.(u)
+    end
+  in
+  dfs g.entry;
+  seen

@@ -1,0 +1,13 @@
+(** A block-level CFG view: dense node ids, an entry node, successor and
+    predecessor adjacency. Every analysis in this library works on it. *)
+
+type t = { n : int; entry : int; succ : int array array; pred : int array array }
+
+val make : entry:int -> int array array -> t
+(** [make ~entry succ] computes predecessors from the successor lists. *)
+
+val of_func : Ir.Func.t -> t
+val of_cir : Ir.Cir.t -> t
+
+val reachable : t -> bool array
+(** Nodes reachable from the entry. *)

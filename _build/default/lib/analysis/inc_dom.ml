@@ -1,0 +1,157 @@
+(* Incrementally maintained dominator tree of the *reachable* subgraph, under
+   edge insertion only — the setting of the paper's complete algorithm, where
+   blocks and edges only ever become reachable (monotonically) as GVN runs.
+
+   This follows Sreedhar–Gao–Lee's insertion algorithm [14]: after inserting
+   a reachable edge (x, y), every vertex whose immediate dominator changes
+   gets the new immediate dominator z = NCA(x, y). Affected candidates are
+   found by a deepest-first traversal of the DJ-graph (dominator-tree edges
+   down, reachable CFG edges across) starting at y, bounded below depth(z)+1.
+
+   Correctness is cross-checked in the test suite against from-scratch
+   recomputation on randomized insertion sequences. *)
+
+type t = {
+  n : int;
+  entry : int;
+  idom : int array; (* -1 = unreachable (and for the entry) *)
+  depth : int array; (* -1 = unreachable *)
+  mutable children : int list array;
+  (* Reachable CFG successors, maintained as edges are inserted. *)
+  mutable succ : int list array;
+}
+
+let create ~n ~entry =
+  let t =
+    {
+      n;
+      entry;
+      idom = Array.make n (-1);
+      depth = Array.make n (-1);
+      children = Array.make n [];
+      succ = Array.make n [];
+    }
+  in
+  t.depth.(entry) <- 0;
+  t
+
+let is_reachable t b = b = t.entry || t.idom.(b) >= 0
+let idom t b = t.idom.(b)
+let depth t b = t.depth.(b)
+
+let nca t a b =
+  let a = ref a and b = ref b in
+  while !a <> !b do
+    if t.depth.(!a) > t.depth.(!b) then a := t.idom.(!a)
+    else if t.depth.(!b) > t.depth.(!a) then b := t.idom.(!b)
+    else begin
+      a := t.idom.(!a);
+      b := t.idom.(!b)
+    end
+  done;
+  !a
+
+(* [dominates t a b] over the current reachable subgraph (reflexive). *)
+let dominates t a b =
+  is_reachable t a && is_reachable t b
+  &&
+  let v = ref b in
+  while t.depth.(!v) > t.depth.(a) do
+    v := t.idom.(!v)
+  done;
+  !v = a
+
+let recompute_depths_from t root =
+  let rec go b d =
+    t.depth.(b) <- d;
+    List.iter (fun c -> go c (d + 1)) t.children.(b)
+  in
+  go root (t.depth.(root) + 0)
+
+let set_parent t v parent =
+  let old = t.idom.(v) in
+  if old >= 0 then t.children.(old) <- List.filter (fun c -> c <> v) t.children.(old);
+  t.idom.(v) <- parent;
+  t.children.(parent) <- v :: t.children.(parent)
+
+(* Returns the affected vertices (those whose immediate dominator changed),
+   so the GVN driver can retouch the blocks whose dominator sets shrank. *)
+let insert_edge t ~src ~dst : int list =
+  if not (is_reachable t src) then invalid_arg "Inc_dom.insert_edge: unreachable source";
+  t.succ.(src) <- dst :: t.succ.(src);
+  if dst = t.entry then []
+  else if not (is_reachable t dst) then begin
+    (* First reachable incoming edge: dst hangs under src for now. *)
+    set_parent t dst src;
+    t.depth.(dst) <- t.depth.(src) + 1;
+    []
+  end
+  else begin
+    let z = nca t src dst in
+    let bound = t.depth.(z) + 1 in
+    if t.depth.(dst) > bound then begin
+      (* Deepest-first DJ-graph search for the affected set. *)
+      let pending = ref [ dst ] in
+      let queued = Array.make t.n false in
+      queued.(dst) <- true;
+      let affected = ref [] in
+      let visited_subtree = Array.make t.n (-1) in
+      let pop_deepest () =
+        match !pending with
+        | [] -> None
+        | first :: _ ->
+            let best = ref first in
+            List.iter (fun v -> if t.depth.(v) > t.depth.(!best) then best := v) !pending;
+            pending := List.filter (fun v -> v <> !best) !pending;
+            Some !best
+      in
+      (* A candidate [w] reached through a J-edge from [v]'s subtree is
+         affected only when depth(w) <= depth(v): processing deepest-first,
+         this maintains SGL's path condition that every vertex on the
+         witnessing path from [dst] is at least as deep as [w]. Deeper
+         targets belong to subtrees that move wholesale with their parent. *)
+      let consider vdepth w =
+        if
+          (not queued.(w))
+          && is_reachable t w
+          && t.depth.(w) > bound
+          && t.depth.(w) <= vdepth
+        then begin
+          queued.(w) <- true;
+          pending := w :: !pending
+        end
+      in
+      (* Each affected vertex walks its own subtree: the walks of two
+         affected vertices may overlap, and each carries its own depth
+         threshold, so visitation marks are per-walk (stamped). *)
+      let stamp = ref 0 in
+      let rec walk_subtree vdepth u =
+        if visited_subtree.(u) <> !stamp then begin
+          visited_subtree.(u) <- !stamp;
+          List.iter (consider vdepth) t.succ.(u);
+          List.iter (walk_subtree vdepth) t.children.(u)
+        end
+      in
+      let rec drain () =
+        match pop_deepest () with
+        | None -> ()
+        | Some v ->
+            affected := v :: !affected;
+            incr stamp;
+            walk_subtree t.depth.(v) v;
+            drain ()
+      in
+      drain ();
+      List.iter (fun v -> set_parent t v z) !affected;
+      recompute_depths_from t z;
+      !affected
+    end
+    else []
+  end
+
+(* Reference check: the dominator tree recomputed from scratch over the
+   currently reachable subgraph; used by the tests. *)
+let recompute_reference t =
+  let succ = Array.init t.n (fun b -> if is_reachable t b then Array.of_list t.succ.(b) else [||]) in
+  let g = Graph.make ~entry:t.entry succ in
+  Dom.compute g

@@ -1,0 +1,82 @@
+(* Value-level liveness over an SSA function: classic backward dataflow with
+   per-block bitsets. φ arguments are live out of the predecessor that
+   carries them (not into the φ's block). Consumers: register-pressure-style
+   bookkeeping in the optimization pipeline, and the test suite. *)
+
+type t = {
+  live_in : Bytes.t array; (* bit v set: value v live into block b *)
+  live_out : Bytes.t array;
+}
+
+let bit_get bs v = Char.code (Bytes.get bs (v lsr 3)) land (1 lsl (v land 7)) <> 0
+
+let bit_set bs v =
+  let i = v lsr 3 in
+  Bytes.set bs i (Char.chr (Char.code (Bytes.get bs i) lor (1 lsl (v land 7))))
+
+let compute (f : Ir.Func.t) : t =
+  let ni = Ir.Func.num_instrs f in
+  let nb = Ir.Func.num_blocks f in
+  let bytes = (ni + 7) / 8 in
+  let live_in = Array.init nb (fun _ -> Bytes.make bytes '\000') in
+  let live_out = Array.init nb (fun _ -> Bytes.make bytes '\000') in
+  (* Per-block upward-exposed uses and defs. *)
+  let uses = Array.init nb (fun _ -> Bytes.make bytes '\000') in
+  let defs = Array.init nb (fun _ -> Bytes.make bytes '\000') in
+  for b = 0 to nb - 1 do
+    let blk = Ir.Func.block f b in
+    Array.iter
+      (fun i ->
+        let ins = Ir.Func.instr f i in
+        (match ins with
+        | Ir.Func.Phi args ->
+            (* φ uses live at the tail of each predecessor. *)
+            Array.iteri
+              (fun ix e ->
+                let src = (Ir.Func.edge f blk.Ir.Func.preds.(ix)).Ir.Func.src in
+                ignore e;
+                let v = args.(ix) in
+                if not (bit_get defs.(src) v) then bit_set uses.(src) v)
+              blk.Ir.Func.preds
+        | _ ->
+            Ir.Func.iter_operands (fun v -> if not (bit_get defs.(b) v) then bit_set uses.(b) v) ins);
+        if Ir.Func.defines_value ins then bit_set defs.(b) i)
+      blk.Ir.Func.instrs
+  done;
+  let succ = Ir.Func.succ_blocks f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = nb - 1 downto 0 do
+      (* live_out = union of successors' live_in *)
+      Array.iter
+        (fun s ->
+          for i = 0 to bytes - 1 do
+            let o = Char.code (Bytes.get live_out.(b) i) in
+            let n = o lor Char.code (Bytes.get live_in.(s) i) in
+            if n <> o then begin
+              Bytes.set live_out.(b) i (Char.chr n);
+              changed := true
+            end
+          done)
+        succ.(b);
+      (* live_in = uses ∪ (live_out \ defs) *)
+      for i = 0 to bytes - 1 do
+        let o = Char.code (Bytes.get live_in.(b) i) in
+        let n =
+          o
+          lor Char.code (Bytes.get uses.(b) i)
+          lor (Char.code (Bytes.get live_out.(b) i) land lnot (Char.code (Bytes.get defs.(b) i)))
+        in
+        let n = n land 0xff in
+        if n <> o then begin
+          Bytes.set live_in.(b) i (Char.chr n);
+          changed := true
+        end
+      done
+    done
+  done;
+  { live_in; live_out }
+
+let live_in_at t b v = bit_get t.live_in.(b) v
+let live_out_at t b v = bit_get t.live_out.(b) v

@@ -1,0 +1,9 @@
+(** Value-level liveness over an SSA function: classic backward dataflow on
+    per-block bitsets. A φ argument is live out of the predecessor that
+    carries it, not into the φ's own block. *)
+
+type t = { live_in : Bytes.t array; live_out : Bytes.t array }
+
+val compute : Ir.Func.t -> t
+val live_in_at : t -> int -> Ir.Func.value -> bool
+val live_out_at : t -> int -> Ir.Func.value -> bool

@@ -1,0 +1,35 @@
+(* Natural loops and nesting depth. Used by the workload statistics and to
+   report the loop structure of generated programs; the GVN driver itself
+   only needs the RPO back-edge set. *)
+
+type t = {
+  nesting : int array; (* loop nesting depth per block; 0 = not in a loop *)
+  headers : int list; (* natural loop headers, innermost duplicates removed *)
+}
+
+let compute (g : Graph.t) =
+  let rpo = Rpo.compute g in
+  let nesting = Array.make g.n 0 in
+  let headers = ref [] in
+  let add_loop header tail =
+    if not (List.mem header !headers) then headers := header :: !headers;
+    (* Natural loop body: reverse reachability from the tail, stopping at
+       the header. *)
+    let inloop = Array.make g.n false in
+    inloop.(header) <- true;
+    let rec up b =
+      if not inloop.(b) then begin
+        inloop.(b) <- true;
+        Array.iter up g.pred.(b)
+      end
+    in
+    up tail;
+    Array.iteri (fun b inl -> if inl then nesting.(b) <- nesting.(b) + 1) inloop
+  in
+  for u = 0 to g.n - 1 do
+    if rpo.number.(u) >= 0 then
+      Array.iter (fun v -> if Rpo.is_back_edge rpo ~src:u ~dst:v then add_loop v u) g.succ.(u)
+  done;
+  { nesting; headers = !headers }
+
+let max_nesting t = Array.fold_left max 0 t.nesting

@@ -1,0 +1,10 @@
+(** Natural loops and per-block nesting depth (workload statistics and pass
+    budgeting; the GVN driver itself only needs the RPO back-edge set). *)
+
+type t = {
+  nesting : int array;  (** loop nesting depth per block; 0 = not in a loop *)
+  headers : int list;  (** natural-loop header blocks *)
+}
+
+val compute : Graph.t -> t
+val max_nesting : t -> int

@@ -1,0 +1,34 @@
+(* Postdominators, computed as dominators of the reversed CFG from a virtual
+   exit node that succeeds every return block. Blocks that cannot reach any
+   exit (infinite loops without break) have no postdominators; queries on
+   them answer [false] / [-1], which makes φ-predication skip them. *)
+
+type t = {
+  dom : Dom.t; (* dominator tree of the reversed graph; node [n] = virtual exit *)
+  n : int;
+}
+
+let compute (g : Graph.t) =
+  let n = g.n in
+  let succ = Array.make (n + 1) [||] in
+  for u = 0 to n - 1 do
+    succ.(u) <- Array.copy g.pred.(u)
+  done;
+  let exits = ref [] in
+  for u = n - 1 downto 0 do
+    if Array.length g.succ.(u) = 0 then exits := u :: !exits
+  done;
+  succ.(n) <- Array.of_list !exits;
+  let h = Graph.make ~entry:n succ in
+  { dom = Dom.compute h; n }
+
+(* Immediate postdominator; [-1] when it is the virtual exit or the block
+   cannot reach an exit. *)
+let ipdom t b =
+  let d = t.dom.Dom.idom.(b) in
+  if d = t.n then -1 else d
+
+(* [postdominates t a b]: does [a] postdominate [b]? (Reflexive.) *)
+let postdominates t a b = Dom.dominates t.dom a b
+
+let reaches_exit t b = Dom.reachable t.dom b

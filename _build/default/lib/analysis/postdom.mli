@@ -1,0 +1,17 @@
+(** Postdominators: dominators of the reversed CFG from a virtual exit that
+    succeeds every return block. Blocks that cannot reach an exit (infinite
+    loops without break) have no postdominators; queries on them answer
+    [false]/[-1], which makes φ-predication skip them. *)
+
+type t
+
+val compute : Graph.t -> t
+
+val ipdom : t -> int -> int
+(** Immediate postdominator; [-1] when it is the virtual exit or the block
+    cannot reach an exit. *)
+
+val postdominates : t -> int -> int -> bool
+(** [postdominates t a b]: does [a] postdominate [b]? Reflexive. *)
+
+val reaches_exit : t -> int -> bool

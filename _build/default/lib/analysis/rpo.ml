@@ -1,0 +1,34 @@
+(* Reverse post-order numbering of a CFG, and the derived RPO back-edge
+   classification used by the paper (§2.5): an edge u->v is an RPO back edge
+   iff number(v) <= number(u). *)
+
+type t = {
+  order : int array; (* reachable blocks in reverse post-order *)
+  number : int array; (* block -> RPO index, or -1 if unreachable *)
+}
+
+let compute (g : Graph.t) =
+  let seen = Array.make g.n false in
+  let post = ref [] in
+  (* Iterative DFS, recording postorder. *)
+  let rec dfs u =
+    seen.(u) <- true;
+    Array.iter (fun v -> if not seen.(v) then dfs v) g.succ.(u);
+    post := u :: !post
+  in
+  dfs g.entry;
+  let order = Array.of_list !post in
+  let number = Array.make g.n (-1) in
+  Array.iteri (fun i b -> number.(b) <- i) order;
+  { order; number }
+
+let is_back_edge t ~src ~dst = t.number.(dst) >= 0 && t.number.(dst) <= t.number.(src)
+
+(* The BACKWARD set for an SSA function: ids of RPO back edges. *)
+let backward_edges t (f : Ir.Func.t) =
+  let back = Array.make (Ir.Func.num_edges f) false in
+  Array.iteri
+    (fun e { Ir.Func.src; dst; _ } ->
+      if t.number.(src) >= 0 && is_back_edge t ~src ~dst then back.(e) <- true)
+    f.Ir.Func.edges;
+  back

@@ -1,0 +1,16 @@
+(** Reverse post-order numbering, and the derived RPO back-edge
+    classification of the paper (§2.5): an edge u→v is an RPO back edge iff
+    number(v) <= number(u). *)
+
+type t = {
+  order : int array;  (** reachable blocks in reverse post-order *)
+  number : int array;  (** block -> RPO index, or -1 if unreachable *)
+}
+
+val compute : Graph.t -> t
+
+val is_back_edge : t -> src:int -> dst:int -> bool
+(** Both endpoints must be reachable. *)
+
+val backward_edges : t -> Ir.Func.t -> bool array
+(** The BACKWARD set: per edge id, whether it is an RPO back edge. *)

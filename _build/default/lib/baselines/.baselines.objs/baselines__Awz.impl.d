@@ -1,0 +1,1 @@
+lib/baselines/awz.ml: Array Hashtbl Ir Option

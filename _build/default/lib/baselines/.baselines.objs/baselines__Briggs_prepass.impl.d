@@ -1,0 +1,1 @@
+lib/baselines/briggs_prepass.ml: Analysis Array Hashtbl Ir List

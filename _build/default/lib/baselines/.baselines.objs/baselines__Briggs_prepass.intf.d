@@ -1,0 +1,1 @@
+lib/baselines/briggs_prepass.mli: Ir

@@ -1,0 +1,1 @@
+lib/baselines/domhash.ml: Analysis Array Hashtbl Ir List

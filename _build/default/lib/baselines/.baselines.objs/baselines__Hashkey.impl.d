@@ -1,0 +1,1 @@
+lib/baselines/hashkey.ml: Hashtbl Ir

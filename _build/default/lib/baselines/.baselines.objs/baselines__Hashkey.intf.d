@@ -1,0 +1,1 @@
+lib/baselines/hashkey.mli: Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/baselines/sccp.mli: Ir

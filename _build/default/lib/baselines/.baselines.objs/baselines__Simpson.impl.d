@@ -1,0 +1,1 @@
+lib/baselines/simpson.ml: Analysis Array Hashkey Ir List

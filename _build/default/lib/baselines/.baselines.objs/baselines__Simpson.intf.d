@@ -1,0 +1,1 @@
+lib/baselines/simpson.mli: Ir

@@ -1,0 +1,8 @@
+(** Briggs–Torczon–Cooper's value-inference pre-pass [5]: uses dominated by
+    the true edge of an equality-with-constant test are rewritten to the
+    constant before value numbering runs. Operating on SSA names rather
+    than congruence classes, it finds strictly less than the unified
+    algorithm — the paper's Figure 13 point. *)
+
+val run : Ir.Func.t -> Ir.Func.t
+(** The rewritten (semantics-preserving) function. *)

@@ -1,0 +1,112 @@
+(* Pessimistic hash-based value numbering over the dominator tree, in the
+   style of Click's O(I) algorithm [8]: a single preorder walk of the
+   dominator tree with a scoped hash table (bindings are undone when the
+   walk leaves a subtree), unified with constant folding. Cyclic φs — whose
+   back-edge arguments are not yet numbered when the φ is reached — are
+   unique values, which is exactly the pessimism the paper describes. *)
+
+type rep = Rval of int | Rconst of int
+
+let rep_equal a b =
+  match (a, b) with
+  | Rval x, Rval y -> x = y
+  | Rconst x, Rconst y -> x = y
+  | (Rval _ | Rconst _), _ -> false
+
+type key =
+  | Kconst of int
+  | Kparam of int
+  | Kopq of int * rep list
+  | Kphi of int * rep list
+  | Kunop of Ir.Types.unop * rep
+  | Kbinop of Ir.Types.binop * rep * rep
+  | Kcmp of Ir.Types.cmp * rep * rep
+
+type result = { rep : rep array (* per value; [Rval v] itself when unique *) }
+
+let run (f : Ir.Func.t) : result =
+  let ni = Ir.Func.num_instrs f in
+  let g = Analysis.Graph.of_func f in
+  let dom = Analysis.Dom.compute g in
+  let out = Array.make ni (Rval (-1)) in
+  let known = Array.make ni false in
+  let table : (key, rep) Hashtbl.t = Hashtbl.create 64 in
+  let undo = ref [] in
+  let bind k r =
+    Hashtbl.add table k r;
+    undo := k :: !undo
+  in
+  let fold_key v = function
+    | Kunop (op, Rconst a) -> Some (Rconst (Ir.Types.eval_unop op a))
+    | Kbinop (op, Rconst a, Rconst b) when not (Ir.Types.binop_can_trap op b) ->
+        Some (Rconst (Ir.Types.eval_binop op a b))
+    | Kcmp (op, Rconst a, Rconst b) -> Some (Rconst (Ir.Types.eval_cmp op a b))
+    | Kconst n -> Some (Rconst n)
+    | _ ->
+        ignore v;
+        None
+  in
+  let number v k =
+    match fold_key v k with
+    | Some r -> r
+    | None -> (
+        match Hashtbl.find_opt table k with
+        | Some r -> r
+        | None ->
+            bind k (Rval v);
+            Rval v)
+  in
+  let rep_of a = if known.(a) then out.(a) else Rval a in
+  let rec walk b =
+    let mark = !undo in
+    Array.iter
+      (fun i ->
+        match Ir.Func.instr f i with
+        | Ir.Func.Const n ->
+            out.(i) <- number i (Kconst n);
+            known.(i) <- true
+        | Ir.Func.Param k ->
+            out.(i) <- number i (Kparam k);
+            known.(i) <- true
+        | Ir.Func.Opaque (tag, args) ->
+            out.(i) <- number i (Kopq (tag, Array.to_list (Array.map rep_of args)));
+            known.(i) <- true
+        | Ir.Func.Unop (op, a) ->
+            out.(i) <- number i (Kunop (op, rep_of a));
+            known.(i) <- true
+        | Ir.Func.Binop (op, a, b') ->
+            out.(i) <- number i (Kbinop (op, rep_of a, rep_of b'));
+            known.(i) <- true
+        | Ir.Func.Cmp (op, a, b') ->
+            out.(i) <- number i (Kcmp (op, rep_of a, rep_of b'));
+            known.(i) <- true
+        | Ir.Func.Phi args ->
+            let cyclic = Array.exists (fun a -> not known.(a)) args in
+            if cyclic then out.(i) <- Rval i
+            else begin
+              let reps = Array.to_list (Array.map rep_of args) in
+              match reps with
+              | first :: rest when List.for_all (rep_equal first) rest -> out.(i) <- first
+              | _ -> out.(i) <- number i (Kphi (b, reps))
+            end;
+            known.(i) <- true
+        | Ir.Func.Jump | Ir.Func.Branch _ | Ir.Func.Switch _ | Ir.Func.Return _ -> ())
+      (Ir.Func.block f b).Ir.Func.instrs;
+    Array.iter walk dom.Analysis.Dom.children.(b);
+    (* Leave scope: undo the bindings made in this block. *)
+    let rec rollback () =
+      if !undo != mark then
+        match !undo with
+        | k :: rest ->
+            Hashtbl.remove table k;
+            undo := rest;
+            rollback ()
+        | [] -> ()
+    in
+    rollback ()
+  in
+  walk Ir.Func.entry;
+  { rep = out }
+
+let constant_of r v = match r.rep.(v) with Rconst n -> Some n | Rval _ -> None
+let congruent r v w = rep_equal r.rep.(v) r.rep.(w)

@@ -1,0 +1,12 @@
+(** Pessimistic hash-based value numbering over the dominator tree, in the
+    style of Click's O(I) algorithm [8]: one preorder walk with a scoped
+    hash table, unified with constant folding. Cyclic φs are unique values
+    (their back-edge arguments are not yet numbered when reached). *)
+
+type rep = Rval of int | Rconst of int
+
+type result = { rep : rep array }
+
+val run : Ir.Func.t -> result
+val constant_of : result -> Ir.Func.value -> int option
+val congruent : result -> Ir.Func.value -> Ir.Func.value -> bool

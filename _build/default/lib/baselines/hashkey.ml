@@ -1,0 +1,25 @@
+(* Shared expression keys for the hash-based baseline value numberers
+   (Simpson RPO / SCC, dominator-scoped pessimistic). Purely syntactic —
+   no folding, no reordering — so the fixed points coincide with the
+   partition-based AWZ result modulo the φ(x,…,x) → x reduction. *)
+
+type rep = int (* representative value id; constants are the Const instr *)
+
+type t =
+  | Kconst of int
+  | Kparam of int
+  | Kopq of int * rep list
+  | Kphi of int * rep list (* block id, live argument reps *)
+  | Kunop of Ir.Types.unop * rep
+  | Kbinop of Ir.Types.binop * rep * rep
+  | Kcmp of Ir.Types.cmp * rep * rep
+
+let equal (a : t) (b : t) = a = b
+let hash (k : t) = Hashtbl.hash k
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

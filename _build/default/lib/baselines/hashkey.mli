@@ -1,0 +1,19 @@
+(** Shared expression keys for the hash-based baselines: purely syntactic
+    (no folding or reordering), so their fixed points coincide with the
+    partition-based AWZ result modulo the φ(x,…,x) → x reduction. *)
+
+type rep = int
+
+type t =
+  | Kconst of int
+  | Kparam of int
+  | Kopq of int * rep list
+  | Kphi of int * rep list
+  | Kunop of Ir.Types.unop * rep
+  | Kbinop of Ir.Types.binop * rep * rep
+  | Kcmp of Ir.Types.cmp * rep * rep
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,12 @@
+(** Simpson's hash-based optimistic value numbering [13]: the RPO algorithm
+    (whole-routine passes, hash table cleared per pass) and the SCC
+    algorithm (use-def strongly connected components in dependency order;
+    acyclic values numbered once against a persistent table, cyclic
+    components iterated against an optimistic one). The RPO result equals
+    the engine's AWZ emulation; the SCC result refines it (it can miss
+    congruences between independent parallel φ-cycles — see the .ml note). *)
+
+type result = { vn : int array (** representative per value; ⊤ = -1 *); passes : int }
+
+val rpo : Ir.Func.t -> result
+val scc : Ir.Func.t -> result

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Analysis Array Config Expr Hashtbl Infer Ir List Option Phipred Printf Run_stats State

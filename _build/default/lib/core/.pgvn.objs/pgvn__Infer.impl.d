@@ -1,0 +1,1 @@
+lib/core/infer.ml: Expr Ir

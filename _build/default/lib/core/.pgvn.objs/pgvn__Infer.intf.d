@@ -1,0 +1,1 @@
+lib/core/infer.mli: Expr Ir

@@ -1,0 +1,1 @@
+lib/core/phipred.ml: Analysis Array Config Expr Ir List Option Run_stats State

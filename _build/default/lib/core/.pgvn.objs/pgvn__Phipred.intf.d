@@ -1,0 +1,1 @@
+lib/core/phipred.mli: State

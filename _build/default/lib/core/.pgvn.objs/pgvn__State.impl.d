@@ -1,0 +1,1 @@
+lib/core/state.ml: Analysis Array Config Expr Ir List Run_stats Util

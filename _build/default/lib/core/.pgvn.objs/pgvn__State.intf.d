@@ -1,0 +1,1 @@
+lib/core/state.mli: Analysis Config Expr Ir Run_stats Util

@@ -1,0 +1,721 @@
+(* The GVN engine (paper Figures 3–7): the sparse touched-worklist driver,
+   symbolic evaluation with constant folding / algebraic simplification /
+   global reassociation, congruence finding over the TABLE, unreachable-code
+   analysis of edges, and predicate & value inference along dominating
+   edges. φ-predication (Figure 8) lives in {!Phipred}. *)
+
+open State
+
+(* ------------------------------------------------------------------ *)
+(* Dominating-edge walks (Figure 7).                                   *)
+
+type step =
+  | Up of int (* no single controlling edge: continue at the idom (-1 = stop) *)
+  | Via of int (* the sole reachable incoming edge *)
+  | Stop (* practical variant: the controlling edge is a back edge *)
+
+let idom_of st b =
+  match st.config.Config.variant with
+  | Config.Complete -> Analysis.Inc_dom.idom st.inc_dom b
+  | Config.Practical -> st.dom.Analysis.Dom.idom.(b)
+
+let walk_step st b =
+  let non_optimistic = st.config.Config.mode <> Config.Optimistic in
+  if non_optimistic && has_incoming_back_edge st b then Up (idom_of st b)
+  else
+    match sole_reachable_in_edge st b with
+    | None -> Up (idom_of st b)
+    | Some e ->
+        if st.config.Config.variant = Config.Practical && st.backward.(e) then Stop
+        else Via e
+
+(* Atom congruence, for predicate relatedness: constants by value, values by
+   congruence class (a value congruent to a constant matches it too). *)
+let atoms_congruent st a b =
+  let norm = function
+    | Expr.Value v -> (
+        match (cls st st.class_of.(v)).leader with
+        | Lconst n -> Expr.Const n
+        | Lundef | Lvalue _ -> Expr.Value v)
+    | a -> a
+  in
+  match (norm a, norm b) with
+  | Expr.Const x, Expr.Const y -> x = y
+  | Expr.Value x, Expr.Value y -> st.class_of.(x) = st.class_of.(y)
+  | (Expr.Const _ | Expr.Value _), _ | _, (Expr.Const _ | Expr.Value _) -> false
+  | _ -> false
+
+(* Does the equality predicate of edge [e] rewrite [v]? Canonical equality
+   predicates are [Cmp (Eq, x, y)] with rank x < rank y: when [y] is
+   congruent to [v], [v] may be replaced by the lower-ranking [x]. *)
+let equality_rewrite st e v =
+  match st.pred_edge.(e) with
+  | Some (Expr.Cmp (Ir.Types.Eq, x, Expr.Value y)) when st.class_of.(y) = st.class_of.(v) ->
+      Some x
+  | _ -> None
+
+(* Figure 7, Infer value at block: walk dominating edges upward from [b0],
+   repeatedly rewriting [v] through equality predicates; each successful
+   rewrite restarts the walk, stopping at the edge that induced the
+   previous one. *)
+let infer_value_at_block st b0 atom =
+  if not st.config.Config.value_inference then atom
+  else
+    match atom with
+    | Expr.Const _ -> atom
+    (* §3: no equality test mentions any member of this value's class, so
+       no dominating edge predicate can possibly rewrite it. *)
+    | Expr.Value v0 when (cls st st.class_of.(v0)).eq_operands = 0 -> atom
+    | Expr.Value v0 ->
+        let v = ref v0 in
+        let found_const = ref None in
+        let last_block = ref (-1) in
+        let restart = ref true in
+        while !restart do
+          restart := false;
+          let b = ref b0 in
+          let continue_walk = ref (b0 <> !last_block && b0 >= 0) in
+          while !continue_walk do
+            st.stats.Run_stats.value_inference_visits <-
+              st.stats.Run_stats.value_inference_visits + 1;
+            (match walk_step st !b with
+            | Stop -> continue_walk := false
+            | Up next -> b := next
+            | Via e -> (
+                match equality_rewrite st e !v with
+                | Some (Expr.Value x) ->
+                    v := x;
+                    last_block := !b;
+                    restart := true;
+                    continue_walk := false
+                | Some (Expr.Const _ as c) ->
+                    (* Inferred constant: nothing ranks lower; finish. *)
+                    found_const := Some c;
+                    continue_walk := false
+                | Some _ | None -> b := (Ir.Func.edge st.f e).Ir.Func.src));
+            if !continue_walk && (!b < 0 || !b = !last_block) then continue_walk := false
+          done
+        done;
+        (match !found_const with
+        | Some c -> c
+        | None -> (
+            match leader_atom st !v with Some a -> a | None -> Expr.Value !v))
+    | _ -> atom
+
+(* Figure 7, Infer value at edge: used for φ arguments, which are "used at
+   the edge which carries them". *)
+let infer_value_at_edge st e atom =
+  if not st.config.Config.value_inference then atom
+  else
+    match atom with
+    | Expr.Value v -> (
+        match equality_rewrite st e v with
+        | Some (Expr.Const _ as c) -> c
+        | Some (Expr.Value x) -> (
+            match leader_atom st x with Some a -> a | None -> Expr.Value x)
+        | Some _ | None -> infer_value_at_block st (Ir.Func.edge st.f e).Ir.Func.src atom)
+    | _ -> atom
+
+(* Figure 7, Infer value of predicate: walk dominating edges; when one
+   carries a predicate related to [p], the truth of [p] follows. *)
+(* §3 filter for predicate inference: a query can only be decided when a
+   fact relates congruent operands or a congruent value against a constant;
+   both require some query operand to be a constant (directly or via its
+   leader) or to share a class with a comparison operand. *)
+let predicate_query_matchable st p =
+  let matchable = function
+    | Expr.Const _ -> true
+    | Expr.Value v -> (
+        let c = cls st st.class_of.(v) in
+        c.cmp_operands > 0 || match c.leader with Lconst _ -> true | Lundef | Lvalue _ -> false)
+    | _ -> false
+  in
+  match p with Expr.Cmp (_, a, b) -> matchable a || matchable b | _ -> false
+
+let infer_predicate st b0 p =
+  if not (st.config.Config.predicate_inference && predicate_query_matchable st p) then p
+  else begin
+    let result = ref p in
+    let b = ref b0 in
+    let continue_walk = ref true in
+    while !continue_walk && !b >= 0 do
+      st.stats.Run_stats.predicate_inference_visits <-
+        st.stats.Run_stats.predicate_inference_visits + 1;
+      match walk_step st !b with
+      | Stop -> continue_walk := false
+      | Up next -> b := next
+      | Via e -> (
+          let origin = (Ir.Func.edge st.f e).Ir.Func.src in
+          match st.pred_edge.(e) with
+          | None -> b := origin
+          | Some fact -> (
+              match Infer.decide ~same:(atoms_congruent st) ~fact ~query:p with
+              | Infer.True ->
+                  result := Expr.Const 1;
+                  continue_walk := false
+              | Infer.False ->
+                  result := Expr.Const 0;
+                  continue_walk := false
+              | Infer.Unknown -> b := origin))
+    done;
+    !result
+  end
+
+(* The leader atom of an operand with value inference applied (what the
+   paper's symbolic evaluation substitutes for each operand). [None] while
+   the operand is still ⊥ (INITIAL). *)
+let eval_operand st b v =
+  match leader_atom st v with
+  | None -> None
+  | Some atom -> Some (infer_value_at_block st b atom)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic evaluation of instructions (Figure 4).                     *)
+
+let rank_fn st v = st.rank.(v)
+
+(* Terms of an atom, forward-propagating the defining expression of its
+   congruence class when global reassociation is on. *)
+let atom_terms ~propagate st atom =
+  match atom with
+  | Expr.Value v when propagate -> (
+      match (cls st st.class_of.(v)).expr with
+      | Some (Expr.Sum ts) -> ts
+      | Some _ | None -> Expr.terms_of_atom atom)
+  | _ -> Expr.terms_of_atom atom
+
+let eval_arith st (kind : [ `Add | `Sub | `Mul | `Neg ]) atoms =
+  let cfg = st.config in
+  let rank = rank_fn st in
+  if cfg.Config.algebraic_simplification then begin
+    let build ~propagate =
+      let ts = List.map (atom_terms ~propagate st) atoms in
+      match (kind, ts) with
+      | `Add, [ a; b ] -> Expr.merge_terms rank a b
+      | `Sub, [ a; b ] -> Expr.merge_terms rank a (Expr.negate_terms b)
+      | `Mul, [ a; b ] -> Expr.mul_terms rank a b
+      | `Neg, [ a ] -> Expr.negate_terms a
+      | _ -> invalid_arg "eval_arith"
+    in
+    let propagate = cfg.Config.reassociation in
+    let ts = build ~propagate in
+    let ts =
+      if propagate && Expr.size_of_terms ts > cfg.Config.propagation_limit then
+        build ~propagate:false
+      else ts
+    in
+    Expr.of_terms ts
+  end
+  else
+    let op : Expr.opsym =
+      match kind with
+      | `Add -> Expr.Ubop Ir.Types.Add
+      | `Sub -> Expr.Ubop Ir.Types.Sub
+      | `Mul -> Expr.Ubop Ir.Types.Mul
+      | `Neg -> Expr.Uuop Ir.Types.Neg
+    in
+    match (cfg.Config.constant_folding, op, atoms) with
+    | true, Expr.Ubop bop, [ Expr.Const a; Expr.Const b ]
+      when not (Ir.Types.binop_can_trap bop b) ->
+        Expr.Const (Ir.Types.eval_binop bop a b)
+    | true, Expr.Uuop uop, [ Expr.Const a ] -> Expr.Const (Ir.Types.eval_unop uop a)
+    | _ -> Expr.Op (op, atoms) (* syntactic: no commutative reordering *)
+
+let eval_nonassoc_binop st op x y =
+  let cfg = st.config in
+  let rank = rank_fn st in
+  if cfg.Config.algebraic_simplification then Expr.binop_atoms rank op x y
+  else
+    match (cfg.Config.constant_folding, x, y) with
+    | true, Expr.Const a, Expr.Const b when not (Ir.Types.binop_can_trap op b) ->
+        Expr.Const (Ir.Types.eval_binop op a b)
+    | _ -> Expr.Op (Expr.Ubop op, [ x; y ]) (* syntactic *)
+
+let eval_unop st op x =
+  let cfg = st.config in
+  let rank = rank_fn st in
+  if cfg.Config.algebraic_simplification then Expr.unop_atom rank op x
+  else
+    match (cfg.Config.constant_folding, x) with
+    | true, Expr.Const a -> Expr.Const (Ir.Types.eval_unop op a)
+    | _ -> Expr.Op (Expr.Uuop op, [ x ]) (* syntactic *)
+
+let eval_cmp st op x y =
+  match (x, y) with
+  | Expr.Const a, Expr.Const b when st.config.Config.constant_folding ->
+      Expr.Const (Ir.Types.eval_cmp op a b)
+  | _ ->
+      if st.config.Config.algebraic_simplification then Expr.cmp_atoms (rank_fn st) op x y
+      else Expr.Cmp (op, x, y)
+
+(* ------------------------------------------------------------------ *)
+(* §6 extension (off by default): distribute operations over φ-expressions,
+   φ(x1, x2) op φ(y1, y2) → φ(x1 op y1, x2 op y2), re-looking each combined
+   argument up in the TABLE so the result matches an existing value's
+   expression. Captures the Rüthing–Knoop–Steffen congruences (Figure 14). *)
+
+let phi_expr_of_atom st = function
+  | Expr.Value v -> (
+      match (cls st st.class_of.(v)).expr with
+      | Some (Expr.Phi (k, args)) -> Some (k, args)
+      | Some _ | None -> None)
+  | _ -> None
+
+(* Reduce a combined expression back to an atom: directly, or through the
+   congruence class already holding that expression. *)
+let atom_of_expr st (e : Expr.t) : Expr.t option =
+  match e with
+  | Expr.Const _ | Expr.Value _ -> Some e
+  | e -> (
+      match Expr.Table.find_opt st.table e with
+      | Some cid -> (
+          match (cls st cid).leader with
+          | Lconst n -> Some (Expr.Const n)
+          | Lvalue l -> Some (Expr.Value l)
+          | Lundef -> None)
+      | None -> None)
+
+let try_phi_distribution st combine x y =
+  if not st.config.Config.phi_distribution then None
+  else
+    let build key pairs =
+      let rec atoms acc = function
+        | [] -> Some (List.rev acc)
+        | (a, b) :: rest -> (
+            match atom_of_expr st (combine a b) with
+            | Some atom -> atoms (atom :: acc) rest
+            | None -> None)
+      in
+      match atoms [] pairs with
+      | None -> None
+      | Some (first :: rest) when List.for_all (Expr.equal first) rest -> Some first
+      | Some args -> Some (Expr.Phi (key, args))
+    in
+    match (phi_expr_of_atom st x, phi_expr_of_atom st y) with
+    | Some (kx, xs), Some (ky, ys)
+      when Expr.equal_key kx ky && List.length xs = List.length ys ->
+        build kx (List.combine xs ys)
+    | Some (kx, xs), None when Expr.is_atom y -> build kx (List.map (fun a -> (a, y)) xs)
+    | None, Some (ky, ys) when Expr.is_atom x -> build ky (List.map (fun b -> (x, b)) ys)
+    | _ -> None
+
+(* φ evaluation: drop arguments on unreachable edges and ⊥ arguments
+   (optimistically top), reduce when all remaining arguments agree, and key
+   the expression by the block predicate (φ-predication) or the block. *)
+let eval_phi st b v (args : int array) =
+  let blk = Ir.Func.block st.f b in
+  let preds = blk.Ir.Func.preds in
+  if st.config.Config.mode <> Config.Optimistic && has_incoming_back_edge st b then
+    (* Balanced / pessimistic: a cyclic φ is a unique value (§2.6). *)
+    Some (Expr.Self v)
+  else begin
+    let pairs = ref [] in
+    for ix = Array.length preds - 1 downto 0 do
+      let e = preds.(ix) in
+      if st.reach_edge.(e) then
+        match leader_atom st args.(ix) with
+        | None -> () (* ⊥: optimistically ignored *)
+        | Some atom -> pairs := (e, infer_value_at_edge st e atom) :: !pairs
+    done;
+    match !pairs with
+    | [] -> None
+    | (_, first) :: rest when List.for_all (fun (_, a) -> Expr.equal first a) rest ->
+        Some first
+    | pairs -> (
+        let use_predicate =
+          st.config.Config.phi_predication
+          && st.pred_block.(b) <> None
+          && (* the canonical order must cover exactly the live arguments *)
+          Array.length st.canonical.(b) = List.length pairs
+          && Array.for_all (fun e -> List.mem_assoc e pairs) st.canonical.(b)
+        in
+        if use_predicate then
+          match st.pred_block.(b) with
+          | Some p ->
+              let atoms =
+                Array.to_list (Array.map (fun e -> List.assoc e pairs) st.canonical.(b))
+              in
+              Some (Expr.Phi (Expr.Kpred p, atoms))
+          | None -> assert false
+        else Some (Expr.Phi (Expr.Kblock b, List.map snd pairs)))
+  end
+
+(* Figure 4, Perform symbolic evaluation: the expression an instruction
+   computes, over current class leaders, after folding / simplification /
+   reassociation and predicate inference. [None] = ⊥ (no information yet:
+   some operand is still optimistically undetermined). *)
+let symbolic_eval st b v (ins : Ir.Func.instr) : Expr.t option =
+  let operand w = eval_operand st b w in
+  let result =
+    match ins with
+    | Ir.Func.Const n -> Some (Expr.Const n)
+    | Ir.Func.Param _ -> Some (Expr.Self v)
+    | Ir.Func.Phi args -> eval_phi st b v args
+    | Ir.Func.Unop (Ir.Types.Neg, a) -> (
+        match operand a with Some x -> Some (eval_arith st `Neg [ x ]) | None -> None)
+    | Ir.Func.Unop (op, a) -> (
+        match operand a with Some x -> Some (eval_unop st op x) | None -> None)
+    | Ir.Func.Binop (op, a, b') -> (
+        match (operand a, operand b') with
+        | Some x, Some y -> (
+            let plain u w =
+              match op with
+              | Ir.Types.Add -> eval_arith st `Add [ u; w ]
+              | Ir.Types.Sub -> eval_arith st `Sub [ u; w ]
+              | Ir.Types.Mul -> eval_arith st `Mul [ u; w ]
+              | op -> eval_nonassoc_binop st op u w
+            in
+            match try_phi_distribution st plain x y with
+            | Some e -> Some e
+            | None -> Some (plain x y))
+        | _ -> None)
+    | Ir.Func.Cmp (op, a, b') -> (
+        match (operand a, operand b') with
+        | Some x, Some y -> Some (eval_cmp st op x y)
+        | _ -> None)
+    | Ir.Func.Opaque (tag, args) ->
+        let atoms = Array.map (fun w -> operand w) args in
+        if Array.exists (fun a -> a = None) atoms then None
+        else Some (Expr.Opq (tag, Array.to_list (Array.map Option.get atoms)))
+    | Ir.Func.Jump | Ir.Func.Branch _ | Ir.Func.Switch _ | Ir.Func.Return _ -> assert false
+  in
+  let result =
+    match result with
+    | Some (Expr.Cmp _ as p) when st.config.Config.predicate_inference ->
+        Some (infer_predicate st b p)
+    | r -> r
+  in
+  (* §2.9 SCCP emulation: non-constant expressions collapse to the value
+     itself — only constants and reachability are tracked. *)
+  match result with
+  | Some (Expr.Const _) | None -> result
+  | Some e -> if st.config.Config.sccp_only then Some (Expr.Self v) else Some e
+
+(* ------------------------------------------------------------------ *)
+(* Congruence finding (Figure 4, lines 31–58).                         *)
+
+let class_for_expr st v (e : Expr.t) =
+  match e with
+  | Expr.Value x -> cls st st.class_of.(x)
+  | Expr.Const n -> (
+      match Expr.Table.find_opt st.table e with
+      | Some cid -> cls st cid
+      | None ->
+          let c = new_class st (Lconst n) (Some e) in
+          Expr.Table.replace st.table e c.cid;
+          c.in_table <- true;
+          c)
+  | e -> (
+      match Expr.Table.find_opt st.table e with
+      | Some cid -> cls st cid
+      | None ->
+          let c = new_class st (Lvalue v) (Some e) in
+          Expr.Table.replace st.table e c.cid;
+          c.in_table <- true;
+          c)
+
+let congruence_finding st v (e : Expr.t option) : bool =
+  match e with
+  | None -> false (* still ⊥: leave in INITIAL *)
+  | Some e ->
+      let c0 = cls st st.class_of.(v) in
+      let c = class_for_expr st v e in
+      if c.cid <> c0.cid || st.changed.(v) then begin
+        st.changed.(v) <- false;
+        if c.cid <> c0.cid then begin
+          st.stats.Run_stats.class_moves <- st.stats.Run_stats.class_moves + 1;
+          unlink st v;
+          link st v c;
+          if c0.size = 0 then begin
+            (match c0.expr with
+            | Some ex when c0.in_table ->
+                if Expr.Table.find_opt st.table ex = Some c0.cid then
+                  Expr.Table.remove st.table ex
+            | _ -> ());
+            c0.in_table <- false;
+            c0.leader <- Lundef;
+            c0.expr <- None
+          end
+          else if c0.leader = Lvalue v then begin
+            (* The departing value led its class: elect a new leader, touch
+               the members' definitions, and mark them CHANGED so the new
+               leader propagates to their consumers. *)
+            c0.leader <- Lvalue c0.head;
+            iter_members st c0 (fun m ->
+                touch_instr st m;
+                st.changed.(m) <- true)
+          end
+        end;
+        touch_users st v;
+        true
+      end
+      else false
+
+(* ------------------------------------------------------------------ *)
+(* Edges (Figure 5).                                                   *)
+
+(* The canonical predicate expression of a conditional edge, re-evaluated
+   over current leaders. [None] when unknown or constant (§ Figure 5 line
+   18 nullifies constant predicates). *)
+let edge_predicate st b cond_atom ~is_true =
+  match cond_atom with
+  | None | Some (Expr.Const _) -> None
+  | Some (Expr.Value v) -> (
+      let base =
+        match (cls st st.class_of.(v)).expr with
+        | Some (Expr.Cmp (op, x, y)) ->
+            (* Refresh the stored comparison's operands. *)
+            let refresh = function
+              | Expr.Value w -> (
+                  match eval_operand st b w with Some a -> a | None -> Expr.Value w)
+              | a -> a
+            in
+            Expr.cmp_atoms (rank_fn st) op (refresh x) (refresh y)
+        | _ -> Expr.cmp_atoms (rank_fn st) Ir.Types.Ne (Expr.Const 0) (Expr.Value v)
+      in
+      match base with
+      | Expr.Cmp (op, x, y) ->
+          let p = if is_true then Expr.Cmp (op, x, y) else Expr.negate_pred (Expr.Cmp (op, x, y)) in
+          let p = infer_predicate st b p in
+          (match p with Expr.Const _ -> None | p -> Some p)
+      | _ -> None (* folded to a constant *))
+  | Some _ -> None
+
+let expr_opt_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> Expr.equal x y
+  | None, Some _ | Some _, None -> false
+
+let handle_edge st e ~reachable ~pred =
+  let { Ir.Func.src; dst; _ } = Ir.Func.edge st.f e in
+  let any_change = ref false in
+  if reachable && not st.reach_edge.(e) then begin
+    any_change := true;
+    st.reach_edge.(e) <- true;
+    let affected =
+      if st.config.Config.variant = Config.Complete then
+        Analysis.Inc_dom.insert_edge st.inc_dom ~src ~dst
+      else []
+    in
+    if not st.reach_block.(dst) then begin
+      st.reach_block.(dst) <- true;
+      touch_block st dst;
+      touch_block_instrs st dst
+    end
+    else touch_block_phis st dst;
+    propagate_change_in_edge st e;
+    (* Complete variant: blocks whose dominator set shrank need retouching
+       too — they are the affected vertices and their subtrees. *)
+    List.iter
+      (fun a ->
+        for b = 0 to Ir.Func.num_blocks st.f - 1 do
+          if Analysis.Inc_dom.dominates st.inc_dom a b then touch_block_instrs st b
+        done)
+      affected
+  end;
+  if st.reach_edge.(e) && not (expr_opt_equal st.pred_edge.(e) pred) then begin
+    any_change := true;
+    st.pred_edge.(e) <- pred;
+    propagate_change_in_edge st e
+  end;
+  !any_change
+
+let process_outgoing_edges st b : bool =
+  let blk = Ir.Func.block st.f b in
+  match Ir.Func.instr st.f (Ir.Func.terminator_of_block st.f b) with
+  | Ir.Func.Jump -> handle_edge st blk.Ir.Func.succs.(0) ~reachable:true ~pred:None
+  | Ir.Func.Return _ -> false
+  | Ir.Func.Switch (c, cases) ->
+      (* §3 extension: each case edge carries the equality predicate
+         scrutinee = case (so value inference applies inside the case); the
+         default edge has no explicit predicate. When the scrutinee is
+         congruent to a constant only the matching edge is reachable. *)
+      let atom = eval_operand st b c in
+      let ncases = Array.length cases in
+      let reachable_ix =
+        if not st.config.Config.unreachable_code then fun _ -> true
+        else
+          match atom with
+          | None -> fun _ -> false
+          | Some (Expr.Const k) ->
+              let matched = ref ncases in
+              Array.iteri (fun i case -> if case = k then matched := i) cases;
+              let m = !matched in
+              fun ix -> ix = m
+          | Some _ -> fun _ -> true
+      in
+      let pred_for ix =
+        if ix >= ncases then None (* default *)
+        else
+          match atom with
+          | Some (Expr.Value _ as a) -> (
+              let p = Expr.cmp_atoms (rank_fn st) Ir.Types.Eq (Expr.Const cases.(ix)) a in
+              let p = infer_predicate st b p in
+              match p with Expr.Const _ -> None | p -> Some p)
+          | _ -> None
+      in
+      let changed = ref false in
+      Array.iteri
+        (fun ix e ->
+          if handle_edge st e ~reachable:(reachable_ix ix) ~pred:(pred_for ix) then
+            changed := true)
+        blk.Ir.Func.succs;
+      !changed
+  | Ir.Func.Branch c ->
+      let atom = eval_operand st b c in
+      let t_reach, f_reach =
+        if not st.config.Config.unreachable_code then (true, true)
+        else
+          match atom with
+          | None -> (false, false) (* ⊥ condition: neither side known reachable *)
+          | Some (Expr.Const k) -> (k <> 0, k = 0)
+          | Some _ -> (true, true)
+      in
+      let pt = edge_predicate st b atom ~is_true:true in
+      let pf = edge_predicate st b atom ~is_true:false in
+      let c1 = handle_edge st blk.Ir.Func.succs.(0) ~reachable:t_reach ~pred:pt in
+      let c2 = handle_edge st blk.Ir.Func.succs.(1) ~reachable:f_reach ~pred:pf in
+      c1 || c2
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* The main loop (Figure 3).                                           *)
+
+let mark_everything_reachable st =
+  Array.iteri (fun b _ -> st.reach_block.(b) <- true) st.reach_block;
+  (* The complete variant's reachable dominator tree needs edges inserted
+     source-first; RPO block order guarantees that. *)
+  Array.iter
+    (fun b ->
+      Array.iter
+        (fun e ->
+          if not st.reach_edge.(e) then begin
+            st.reach_edge.(e) <- true;
+            if st.config.Config.variant = Config.Complete then
+              let { Ir.Func.src; dst; _ } = Ir.Func.edge st.f e in
+              ignore (Analysis.Inc_dom.insert_edge st.inc_dom ~src ~dst)
+          end)
+        (Ir.Func.block st.f b).Ir.Func.succs)
+    st.rpo.Analysis.Rpo.order
+
+let touch_everything st =
+  for b = 0 to Ir.Func.num_blocks st.f - 1 do
+    touch_block st b;
+    touch_block_instrs st b
+  done
+
+exception Diverged of string
+
+let run (config : Config.t) (f : Ir.Func.t) : State.t =
+  let st = State.create config f in
+  let everything_reachable =
+    config.Config.mode = Config.Pessimistic || not config.Config.unreachable_code
+  in
+  if everything_reachable then begin
+    mark_everything_reachable st;
+    touch_everything st
+  end
+  else begin
+    st.reach_block.(Ir.Func.entry) <- true;
+    touch_block_instrs st Ir.Func.entry
+  end;
+  let max_passes = 40 + (4 * Ir.Func.num_blocks f) in
+  let continue_loop = ref true in
+  while !continue_loop && st.touched_count > 0 do
+    st.stats.Run_stats.passes <- st.stats.Run_stats.passes + 1;
+    if st.stats.Run_stats.passes > max_passes then
+      raise (Diverged (Printf.sprintf "gvn: %s did not converge" f.Ir.Func.name));
+    let pass_changed = ref false in
+    let order = st.rpo.Analysis.Rpo.order in
+    let nb = Array.length order in
+    let bi = ref 0 in
+    while !bi < nb && st.touched_count > 0 do
+      let b = order.(!bi) in
+      incr bi;
+      if st.touched_block.(b) then begin
+        untouch_block st b;
+        if st.reach_block.(b) && config.Config.phi_predication then
+          if Phipred.compute_block_predicate st b then begin
+            pass_changed := true;
+            touch_block_phis st b
+          end
+      end;
+      let instrs = (Ir.Func.block st.f b).Ir.Func.instrs in
+      Array.iter
+        (fun i ->
+          if st.touched_instr.(i) then begin
+            untouch_instr st i;
+            if st.reach_block.(b) then begin
+              st.stats.Run_stats.instrs_processed <- st.stats.Run_stats.instrs_processed + 1;
+              let ins = Ir.Func.instr st.f i in
+              if Ir.Func.defines_value ins then begin
+                let e = symbolic_eval st b i ins in
+                if congruence_finding st i e then pass_changed := true
+              end
+              else
+                match ins with
+                | Ir.Func.Jump | Ir.Func.Branch _ | Ir.Func.Switch _ ->
+                    if process_outgoing_edges st b then pass_changed := true
+                | _ -> ()
+            end
+          end)
+        instrs
+    done;
+    if config.Config.mode <> Config.Optimistic then continue_loop := false
+    else if (not config.Config.sparse) && !pass_changed then
+      (* Dense formulation: a refined assumption is reapplied to the whole
+         routine, not just the affected instructions. *)
+      touch_everything st
+  done;
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Result queries and the per-routine strength summary (§5).           *)
+
+(* A value is unreachable when it is still in INITIAL at the end. *)
+let value_unreachable st v = st.class_of.(v) = st.initial
+
+let value_constant st v =
+  match (cls st st.class_of.(v)).leader with Lconst n -> Some n | Lundef | Lvalue _ -> None
+
+let congruent st v w = st.class_of.(v) = st.class_of.(w) && st.class_of.(v) <> st.initial
+
+type summary = {
+  values : int;
+  unreachable_values : int;
+  constant_values : int; (* unreachable values counted as constants too (§5) *)
+  congruence_classes : int;
+  reachable_blocks : int;
+  reachable_edges : int;
+  passes : int;
+}
+
+let summarize (st : State.t) =
+  let ni = Ir.Func.num_instrs st.f in
+  let values = ref 0 and unreach = ref 0 and consts = ref 0 in
+  let class_seen = Hashtbl.create 64 in
+  for v = 0 to ni - 1 do
+    if Ir.Func.defines_value (Ir.Func.instr st.f v) then begin
+      incr values;
+      if value_unreachable st v then begin
+        incr unreach;
+        incr consts
+      end
+      else begin
+        (match (cls st st.class_of.(v)).leader with
+        | Lconst _ -> incr consts
+        | Lundef | Lvalue _ -> ());
+        Hashtbl.replace class_seen st.class_of.(v) ()
+      end
+    end
+  done;
+  {
+    values = !values;
+    unreachable_values = !unreach;
+    constant_values = !consts;
+    congruence_classes = Hashtbl.length class_seen;
+    reachable_blocks = Array.fold_left (fun n r -> if r then n + 1 else n) 0 st.reach_block;
+    reachable_edges = Array.fold_left (fun n r -> if r then n + 1 else n) 0 st.reach_edge;
+    passes = st.stats.Run_stats.passes;
+  }

@@ -1,0 +1,64 @@
+(** The GVN engine (Figures 3–7): the sparse touched-worklist driver,
+    symbolic evaluation (constant folding, algebraic simplification, global
+    reassociation), congruence finding over the TABLE, unreachable-code
+    analysis of edges, and predicate & value inference along dominating
+    edges. φ-predication lives in {!Phipred}. *)
+
+exception Diverged of string
+(** Raised when a run exceeds the pass safety cap (indicates an engine bug;
+    never expected on well-formed input). *)
+
+val run : Config.t -> Ir.Func.t -> State.t
+(** Run global value numbering to its fixed point and return the final
+    state. The input function is not modified; use [Transform.Apply] to
+    rewrite with the results. *)
+
+(** {1 Result queries} *)
+
+val value_unreachable : State.t -> Ir.Func.value -> bool
+(** Still in INITIAL: no execution computes this value. *)
+
+val value_constant : State.t -> Ir.Func.value -> int option
+(** The constant the value is congruent to, if any. *)
+
+val congruent : State.t -> Ir.Func.value -> Ir.Func.value -> bool
+(** Same (non-INITIAL) congruence class: guaranteed equal on every
+    execution that computes both. *)
+
+type summary = {
+  values : int;
+  unreachable_values : int;
+  constant_values : int;
+      (** unreachable values count as constants too (the §5 correction) *)
+  congruence_classes : int;
+  reachable_blocks : int;
+  reachable_edges : int;
+  passes : int;
+}
+
+val summarize : State.t -> summary
+(** The per-routine strength metrics of the paper's figures. *)
+
+(** {1 Engine steps, exposed for instrumentation and the test suite} *)
+
+val eval_operand : State.t -> int -> Ir.Func.value -> Expr.t option
+(** The leader atom of an operand with value inference applied at the given
+    block (Figure 7); [None] while the operand is ⊥. *)
+
+val infer_predicate : State.t -> int -> Expr.t -> Expr.t
+(** Figure 7's [Infer value of predicate]. *)
+
+val symbolic_eval : State.t -> int -> Ir.Func.value -> Ir.Func.instr -> Expr.t option
+(** Figure 4's [Perform symbolic evaluation]; [None] = ⊥. *)
+
+val congruence_finding : State.t -> Ir.Func.value -> Expr.t option -> bool
+(** Figure 4's [Perform congruence finding]; true when anything changed. *)
+
+val process_outgoing_edges : State.t -> int -> bool
+(** Figure 5; true when reachability or an edge predicate changed. *)
+
+val mark_everything_reachable : State.t -> unit
+(** Pessimistic / no-UCE initialization. *)
+
+val touch_everything : State.t -> unit
+(** Dense-formulation re-application. *)

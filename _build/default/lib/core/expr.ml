@@ -1,0 +1,287 @@
+(* Symbolic expressions for global value numbering (paper §2.2–2.3).
+
+   An expression is the canonical form of what an instruction computes, with
+   operands replaced by congruence-class leaders. The TABLE hash table is
+   keyed on this type, so congruent instructions must evaluate to equal
+   expressions.
+
+   Arithmetic ([+], [-], [*], unary [-]) is kept in canonical
+   sum-of-products form ({!Sum}): an ordered list of terms, each an integer
+   coefficient times an ordered list of value factors; the constant part is
+   the term with no factors. Ordering follows value ranks (constants rank 0,
+   values by definition order in RPO), and "values and products that differ
+   only in sign are treated as equal when ordering" — the sign lives in the
+   coefficient.
+
+   Non-reassociable operations keep their operands atomic ({!Op}).
+   Comparisons are canonicalized by operand rank, flipping the operator when
+   the operands swap. φ-expressions carry a key: their block, or — under
+   φ-predication — the block's control predicate, an or-of-ands over edge
+   predicates in canonical path order. *)
+
+type t =
+  | Const of int
+  | Value of int (* a congruence-class leader *)
+  | Sum of term list
+  | Op of opsym * t list (* non-reassociable op over atomic operands *)
+  | Cmp of Ir.Types.cmp * t * t
+  | Phi of key * t list
+  | Opq of int * t list (* uninterpreted function of tag and atoms *)
+  | Self of int (* an expression unique to value [v] *)
+  | Pand of t list (* predicate conjunction, in canonical path order *)
+  | Por of t list (* predicate disjunction, in canonical path order *)
+
+and term = { coeff : int; factors : int list (* value ids, rank-sorted *) }
+and opsym = Ubop of Ir.Types.binop | Uuop of Ir.Types.unop
+and key = Kblock of int | Kpred of t
+
+(* ------------------------------------------------------------------ *)
+(* Structural equality and hashing (TABLE keys).                       *)
+
+let rec equal a b =
+  match (a, b) with
+  | Const x, Const y -> x = y
+  | Value x, Value y -> x = y
+  | Self x, Self y -> x = y
+  | Sum ts, Sum us -> equal_terms ts us
+  | Op (o, xs), Op (p, ys) -> o = p && equal_list xs ys
+  | Cmp (o, x1, y1), Cmp (p, x2, y2) -> o = p && equal x1 x2 && equal y1 y2
+  | Phi (k1, xs), Phi (k2, ys) -> equal_key k1 k2 && equal_list xs ys
+  | Opq (t1, xs), Opq (t2, ys) -> t1 = t2 && equal_list xs ys
+  | Pand xs, Pand ys | Por xs, Por ys -> equal_list xs ys
+  | ( ( Const _ | Value _ | Self _ | Sum _ | Op _ | Cmp _ | Phi _ | Opq _ | Pand _
+      | Por _ ),
+      _ ) ->
+      false
+
+and equal_list xs ys =
+  match (xs, ys) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> equal x y && equal_list xs ys
+  | [], _ :: _ | _ :: _, [] -> false
+
+and equal_terms ts us =
+  match (ts, us) with
+  | [], [] -> true
+  | t :: ts, u :: us -> t.coeff = u.coeff && t.factors = u.factors && equal_terms ts us
+  | [], _ :: _ | _ :: _, [] -> false
+
+and equal_key k1 k2 =
+  match (k1, k2) with
+  | Kblock a, Kblock b -> a = b
+  | Kpred p, Kpred q -> equal p q
+  | (Kblock _ | Kpred _), _ -> false
+
+let hash_combine h x = (h * 1000003) lxor x
+
+let rec hash e =
+  match e with
+  | Const n -> hash_combine 1 (Hashtbl.hash n)
+  | Value v -> hash_combine 2 v
+  | Self v -> hash_combine 3 v
+  | Sum ts ->
+      List.fold_left
+        (fun h t ->
+          hash_combine
+            (List.fold_left (fun h f -> hash_combine h f) (hash_combine h t.coeff) t.factors)
+            17)
+        4 ts
+  | Op (o, xs) -> hash_list (hash_combine 5 (Hashtbl.hash o)) xs
+  | Cmp (o, x, y) -> hash_combine (hash_combine (hash_combine 6 (Hashtbl.hash o)) (hash x)) (hash y)
+  | Phi (k, xs) ->
+      let hk = match k with Kblock b -> hash_combine 7 b | Kpred p -> hash_combine 8 (hash p) in
+      hash_list hk xs
+  | Opq (t, xs) -> hash_list (hash_combine 9 t) xs
+  | Pand xs -> hash_list 10 xs
+  | Por xs -> hash_list 11 xs
+
+and hash_list h xs = List.fold_left (fun h x -> hash_combine h (hash x)) h xs
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Sum-of-products algebra. [rank] orders values; see paper §2.2.      *)
+
+let compare_factors rank fs gs =
+  let key v = (rank v, v) in
+  let rec go fs gs =
+    match (fs, gs) with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | f :: fs, g :: gs ->
+        let c = compare (key f) (key g) in
+        if c <> 0 then c else go fs gs
+  in
+  go fs gs
+
+(* Merge two sorted term lists, combining coefficients of equal products and
+   dropping zero terms. *)
+let merge_terms rank ts us =
+  let rec go ts us =
+    match (ts, us) with
+    | [], rest | rest, [] -> rest
+    | t :: ts', u :: us' ->
+        let c = compare_factors rank t.factors u.factors in
+        if c < 0 then t :: go ts' us
+        else if c > 0 then u :: go ts us'
+        else
+          let coeff = t.coeff + u.coeff in
+          if coeff = 0 then go ts' us' else { coeff; factors = t.factors } :: go ts' us'
+  in
+  go ts us
+
+let negate_terms ts = List.map (fun t -> { t with coeff = -t.coeff }) ts
+
+(* Number of atomic operands a term list represents; the forward-propagation
+   limit (§2.2 footnote 4) bounds this. *)
+let size_of_terms ts =
+  List.fold_left (fun n t -> n + 1 + List.length t.factors) 0 ts
+
+(* A sum reduced back to the simplest expression form. *)
+let of_terms ts =
+  match ts with
+  | [] -> Const 0
+  | [ { coeff; factors = [] } ] -> Const coeff
+  | [ { coeff = 1; factors = [ v ] } ] -> Value v
+  | ts -> Sum ts
+
+(* Terms of an atomic expression. *)
+let terms_of_atom = function
+  | Const 0 -> []
+  | Const n -> [ { coeff = n; factors = [] } ]
+  | Value v -> [ { coeff = 1; factors = [ v ] } ]
+  | _ -> invalid_arg "Expr.terms_of_atom"
+
+(* Terms of an arbitrary expression when it has a sum form, else [None]. *)
+let terms_opt = function
+  | Const 0 -> Some []
+  | Const n -> Some [ { coeff = n; factors = [] } ]
+  | Value v -> Some [ { coeff = 1; factors = [ v ] } ]
+  | Sum ts -> Some ts
+  | Op _ | Cmp _ | Phi _ | Opq _ | Self _ | Pand _ | Por _ -> None
+
+let sort_factors rank fs = List.sort (fun a b -> compare (rank a, a) (rank b, b)) fs
+
+(* Product of two term lists (full distribution). *)
+let mul_terms rank ts us =
+  List.fold_left
+    (fun acc t ->
+      let row =
+        List.map
+          (fun u -> { coeff = t.coeff * u.coeff; factors = sort_factors rank (t.factors @ u.factors) })
+          us
+      in
+      (* Row terms may collide after sorting; merge them in one by one. *)
+      List.fold_left (fun acc tm -> merge_terms rank acc [ tm ]) acc row)
+    [] ts
+
+(* ------------------------------------------------------------------ *)
+(* Comparison canonicalization.                                        *)
+
+let is_atom = function Const _ | Value _ -> true | _ -> false
+
+let atom_rank rank = function
+  | Const _ -> (0, min_int)
+  | Value v -> (rank v, v)
+  | _ -> invalid_arg "Expr.atom_rank"
+
+(* Canonical comparison between atoms: folds constants, resolves identical
+   operands, and orders operands by increasing rank (flipping the operator
+   when they swap, §2.8). *)
+let cmp_atoms rank op x y =
+  match (x, y) with
+  | Const a, Const b -> Const (Ir.Types.eval_cmp op a b)
+  | _ ->
+      if equal x y then
+        Const (match op with Eq | Le | Ge -> 1 | Ne | Lt | Gt -> 0)
+      else if atom_rank rank x <= atom_rank rank y then Cmp (op, x, y)
+      else Cmp (Ir.Types.swap_cmp op, y, x)
+
+let negate_pred = function
+  | Cmp (op, x, y) -> Cmp (Ir.Types.negate_cmp op, x, y)
+  | Const n -> Const (if n = 0 then 1 else 0)
+  | e -> Op (Uuop Ir.Types.Lnot, [ e ])
+
+let is_predicate = function Cmp _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Algebraic simplification of non-reassociable operations over atoms. *)
+
+let op_commutative = function
+  | Ubop op -> Ir.Types.binop_commutative op
+  | Uuop _ -> false
+
+let make_op rank sym args =
+  let args =
+    if op_commutative sym then
+      List.sort (fun a b -> compare (atom_rank rank a) (atom_rank rank b)) args
+    else args
+  in
+  Op (sym, args)
+
+(* Simplify [x op y] for the non-reassociable binary operators. Folding is
+   refused when it could hide a run-time trap (§ constant folding must be
+   semantics-preserving: congruence implies run-time equality on executed
+   paths). *)
+let binop_atoms rank (op : Ir.Types.binop) x y =
+  let open Ir.Types in
+  match (op, x, y) with
+  | (Div | Rem), _, Const 0 -> make_op rank (Ubop op) [ x; y ] (* traps; never fold *)
+  | _, Const a, Const b -> Const (eval_binop op a b)
+  | Div, _, Const 1 -> x
+  | Rem, _, Const 1 -> Const 0
+  | Rem, _, Const (-1) -> Const 0
+  | And, _, Const 0 | And, Const 0, _ -> Const 0
+  | And, _, Const (-1) -> x
+  | And, Const (-1), _ -> y
+  | And, Value a, Value b when a = b -> x
+  | Or, _, Const 0 -> x
+  | Or, Const 0, _ -> y
+  | Or, _, Const (-1) | Or, Const (-1), _ -> Const (-1)
+  | Or, Value a, Value b when a = b -> x
+  | Xor, _, Const 0 -> x
+  | Xor, Const 0, _ -> y
+  | Xor, Value a, Value b when a = b -> Const 0
+  | (Shl | Shr), _, Const 0 -> x
+  | (Shl | Shr), Const 0, _ -> Const 0
+  | _, _, _ -> make_op rank (Ubop op) [ x; y ]
+
+let unop_atom rank (op : Ir.Types.unop) x =
+  match (op, x) with
+  | _, Const a -> Const (Ir.Types.eval_unop op a)
+  | Ir.Types.Lnot, Cmp (c, a, b) -> Cmp (Ir.Types.negate_cmp c, a, b)
+  | _ -> make_op rank (Uuop op) [ x ]
+
+(* ------------------------------------------------------------------ *)
+(* Printing (debug / dumps).                                           *)
+
+let rec pp ppf = function
+  | Const n -> Fmt.int ppf n
+  | Value v -> Fmt.pf ppf "v%d" v
+  | Self v -> Fmt.pf ppf "self(v%d)" v
+  | Sum ts ->
+      let pp_term ppf t =
+        match t.factors with
+        | [] -> Fmt.int ppf t.coeff
+        | fs ->
+            if t.coeff <> 1 then Fmt.pf ppf "%d*" t.coeff;
+            Fmt.(list ~sep:(any "*") (fun ppf v -> pf ppf "v%d" v)) ppf fs
+      in
+      Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " + ") pp_term) ts
+  | Op (Ubop op, [ a; b ]) -> Fmt.pf ppf "(%a %s %a)" pp a (Ir.Types.string_of_binop op) pp b
+  | Op (Uuop op, [ a ]) -> Fmt.pf ppf "%s%a" (Ir.Types.string_of_unop op) pp a
+  | Op (_, args) -> Fmt.pf ppf "op(%a)" Fmt.(list ~sep:(any ", ") pp) args
+  | Cmp (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp a (Ir.Types.string_of_cmp op) pp b
+  | Phi (Kblock b, args) -> Fmt.pf ppf "phi[b%d](%a)" b Fmt.(list ~sep:(any ", ") pp) args
+  | Phi (Kpred p, args) -> Fmt.pf ppf "phi[%a](%a)" pp p Fmt.(list ~sep:(any ", ") pp) args
+  | Opq (tag, args) -> Fmt.pf ppf "opaque#%d(%a)" tag Fmt.(list ~sep:(any ", ") pp) args
+  | Pand xs -> Fmt.pf ppf "(and %a)" Fmt.(list ~sep:sp pp) xs
+  | Por xs -> Fmt.pf ppf "(or %a)" Fmt.(list ~sep:sp pp) xs
+
+let to_string e = Fmt.str "%a" pp e

@@ -1,0 +1,98 @@
+(** Symbolic expressions (§2.2–2.3): the canonical form of what an
+    instruction computes, over congruence-class leaders. The TABLE hash
+    table is keyed on this type, so congruent instructions must evaluate to
+    equal expressions.
+
+    Arithmetic is kept as a canonical sum of products ({!Sum}): ordered
+    terms of an integer coefficient times rank-ordered value factors; the
+    constant part is the factor-less term. Non-reassociable operations keep
+    atomic operands ({!Op}). Comparisons are rank-canonicalized, flipping
+    the operator when operands swap. φ-expressions carry their block — or,
+    under φ-predication, the block's control predicate, an or-of-ands of
+    edge predicates in canonical path order. *)
+
+type t =
+  | Const of int
+  | Value of int  (** a congruence-class leader *)
+  | Sum of term list
+  | Op of opsym * t list  (** non-reassociable op over atomic operands *)
+  | Cmp of Ir.Types.cmp * t * t
+  | Phi of key * t list
+  | Opq of int * t list  (** uninterpreted function of tag and atoms *)
+  | Self of int  (** an expression unique to the given value *)
+  | Pand of t list  (** predicate conjunction, canonical path order *)
+  | Por of t list  (** predicate disjunction, canonical path order *)
+
+and term = { coeff : int; factors : int list (** value ids, rank-sorted *) }
+and opsym = Ubop of Ir.Types.binop | Uuop of Ir.Types.unop
+and key = Kblock of int | Kpred of t
+
+val equal : t -> t -> bool
+val equal_list : t list -> t list -> bool
+val equal_terms : term list -> term list -> bool
+val equal_key : key -> key -> bool
+
+val hash : t -> int
+(** Consistent with {!equal}. *)
+
+module Table : Hashtbl.S with type key = t
+(** Hash tables keyed by expressions (the paper's TABLE). *)
+
+(** {1 Sum-of-products algebra}
+
+    Each function takes the rank function ordering values (§2.2: constants
+    rank 0, values by definition order in RPO). All term lists are and stay
+    canonical: sorted by factors, coefficients nonzero, products unique. *)
+
+val compare_factors : (int -> int) -> int list -> int list -> int
+
+val merge_terms : (int -> int) -> term list -> term list -> term list
+(** Addition. *)
+
+val negate_terms : term list -> term list
+
+val mul_terms : (int -> int) -> term list -> term list -> term list
+(** Multiplication with full distribution. *)
+
+val size_of_terms : term list -> int
+(** Operand count, bounded by the forward-propagation limit (§2.2 fn. 4). *)
+
+val of_terms : term list -> t
+(** Reduce to the simplest form: [Const 0], a constant, a bare value, or a
+    [Sum]. *)
+
+val terms_of_atom : t -> term list
+(** @raise Invalid_argument on non-atoms. *)
+
+val terms_opt : t -> term list option
+val sort_factors : (int -> int) -> int list -> int list
+
+(** {1 Comparisons and simplification} *)
+
+val is_atom : t -> bool
+(** [Const] or [Value]. *)
+
+val atom_rank : (int -> int) -> t -> int * int
+(** Sort key placing constants before values, values by rank. *)
+
+val cmp_atoms : (int -> int) -> Ir.Types.cmp -> t -> t -> t
+(** Canonical comparison: folds constants and identical operands, orders
+    operands by increasing rank (flipping the operator on swap, §2.8). *)
+
+val negate_pred : t -> t
+(** The complement of a predicate; closed on comparisons. *)
+
+val is_predicate : t -> bool
+val op_commutative : opsym -> bool
+
+val make_op : (int -> int) -> opsym -> t list -> t
+(** An [Op] node, sorting the operands when the operator is commutative. *)
+
+val binop_atoms : (int -> int) -> Ir.Types.binop -> t -> t -> t
+(** Simplify a non-reassociable binary operation over atoms. Never folds a
+    possibly-trapping division/remainder. *)
+
+val unop_atom : (int -> int) -> Ir.Types.unop -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

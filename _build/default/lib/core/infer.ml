@@ -1,0 +1,102 @@
+(* The "related predicates" logic of §2.7: given that an edge predicate (a
+   canonical comparison over atoms) is known to hold, decide the truth of
+   another comparison. Two forms of relatedness are recognised:
+
+   - both comparisons relate the same (congruent) pair of operands, in
+     either order: decided by an operator implication table;
+   - both compare a congruent value against (possibly different) integer
+     constants: decided by interval reasoning, e.g. Z > 1 implies that
+     Z < 1 is false.
+
+   Atom congruence is delegated to the caller through [same]. *)
+
+type verdict = True | False | Unknown
+
+(* fact [a OP b] holds; what of query [a OP' b] over the same operands? *)
+let same_operands_table (fact : Ir.Types.cmp) (query : Ir.Types.cmp) : verdict =
+  let open Ir.Types in
+  match (fact, query) with
+  | Eq, Eq -> True
+  | Eq, Ne -> False
+  | Eq, Lt -> False
+  | Eq, Le -> True
+  | Eq, Gt -> False
+  | Eq, Ge -> True
+  | Ne, Ne -> True
+  | Ne, Eq -> False
+  | Ne, (Lt | Le | Gt | Ge) -> Unknown
+  | Lt, Lt -> True
+  | Lt, Le -> True
+  | Lt, Ne -> True
+  | Lt, Eq -> False
+  | Lt, Gt -> False
+  | Lt, Ge -> False
+  | Le, Le -> True
+  | Le, Gt -> False
+  | Le, (Eq | Ne | Lt | Ge) -> Unknown
+  | Gt, Gt -> True
+  | Gt, Ge -> True
+  | Gt, Ne -> True
+  | Gt, Eq -> False
+  | Gt, Lt -> False
+  | Gt, Le -> False
+  | Ge, Ge -> True
+  | Ge, Lt -> False
+  | Ge, (Eq | Ne | Gt | Le) -> Unknown
+
+(* Interval solution set of [x OP c] over the integers. *)
+type interval =
+  | Exactly of int
+  | Not of int
+  | At_most of int
+  | At_least of int
+
+let interval_of ~(op : Ir.Types.cmp) ~c =
+  match op with
+  | Eq -> Exactly c
+  | Ne -> Not c
+  | Lt -> At_most (c - 1)
+  | Le -> At_most c
+  | Gt -> At_least (c + 1)
+  | Ge -> At_least (c - 0)
+
+(* Given x ∈ [fact], is x ∈ [query]? *)
+let interval_implies fact query : verdict =
+  match (fact, query) with
+  | Exactly a, Exactly b -> if a = b then True else False
+  | Exactly a, Not b -> if a = b then False else True
+  | Exactly a, At_most b -> if a <= b then True else False
+  | Exactly a, At_least b -> if a >= b then True else False
+  | Not a, Not b -> if a = b then True else Unknown
+  | Not a, Exactly b -> if a = b then False else Unknown
+  | Not _, (At_most _ | At_least _) -> Unknown
+  | At_most a, At_most b -> if a <= b then True else Unknown
+  | At_most a, At_least b -> if a < b then False else Unknown
+  | At_most a, Exactly b -> if b > a then False else Unknown
+  | At_most a, Not b -> if b > a then True else Unknown
+  | At_least a, At_least b -> if a >= b then True else Unknown
+  | At_least a, At_most b -> if a > b then False else Unknown
+  | At_least a, Exactly b -> if b < a then False else Unknown
+  | At_least a, Not b -> if b < a then True else Unknown
+
+(* Normalize a comparison so the value is on the left: [Cmp (op, x, y)]
+   means "x op y"; if the constant is on the left, flip. Returns
+   (value atom, op, constant). *)
+let value_vs_const = function
+  | Expr.Cmp (op, Expr.Const c, y) -> Some (y, Ir.Types.swap_cmp op, c)
+  | Expr.Cmp (op, x, Expr.Const c) -> Some (x, op, c)
+  | _ -> None
+
+(* [decide ~same ~fact ~query]: assuming [fact] holds, the truth of
+   [query]. [same] is atom congruence. *)
+let decide ~same ~(fact : Expr.t) ~(query : Expr.t) : verdict =
+  match (fact, query) with
+  | Expr.Cmp (fop, fa, fb), Expr.Cmp (qop, qa, qb) -> (
+      if same fa qa && same fb qb then same_operands_table fop qop
+      else if same fa qb && same fb qa then same_operands_table fop (Ir.Types.swap_cmp qop)
+      else
+        match (value_vs_const fact, value_vs_const query) with
+        | Some (fx, fop, fc), Some (qx, qop, qc) when same fx qx ->
+            interval_implies (interval_of ~op:fop ~c:fc) (interval_of ~op:qop ~c:qc)
+        | _ -> Unknown)
+  | _ -> Unknown

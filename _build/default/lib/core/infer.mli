@@ -1,0 +1,26 @@
+(** The "related predicates" logic of §2.7: assuming a dominating edge's
+    comparison holds, decide another comparison. Recognised relations:
+    pairwise-congruent operands (an operator implication table) and a
+    congruent value compared against two constants (interval reasoning —
+    e.g. Z > 1 refutes Z < 1). *)
+
+type verdict = True | False | Unknown
+
+val same_operands_table : Ir.Types.cmp -> Ir.Types.cmp -> verdict
+(** Given [a OP b], decide [a OP' b]. *)
+
+type interval = Exactly of int | Not of int | At_most of int | At_least of int
+
+val interval_of : op:Ir.Types.cmp -> c:int -> interval
+(** Solution set of [x op c]. *)
+
+val interval_implies : interval -> interval -> verdict
+(** Given x ∈ fact, is x ∈ query? *)
+
+val value_vs_const : Expr.t -> (Expr.t * Ir.Types.cmp * int) option
+(** Normalize a comparison with one constant side to (value, op, constant). *)
+
+val decide : same:(Expr.t -> Expr.t -> bool) -> fact:Expr.t -> query:Expr.t -> verdict
+(** [decide ~same ~fact ~query]: assuming [fact] holds, the truth of
+    [query]; [same] is atom congruence. Sound: [True]/[False] verdicts
+    never contradict any satisfying assignment. *)

@@ -1,0 +1,150 @@
+(* φ-predication (paper §2.8, Figure 8): the predicate of a block B with
+   reachable incoming edges E1, E2, ... is P1 ∨ P2 ∨ ..., where Pi holds
+   exactly when control reaches B from its immediate dominator D along Ei.
+   It is computed by traversing every reachable path from D to B (B must
+   postdominate D; back edges abort the computation), accumulating partial
+   predicates, and recording the canonical order of B's incoming edges.
+
+   Two φ-functions in different blocks become congruent when their blocks'
+   predicates are congruent, which is what enables congruence finding across
+   structurally different but logically identical conditionals. *)
+
+exception Aborted
+
+type ctx = {
+  st : State.t;
+  b0 : int; (* the block whose predicate is being computed *)
+  d0 : int; (* its immediate dominator *)
+  mutable initialized : int list; (* blocks whose OR accumulator is live *)
+  mutable canonical_rev : int list; (* B0's incoming edges, reverse order *)
+}
+
+let reachable_in_count st b =
+  Array.fold_left
+    (fun n e -> if st.State.reach_edge.(e) then n + 1 else n)
+    0
+    (Ir.Func.block st.State.f b).Ir.Func.preds
+
+let reachable_out_count st b =
+  Array.fold_left
+    (fun n e -> if st.State.reach_edge.(e) then n + 1 else n)
+    0
+    (Ir.Func.block st.State.f b).Ir.Func.succs
+
+(* Outgoing edges in canonical order (§2.8): for a conditional jump, the
+   edge whose canonical predicate operator is =, < or ≤ goes first. *)
+let canonical_out_edges st b =
+  let succs = (Ir.Func.block st.State.f b).Ir.Func.succs in
+  if Array.length succs <> 2 then Array.to_list succs
+  else
+    let classify e =
+      match st.State.pred_edge.(e) with
+      | Some (Expr.Cmp ((Ir.Types.Eq | Ir.Types.Lt | Ir.Types.Le), _, _)) -> 0
+      | Some _ -> 1
+      | None -> 1
+    in
+    let a = succs.(0) and b' = succs.(1) in
+    if classify a <= classify b' then [ a; b' ] else [ b'; a ]
+
+(* Conjunction with flattening, so that equal path conditions built through
+   different traversal shapes compare equal. *)
+let conj p q =
+  match (p, q) with
+  | None, x | x, None -> x
+  | Some (Expr.Pand xs), Some (Expr.Pand ys) -> Some (Expr.Pand (xs @ ys))
+  | Some (Expr.Pand xs), Some q -> Some (Expr.Pand (xs @ [ q ]))
+  | Some p, Some (Expr.Pand ys) -> Some (Expr.Pand (p :: ys))
+  | Some p, Some q -> Some (Expr.Pand [ p; q ])
+
+let rec partial ctx b (pp : Expr.t option) ~ignore_incoming =
+  let st = ctx.st in
+  st.State.stats.Run_stats.phi_predication_visits <-
+    st.State.stats.Run_stats.phi_predication_visits + 1;
+  let n_in = reachable_in_count st b in
+  if ignore_incoming || n_in < 2 then st.State.partial_pred.(b) <- pp
+  else begin
+    if not (List.mem b ctx.initialized) then begin
+      ctx.initialized <- b :: ctx.initialized;
+      st.State.partial_pred.(b) <- Some (Expr.Por []);
+      st.State.partial_count.(b) <- 0
+    end;
+    (* Append this path's predicate as the next OR operand. An unknown
+       (empty) path predicate makes the disjunction unusable. *)
+    (match (st.State.partial_pred.(b), pp) with
+    | Some (Expr.Por ops), Some p -> st.State.partial_pred.(b) <- Some (Expr.Por (ops @ [ p ]))
+    | Some (Expr.Por _), None -> raise Aborted
+    | _ -> raise Aborted);
+    st.State.partial_count.(b) <- st.State.partial_count.(b) + 1;
+    if st.State.partial_count.(b) < n_in then raise_notrace Exit
+  end;
+  if b <> ctx.b0 then begin
+    (* Diamond shortcut: when [b] dominates its immediate postdominator,
+       the interior cannot affect B0's predicate. *)
+    let d = Analysis.Postdom.ipdom st.State.pdom b in
+    if d >= 0 && d <> ctx.b0 && Analysis.Dom.dominates st.State.dom b d then
+      descend ctx d st.State.partial_pred.(b) ~ignore_incoming:true
+    else begin
+      let n_out = reachable_out_count st b in
+      List.iter
+        (fun e ->
+          if st.State.reach_edge.(e) then begin
+            if st.State.backward.(e) then raise Aborted;
+            let ep =
+              if n_out = 1 then st.State.partial_pred.(b)
+              else
+                match st.State.pred_edge.(e) with
+                | None -> raise Aborted (* conditional edge with unknown predicate *)
+                | Some p -> conj st.State.partial_pred.(b) (Some p)
+            in
+            let dst = (Ir.Func.edge st.State.f e).Ir.Func.dst in
+            descend ctx dst ep ~ignore_incoming:false;
+            if dst = ctx.b0 then ctx.canonical_rev <- e :: ctx.canonical_rev
+          end)
+        (canonical_out_edges st b)
+    end
+  end
+
+and descend ctx b pp ~ignore_incoming =
+  match partial ctx b pp ~ignore_incoming with () -> () | exception Exit -> ()
+
+(* Figure 8, Compute predicate of block. Returns [true] when PREDICATE[B0]
+   changed (the caller then touches B0's φ-instructions). *)
+let compute_block_predicate (st : State.t) b0 =
+  let d0 =
+    match st.State.config.Config.variant with
+    | Config.Complete -> Analysis.Inc_dom.idom st.State.inc_dom b0
+    | Config.Practical -> st.State.dom.Analysis.Dom.idom.(b0)
+  in
+  if d0 < 0 then false
+  else if not (Analysis.Postdom.postdominates st.State.pdom b0 d0) then false
+  else begin
+    let ctx = { st; b0; d0; initialized = []; canonical_rev = [] } in
+    let result =
+      match descend ctx d0 None ~ignore_incoming:true with
+      | () -> (
+          (* The traversal is complete only if every reachable incoming edge
+             of B0 contributed a sub-predicate. *)
+          match st.State.partial_pred.(b0) with
+          | Some (Expr.Por ops) when List.length ops = reachable_in_count st b0 ->
+              Some (Expr.Por ops, List.rev ctx.canonical_rev)
+          | Some p when reachable_in_count st b0 = 1 && ctx.canonical_rev <> [] ->
+              Some (p, List.rev ctx.canonical_rev)
+          | _ -> None)
+      | exception Aborted -> None
+    in
+    match result with
+    | Some (pred, canonical) ->
+        st.State.canonical.(b0) <- Array.of_list canonical;
+        if not (Option.fold ~none:false ~some:(Expr.equal pred) st.State.pred_block.(b0)) then begin
+          st.State.pred_block.(b0) <- Some pred;
+          true
+        end
+        else false
+    | None ->
+        st.State.canonical.(b0) <- [||];
+        if st.State.pred_block.(b0) <> None then begin
+          st.State.pred_block.(b0) <- None;
+          true
+        end
+        else false
+  end

@@ -1,0 +1,12 @@
+(** φ-predication (§2.8, Figure 8): the predicate of a block B with
+    reachable incoming edges E1, E2, … is P1 ∨ P2 ∨ …, where Pi holds
+    exactly when control reaches B from its immediate dominator along Ei.
+    It is computed by traversing every reachable path from the dominator to
+    B (which must postdominate it; back edges abort), and it fixes the
+    canonical order of B's incoming edges. Two φs in different blocks are
+    congruent when their arguments are congruent and their blocks'
+    predicates are congruent. *)
+
+val compute_block_predicate : State.t -> int -> bool
+(** Recompute PREDICATE and CANONICAL for a block; [true] when the
+    predicate changed (the caller then touches the block's φs). *)

@@ -1,0 +1,40 @@
+(* Per-run instrumentation of the GVN engine, backing the paper's §4/§5
+   efficiency claims: pass counts and the average number of blocks visited
+   per processed instruction during value inference, predicate inference and
+   φ-predication. *)
+
+type t = {
+  mutable passes : int;
+  mutable instrs_processed : int;
+  mutable instr_touches : int;
+  mutable block_touches : int;
+  mutable value_inference_visits : int; (* dominator-tree steps *)
+  mutable predicate_inference_visits : int;
+  mutable phi_predication_visits : int; (* blocks traversed in Figure 8 *)
+  mutable class_moves : int;
+}
+
+let create () =
+  {
+    passes = 0;
+    instrs_processed = 0;
+    instr_touches = 0;
+    block_touches = 0;
+    value_inference_visits = 0;
+    predicate_inference_visits = 0;
+    phi_predication_visits = 0;
+    class_moves = 0;
+  }
+
+let per_instr count t =
+  if t.instrs_processed = 0 then 0.0 else float_of_int count /. float_of_int t.instrs_processed
+
+let value_inference_per_instr t = per_instr t.value_inference_visits t
+let predicate_inference_per_instr t = per_instr t.predicate_inference_visits t
+let phi_predication_per_instr t = per_instr t.phi_predication_visits t
+
+let pp ppf t =
+  Fmt.pf ppf
+    "passes=%d instrs=%d touches=%d vi-visits/instr=%.2f pi-visits/instr=%.2f pp-visits/instr=%.2f"
+    t.passes t.instrs_processed t.instr_touches (value_inference_per_instr t)
+    (predicate_inference_per_instr t) (phi_predication_per_instr t)

@@ -1,0 +1,20 @@
+(** Per-run instrumentation backing the paper's §4/§5 efficiency claims:
+    pass counts, touches, and the blocks visited per processed instruction
+    in value inference, predicate inference and φ-predication. *)
+
+type t = {
+  mutable passes : int;
+  mutable instrs_processed : int;
+  mutable instr_touches : int;
+  mutable block_touches : int;
+  mutable value_inference_visits : int;
+  mutable predicate_inference_visits : int;
+  mutable phi_predication_visits : int;
+  mutable class_moves : int;
+}
+
+val create : unit -> t
+val value_inference_per_instr : t -> float
+val predicate_inference_per_instr : t -> float
+val phi_predication_per_instr : t -> float
+val pp : Format.formatter -> t -> unit

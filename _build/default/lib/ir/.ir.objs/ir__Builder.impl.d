@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Func Hashtbl List Printf Util

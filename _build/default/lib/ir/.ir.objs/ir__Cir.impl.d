@@ -1,0 +1,1 @@
+lib/ir/cir.ml: Array Fmt Fun Interp List Types

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Fmt Func Int64 Types

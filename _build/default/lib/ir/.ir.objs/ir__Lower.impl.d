@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Ast Char Cir Hashtbl List Parser String Types Util

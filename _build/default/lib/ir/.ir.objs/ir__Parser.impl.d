@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Ast Hashtbl Lexer List Printf Types

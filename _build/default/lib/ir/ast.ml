@@ -1,0 +1,55 @@
+(* Abstract syntax of mini-C, the small structured language used to write
+   example routines (including the paper's Figure 1) and test programs. *)
+
+type expr =
+  | Enum of int
+  | Evar of string
+  | Eunop of Types.unop * expr
+  | Ebinop of Types.binop * expr * expr
+  | Ecmp of Types.cmp * expr * expr
+  | Eand of expr * expr (* && short-circuit *)
+  | Eor of expr * expr (* || short-circuit *)
+  | Ecall of string * expr list (* opaque call; tag derived from the name *)
+
+type stmt =
+  | Sassign of string * expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sswitch of expr * (int * stmt list) list * stmt list
+      (* scrutinee, cases (no fallthrough), default body *)
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr
+
+type routine = { name : string; params : string list; body : stmt list }
+
+let rec pp_expr ppf = function
+  | Enum n -> Fmt.int ppf n
+  | Evar v -> Fmt.string ppf v
+  | Eunop (op, e) -> Fmt.pf ppf "%s(%a)" (Types.string_of_unop op) pp_expr e
+  | Ebinop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (Types.string_of_binop op) pp_expr b
+  | Ecmp (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (Types.string_of_cmp op) pp_expr b
+  | Eand (a, b) -> Fmt.pf ppf "(%a && %a)" pp_expr a pp_expr b
+  | Eor (a, b) -> Fmt.pf ppf "(%a || %a)" pp_expr a pp_expr b
+  | Ecall (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp_expr) args
+
+let rec pp_stmt ppf = function
+  | Sassign (v, e) -> Fmt.pf ppf "%s = %a;" v pp_expr e
+  | Sif (c, t, []) -> Fmt.pf ppf "if (%a) { %a }" pp_expr c pp_stmts t
+  | Sif (c, t, e) -> Fmt.pf ppf "if (%a) { %a } else { %a }" pp_expr c pp_stmts t pp_stmts e
+  | Swhile (c, b) -> Fmt.pf ppf "while (%a) { %a }" pp_expr c pp_stmts b
+  | Sswitch (e, cases, default) ->
+      let pp_case ppf (k, body) = Fmt.pf ppf "case %d: { %a }" k pp_stmts body in
+      Fmt.pf ppf "switch (%a) { %a default: { %a } }" pp_expr e
+        Fmt.(list ~sep:sp pp_case)
+        cases pp_stmts default
+  | Sbreak -> Fmt.string ppf "break;"
+  | Scontinue -> Fmt.string ppf "continue;"
+  | Sreturn e -> Fmt.pf ppf "return %a;" pp_expr e
+
+and pp_stmts ppf stmts = Fmt.(list ~sep:sp pp_stmt) ppf stmts
+
+let pp_routine ppf r =
+  Fmt.pf ppf "routine %s(%a) { %a }" r.name
+    Fmt.(list ~sep:(any ", ") string)
+    r.params pp_stmts r.body

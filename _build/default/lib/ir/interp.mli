@@ -1,0 +1,27 @@
+(** A reference interpreter for SSA functions — the ground-truth oracle of
+    the test suite: optimization must not change the observable result of
+    any execution. *)
+
+type result =
+  | Ret of int
+  | Trap  (** division or remainder by zero *)
+  | Timeout  (** fuel exhausted *)
+
+val equal_result : result -> result -> bool
+val pp_result : Format.formatter -> result -> unit
+
+val opaque_model : int -> int array -> int
+(** The concrete model of {!Func.instr.Opaque}: a deterministic 64-bit mix
+    of the tag and arguments (any pure function is a valid model; this one
+    looks adversarial to the optimizer). *)
+
+type trace = { mutable steps : int; mutable blocks_visited : int }
+
+val run : ?fuel:int -> ?trace:trace -> Func.t -> int array -> result
+(** Execute on the given arguments (missing parameters read 0). [fuel]
+    bounds executed instructions (default 100_000). *)
+
+val run_with_env : ?fuel:int -> Func.t -> int array -> result * int option array
+(** Like {!run}, also returning the value each instruction {e last}
+    computed ([None] if it never executed). Congruent values must agree
+    whenever each instruction executes at most once. *)

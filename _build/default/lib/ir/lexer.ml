@@ -1,0 +1,174 @@
+(* Hand-written lexer for mini-C. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_ROUTINE
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_RETURN
+  | KW_SWITCH
+  | KW_CASE
+  | KW_DEFAULT
+  | COLON
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | ASSIGN (* = *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | BAR
+  | CARET
+  | SHL
+  | SHR
+  | ANDAND
+  | BARBAR
+  | BANG
+  | TILDE
+  | EQ (* == *)
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of string * int (* message, offset *)
+
+let keyword = function
+  | "routine" -> Some KW_ROUTINE
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "return" -> Some KW_RETURN
+  | "switch" -> Some KW_SWITCH
+  | "case" -> Some KW_CASE
+  | "default" -> Some KW_DEFAULT
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+(* Tokenizes [src]; comments run from '#' or "//" to end of line. *)
+let tokenize src : (token * int) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t pos = toks := (t, pos) :: !toks in
+  let rec skip_line i = if i < n && src.[i] <> '\n' then skip_line (i + 1) else i in
+  let rec go i =
+    if i >= n then emit EOF n
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if c = '#' then go (skip_line i)
+      else if c = '/' && i + 1 < n && src.[i + 1] = '/' then go (skip_line i)
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        emit (INT (int_of_string (String.sub src i (!j - i)))) i;
+        go !j
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident src.[!j] do
+          incr j
+        done;
+        let word = String.sub src i (!j - i) in
+        emit (match keyword word with Some k -> k | None -> IDENT word) i;
+        go !j
+      end
+      else
+        let two t = emit t i; go (i + 2) in
+        let one t = emit t i; go (i + 1) in
+        let next = if i + 1 < n then src.[i + 1] else '\000' in
+        match (c, next) with
+        | '=', '=' -> two EQ
+        | '!', '=' -> two NE
+        | '<', '=' -> two LE
+        | '>', '=' -> two GE
+        | '<', '<' -> two SHL
+        | '>', '>' -> two SHR
+        | '&', '&' -> two ANDAND
+        | '|', '|' -> two BARBAR
+        | '=', _ -> one ASSIGN
+        | '<', _ -> one LT
+        | '>', _ -> one GT
+        | '+', _ -> one PLUS
+        | '-', _ -> one MINUS
+        | '*', _ -> one STAR
+        | '/', _ -> one SLASH
+        | '%', _ -> one PERCENT
+        | '&', _ -> one AMP
+        | '|', _ -> one BAR
+        | '^', _ -> one CARET
+        | '!', _ -> one BANG
+        | '~', _ -> one TILDE
+        | '(', _ -> one LPAREN
+        | ')', _ -> one RPAREN
+        | '{', _ -> one LBRACE
+        | '}', _ -> one RBRACE
+        | ',', _ -> one COMMA
+        | ';', _ -> one SEMI
+        | ':', _ -> one COLON
+        | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, i))
+  in
+  go 0;
+  List.rev !toks
+
+let string_of_token = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_ROUTINE -> "routine"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_RETURN -> "return"
+  | KW_SWITCH -> "switch"
+  | KW_CASE -> "case"
+  | KW_DEFAULT -> "default"
+  | COLON -> ":"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | BAR -> "|"
+  | CARET -> "^"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | ANDAND -> "&&"
+  | BARBAR -> "||"
+  | BANG -> "!"
+  | TILDE -> "~"
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"

@@ -1,0 +1,54 @@
+(** Hand-written lexer for mini-C. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_ROUTINE
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_RETURN
+  | KW_SWITCH
+  | KW_CASE
+  | KW_DEFAULT
+  | COLON
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | BAR
+  | CARET
+  | SHL
+  | SHR
+  | ANDAND
+  | BARBAR
+  | BANG
+  | TILDE
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of string * int
+(** Message and byte offset of the offending character. *)
+
+val tokenize : string -> (token * int) list
+(** Tokens with their byte offsets; comments run from ['#'] or ["//"] to
+    end of line. The list always ends with [EOF].
+    @raise Error on characters outside the language. *)
+
+val string_of_token : token -> string

@@ -1,0 +1,15 @@
+(** Lowering mini-C to the register IR. Short-circuit operators become
+    control flow; [break]/[continue] target the innermost loop; switch
+    cases do not fall through; statements after a terminator are pruned as
+    unreachable; routines without a final return get [return 0]. *)
+
+val tag_of_name : string -> int
+(** The stable opaque tag of a called function name. *)
+
+val lower_routine : Ast.routine -> Cir.t
+(** @raise Failure on [break]/[continue] outside a loop. *)
+
+val lower_program : Ast.routine list -> Cir.t list
+
+val routine_of_string : string -> Cir.t
+(** Parse and lower a single-routine source. *)

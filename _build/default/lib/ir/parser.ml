@@ -1,0 +1,273 @@
+(* Recursive-descent parser for mini-C, with C-like operator precedence. *)
+
+exception Error of string * int
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let peek_offset st = snd st.toks.(st.pos)
+let advance st = st.pos <- min (st.pos + 1) (Array.length st.toks - 1)
+
+let err st msg =
+  raise
+    (Error
+       ( Printf.sprintf "%s (found %s)" msg (Lexer.string_of_token (peek st)),
+         peek_offset st ))
+
+let expect st tok msg =
+  if peek st = tok then advance st else err st msg
+
+let expect_ident st msg =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | _ -> err st msg
+
+(* Binary operator table: token -> (precedence, ast builder). Higher binds
+   tighter; all binary operators are left-associative. *)
+let binop_info (tok : Lexer.token) : (int * (Ast.expr -> Ast.expr -> Ast.expr)) option =
+  let bin op a b = Ast.Ebinop (op, a, b) in
+  let cmp op a b = Ast.Ecmp (op, a, b) in
+  match tok with
+  | BARBAR -> Some (1, fun a b -> Ast.Eor (a, b))
+  | ANDAND -> Some (2, fun a b -> Ast.Eand (a, b))
+  | BAR -> Some (3, bin Types.Or)
+  | CARET -> Some (4, bin Types.Xor)
+  | AMP -> Some (5, bin Types.And)
+  | EQ -> Some (6, cmp Types.Eq)
+  | NE -> Some (6, cmp Types.Ne)
+  | LT -> Some (7, cmp Types.Lt)
+  | LE -> Some (7, cmp Types.Le)
+  | GT -> Some (7, cmp Types.Gt)
+  | GE -> Some (7, cmp Types.Ge)
+  | SHL -> Some (8, bin Types.Shl)
+  | SHR -> Some (8, bin Types.Shr)
+  | PLUS -> Some (9, bin Types.Add)
+  | MINUS -> Some (9, bin Types.Sub)
+  | STAR -> Some (10, bin Types.Mul)
+  | SLASH -> Some (10, bin Types.Div)
+  | PERCENT -> Some (10, bin Types.Rem)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 0
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_info (peek st) with
+    | Some (prec, build) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        loop (build lhs rhs)
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek st with
+  | MINUS ->
+      advance st;
+      Ast.Eunop (Types.Neg, parse_unary st)
+  | BANG ->
+      advance st;
+      Ast.Eunop (Types.Lnot, parse_unary st)
+  | TILDE ->
+      advance st;
+      Ast.Eunop (Types.Bnot, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | INT n ->
+      advance st;
+      Ast.Enum n
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN "expected ')'";
+      e
+  | IDENT name -> (
+      advance st;
+      match peek st with
+      | LPAREN ->
+          advance st;
+          let args = parse_args st in
+          Ast.Ecall (name, args)
+      | _ -> Ast.Evar name)
+  | _ -> err st "expected expression"
+
+and parse_args st =
+  if peek st = RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec loop acc =
+      let e = parse_expr st in
+      match peek st with
+      | COMMA ->
+          advance st;
+          loop (e :: acc)
+      | RPAREN ->
+          advance st;
+          List.rev (e :: acc)
+      | _ -> err st "expected ',' or ')'"
+    in
+    loop []
+
+let rec parse_stmt st : Ast.stmt =
+  match peek st with
+  | KW_IF ->
+      advance st;
+      expect st LPAREN "expected '(' after if";
+      let cond = parse_expr st in
+      expect st RPAREN "expected ')'";
+      let then_ = parse_block_or_stmt st in
+      let else_ =
+        if peek st = KW_ELSE then begin
+          advance st;
+          parse_block_or_stmt st
+        end
+        else []
+      in
+      Ast.Sif (cond, then_, else_)
+  | KW_SWITCH ->
+      advance st;
+      expect st LPAREN "expected '(' after switch";
+      let e = parse_expr st in
+      expect st RPAREN "expected ')'";
+      expect st LBRACE "expected '{'";
+      let cases = ref [] in
+      let default = ref [] in
+      let parse_case_body () =
+        expect st LBRACE "expected '{' after case label";
+        let body = parse_stmts st in
+        expect st RBRACE "expected '}'";
+        body
+      in
+      let rec loop () =
+        match peek st with
+        | KW_CASE ->
+            advance st;
+            let k =
+              match peek st with
+              | INT n ->
+                  advance st;
+                  n
+              | MINUS ->
+                  advance st;
+                  (match peek st with
+                  | INT n ->
+                      advance st;
+                      -n
+                  | _ -> err st "expected integer case label")
+              | _ -> err st "expected integer case label"
+            in
+            expect st COLON "expected ':'";
+            cases := (k, parse_case_body ()) :: !cases;
+            loop ()
+        | KW_DEFAULT ->
+            advance st;
+            expect st COLON "expected ':'";
+            default := parse_case_body ();
+            loop ()
+        | RBRACE -> advance st
+        | _ -> err st "expected 'case', 'default' or '}'"
+      in
+      loop ();
+      let cases = List.rev !cases in
+      (* reject duplicate case labels *)
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (k, _) ->
+          if Hashtbl.mem seen k then err st "duplicate case label";
+          Hashtbl.replace seen k ())
+        cases;
+      Ast.Sswitch (e, cases, !default)
+  | KW_WHILE ->
+      advance st;
+      expect st LPAREN "expected '(' after while";
+      let cond = parse_expr st in
+      expect st RPAREN "expected ')'";
+      let body = parse_block_or_stmt st in
+      Ast.Swhile (cond, body)
+  | KW_BREAK ->
+      advance st;
+      expect st SEMI "expected ';'";
+      Ast.Sbreak
+  | KW_CONTINUE ->
+      advance st;
+      expect st SEMI "expected ';'";
+      Ast.Scontinue
+  | KW_RETURN ->
+      advance st;
+      let e = parse_expr st in
+      expect st SEMI "expected ';'";
+      Ast.Sreturn e
+  | IDENT name ->
+      advance st;
+      expect st ASSIGN "expected '=' in assignment";
+      let e = parse_expr st in
+      expect st SEMI "expected ';'";
+      Ast.Sassign (name, e)
+  | _ -> err st "expected statement"
+
+and parse_block_or_stmt st : Ast.stmt list =
+  if peek st = LBRACE then begin
+    advance st;
+    let stmts = parse_stmts st in
+    expect st RBRACE "expected '}'";
+    stmts
+  end
+  else [ parse_stmt st ]
+
+and parse_stmts st =
+  let rec loop acc =
+    match peek st with
+    | RBRACE | EOF -> List.rev acc
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+let parse_routine st : Ast.routine =
+  expect st KW_ROUTINE "expected 'routine'";
+  let name = expect_ident st "expected routine name" in
+  expect st LPAREN "expected '('";
+  let params =
+    if peek st = RPAREN then begin
+      advance st;
+      []
+    end
+    else
+      let rec loop acc =
+        let p = expect_ident st "expected parameter name" in
+        match peek st with
+        | COMMA ->
+            advance st;
+            loop (p :: acc)
+        | RPAREN ->
+            advance st;
+            List.rev (p :: acc)
+        | _ -> err st "expected ',' or ')'"
+      in
+      loop []
+  in
+  expect st LBRACE "expected '{'";
+  let body = parse_stmts st in
+  expect st RBRACE "expected '}'";
+  { Ast.name; params; body }
+
+(* Parses a whole source file: one or more routines. *)
+let parse_program src : Ast.routine list =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let rec loop acc =
+    if peek st = EOF then List.rev acc else loop (parse_routine st :: acc)
+  in
+  loop []
+
+let parse_one src =
+  match parse_program src with
+  | [ r ] -> r
+  | rs -> raise (Error (Printf.sprintf "expected exactly one routine, got %d" (List.length rs), 0))

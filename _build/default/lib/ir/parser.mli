@@ -1,0 +1,14 @@
+(** Recursive-descent parser for mini-C, with C operator precedence
+    (logical or lowest; then logical and; bitwise or/xor/and; equality;
+    relational; shifts; additive; multiplicative; unary). All binary
+    operators associate left. *)
+
+exception Error of string * int
+(** Message and byte offset. *)
+
+val parse_program : string -> Ast.routine list
+(** Parse a whole source file of one or more routines.
+    @raise Error (or {!Lexer.Error}) on malformed input. *)
+
+val parse_one : string -> Ast.routine
+(** Parse a file expected to hold exactly one routine. *)

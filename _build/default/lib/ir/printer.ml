@@ -1,0 +1,65 @@
+(* Human-readable dump of SSA functions, in the style of the paper's
+   Figure 2: values are written [vN] where N is the defining instruction id. *)
+
+let pp_value ppf v = Fmt.pf ppf "v%d" v
+
+let pp_instr f ppf i =
+  let open Func in
+  match instr f i with
+  | Const n -> Fmt.pf ppf "%a = const %d" pp_value i n
+  | Param k -> Fmt.pf ppf "%a = param %d" pp_value i k
+  | Unop (op, a) -> Fmt.pf ppf "%a = %s%a" pp_value i (Types.string_of_unop op) pp_value a
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "%a = %a %s %a" pp_value i pp_value a (Types.string_of_binop op) pp_value b
+  | Cmp (op, a, b) ->
+      Fmt.pf ppf "%a = %a %s %a" pp_value i pp_value a (Types.string_of_cmp op) pp_value b
+  | Opaque (tag, args) ->
+      Fmt.pf ppf "%a = opaque#%d(%a)" pp_value i tag
+        Fmt.(array ~sep:(any ", ") pp_value)
+        args
+  | Phi args ->
+      let blk = block_of_instr f i in
+      let preds = (block f blk).preds in
+      let pp_arg ppf ix =
+        Fmt.pf ppf "b%d: %a" (edge f preds.(ix)).src pp_value args.(ix)
+      in
+      Fmt.pf ppf "%a = phi(%a)" pp_value i
+        Fmt.(iter ~sep:(any ", ") (fun g () -> Array.iteri (fun ix _ -> g ix) args) pp_arg)
+        ()
+  | Jump ->
+      let blk = block_of_instr f i in
+      Fmt.pf ppf "jump b%d" (edge f (block f blk).succs.(0)).dst
+  | Branch c ->
+      let blk = block_of_instr f i in
+      let succs = (block f blk).succs in
+      Fmt.pf ppf "branch %a, b%d, b%d" pp_value c (edge f succs.(0)).dst
+        (edge f succs.(1)).dst
+  | Switch (c, cases) ->
+      let blk = block_of_instr f i in
+      let succs = (block f blk).succs in
+      Fmt.pf ppf "switch %a [%a] default b%d" pp_value c
+        Fmt.(
+          iter ~sep:(any "; ")
+            (fun g () -> Array.iteri (fun k _ -> g k) cases)
+            (fun ppf k -> pf ppf "%d: b%d" cases.(k) (edge f succs.(k)).dst))
+        () (edge f succs.(Array.length cases)).dst
+  | Return v -> Fmt.pf ppf "return %a" pp_value v
+
+let pp_block f ppf b =
+  let blk = Func.block f b in
+  Fmt.pf ppf "b%d:" b;
+  if Array.length blk.preds > 0 then
+    Fmt.pf ppf "  ; preds: %a"
+      Fmt.(array ~sep:(any " ") (fun ppf e -> Fmt.pf ppf "b%d" (Func.edge f e).src))
+      blk.preds;
+  Fmt.pf ppf "@\n";
+  Array.iter (fun i -> Fmt.pf ppf "  %a@\n" (pp_instr f) i) blk.instrs
+
+let pp ppf f =
+  Fmt.pf ppf "function %s(%d params), %d blocks, %d instrs@\n" f.Func.name f.Func.nparams
+    (Func.num_blocks f) (Func.num_instrs f);
+  for b = 0 to Func.num_blocks f - 1 do
+    pp_block f ppf b
+  done
+
+let to_string f = Fmt.str "%a" pp f

@@ -1,0 +1,8 @@
+(** Human-readable dumps of SSA functions: values print as [vN] where [N]
+    is the defining instruction id, in the style of the paper's Figure 2. *)
+
+val pp_value : Format.formatter -> Func.value -> unit
+val pp_instr : Func.t -> Format.formatter -> int -> unit
+val pp_block : Func.t -> Format.formatter -> int -> unit
+val pp : Format.formatter -> Func.t -> unit
+val to_string : Func.t -> string

@@ -1,0 +1,101 @@
+(* Operators shared by the non-SSA IR, the SSA IR and the mini-C frontend.
+   Integers are OCaml native ints; comparisons produce 0/1 as in C. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And (* bitwise *)
+  | Or (* bitwise *)
+  | Xor
+  | Shl
+  | Shr
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type unop =
+  | Neg
+  | Lnot (* logical not: 0 -> 1, nonzero -> 0 *)
+  | Bnot (* bitwise complement *)
+
+exception Division_by_zero
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then raise Division_by_zero else a / b
+  | Rem -> if b = 0 then raise Division_by_zero else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 62)
+  | Shr -> a asr (b land 62)
+
+let eval_cmp op a b =
+  let r =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+  in
+  if r then 1 else 0
+
+let eval_unop op a =
+  match op with
+  | Neg -> -a
+  | Lnot -> if a = 0 then 1 else 0
+  | Bnot -> lnot a
+
+(* Folding a binop is unsafe when it could trap at run time. *)
+let binop_can_trap op b =
+  match op with Div | Rem -> b = 0 | _ -> false
+
+let negate_cmp = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+(* Mirror image: [a op b] iff [b (swap_cmp op) a]. *)
+let swap_cmp = function
+  | Eq -> Eq
+  | Ne -> Ne
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+
+let binop_commutative = function
+  | Add | Mul | And | Or | Xor -> true
+  | Sub | Div | Rem | Shl | Shr -> false
+
+let string_of_binop = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let string_of_cmp = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let string_of_unop = function Neg -> "-" | Lnot -> "!" | Bnot -> "~"

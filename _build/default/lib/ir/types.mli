@@ -1,0 +1,39 @@
+(** Operators and their concrete semantics, shared by the two IRs, the
+    mini-C frontend and the GVN engine's constant folder. Integers are OCaml
+    native ints; comparisons produce 0/1 as in C; division and remainder by
+    zero trap. *)
+
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type unop =
+  | Neg  (** arithmetic negation *)
+  | Lnot  (** logical not: 0 becomes 1, nonzero becomes 0 *)
+  | Bnot  (** bitwise complement *)
+
+exception Division_by_zero
+(** Raised by {!eval_binop} for [Div]/[Rem] with a zero divisor. *)
+
+val eval_binop : binop -> int -> int -> int
+(** Concrete semantics. Shift amounts are masked to stay in range.
+    @raise Division_by_zero for a zero [Div]/[Rem] divisor. *)
+
+val eval_cmp : cmp -> int -> int -> int
+(** 1 when the comparison holds, 0 otherwise. *)
+
+val eval_unop : unop -> int -> int
+
+val binop_can_trap : binop -> int -> bool
+(** [binop_can_trap op divisor]: would [eval_binop op _ divisor] trap?
+    Constant folding must refuse such folds. *)
+
+val negate_cmp : cmp -> cmp
+(** [negate_cmp op] is the complement: [x op y] iff not [x (negate_cmp op) y]. *)
+
+val swap_cmp : cmp -> cmp
+(** Mirror image: [x op y] iff [y (swap_cmp op) x]. *)
+
+val binop_commutative : binop -> bool
+val string_of_binop : binop -> string
+val string_of_cmp : cmp -> string
+val string_of_unop : unop -> string

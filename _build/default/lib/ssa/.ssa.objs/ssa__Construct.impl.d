@@ -1,0 +1,1 @@
+lib/ssa/construct.ml: Analysis Array Ir List

@@ -1,0 +1,1 @@
+lib/ssa/construct.mli: Ir

@@ -1,0 +1,1 @@
+lib/ssa/verify.ml: Analysis Array Ir Printf

@@ -1,0 +1,1 @@
+lib/ssa/verify.mli: Ir

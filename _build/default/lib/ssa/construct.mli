@@ -1,0 +1,15 @@
+(** SSA construction from the register IR, after Cytron et al.: φ placement
+    on iterated dominance frontiers, then a dominator-tree renaming walk.
+    Register copies are coalesced away during renaming. *)
+
+type pruning =
+  | Minimal  (** φ at every iterated-frontier node of each definition *)
+  | Semi_pruned  (** only registers live across some block boundary *)
+  | Pruned  (** only where the register is live-in (full liveness) *)
+
+val pruning_to_string : pruning -> string
+
+val of_cir : ?pruning:pruning -> Ir.Cir.t -> Ir.Func.t
+(** Convert to SSA (default [Semi_pruned]; the paper (§3) notes pruned SSA
+    can reduce GVN effectiveness, so the choice is exposed). Structurally
+    unreachable blocks are pruned first. *)

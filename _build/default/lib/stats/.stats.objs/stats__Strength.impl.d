@@ -1,0 +1,1 @@
+lib/stats/strength.ml: Histogram List Pgvn

@@ -1,0 +1,1 @@
+lib/stats/strength.mli: Format Histogram Ir Pgvn

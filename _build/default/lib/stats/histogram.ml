@@ -1,0 +1,37 @@
+(* Improvement-distribution figures (paper Figures 10–12): for each routine,
+   the difference in a strength metric between two configurations; the
+   figure is the map from improvement value to number of routines, plotted
+   on log-log axes in the paper and rendered here as a table. *)
+
+type t = (int, int) Hashtbl.t (* improvement -> routine count *)
+
+let create () : t = Hashtbl.create 16
+
+let add (t : t) improvement =
+  Hashtbl.replace t improvement (1 + Option.value ~default:0 (Hashtbl.find_opt t improvement))
+
+let of_list deltas =
+  let t = create () in
+  List.iter (add t) deltas;
+  t
+
+(* Routines with no improvement (delta 0). *)
+let zero_count (t : t) = Option.value ~default:0 (Hashtbl.find_opt t 0)
+let improved_count (t : t) = Hashtbl.fold (fun d c acc -> if d > 0 then acc + c else acc) t 0
+let regressed_count (t : t) = Hashtbl.fold (fun d c acc -> if d < 0 then acc + c else acc) t 0
+let total (t : t) = Hashtbl.fold (fun _ c acc -> acc + c) t 0
+
+let sorted_entries (t : t) =
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Render in the paper's figure style: the legend gives the count of
+   routines with no change; each row is (improvement, #routines). *)
+let pp ~label ppf (t : t) =
+  Fmt.pf ppf "  %-28s unchanged in %d routines" label (zero_count t);
+  if regressed_count t > 0 then Fmt.pf ppf ", worse in %d" (regressed_count t);
+  Fmt.pf ppf "@\n";
+  List.iter
+    (fun (d, c) ->
+      if d <> 0 then Fmt.pf ppf "    improvement %+5d : %d routine%s@\n" d c (if c = 1 then "" else "s"))
+    (sorted_entries t)

@@ -1,0 +1,15 @@
+(** Improvement-distribution figures (Figures 10–12): per-routine deltas of
+    a strength metric between two configurations, as a map from improvement
+    value to routine count. *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+val of_list : int list -> t
+val zero_count : t -> int
+val improved_count : t -> int
+val regressed_count : t -> int
+val total : t -> int
+val sorted_entries : t -> (int * int) list
+val pp : label:string -> Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(* Per-routine strength metrics (§5): unreachable values (more is better),
+   constant values (more is better; unreachable values count as constant,
+   the paper's correction), congruence classes (fewer is better) — and the
+   comparison of two configurations over a set of routines. *)
+
+type metrics = { unreachable : int; constants : int; classes : int }
+
+let of_summary (s : Pgvn.Driver.summary) =
+  {
+    unreachable = s.Pgvn.Driver.unreachable_values;
+    constants = s.Pgvn.Driver.constant_values;
+    classes = s.Pgvn.Driver.congruence_classes;
+  }
+
+let measure config f = of_summary (Pgvn.Driver.summarize (Pgvn.Driver.run config f))
+
+type comparison = {
+  unreachable : Histogram.t; (* improvement = ours - baseline *)
+  constants : Histogram.t;
+  classes : Histogram.t; (* improvement = baseline - ours (fewer is better) *)
+}
+
+(* Compare [config] against [baseline] over [funcs]; positive improvements
+   mean [config] is stronger. *)
+let compare_configs ~config ~baseline funcs : comparison =
+  let unreachable = Histogram.create () in
+  let constants = Histogram.create () in
+  let classes = Histogram.create () in
+  List.iter
+    (fun f ->
+      let a = measure config f in
+      let b = measure baseline f in
+      Histogram.add unreachable (a.unreachable - b.unreachable);
+      Histogram.add constants (a.constants - b.constants);
+      Histogram.add classes (b.classes - a.classes))
+    funcs;
+  { unreachable; constants; classes }
+
+let pp ppf (c : comparison) =
+  Histogram.pp ~label:"unreachable values" ppf c.unreachable;
+  Histogram.pp ~label:"constant values" ppf c.constants;
+  Histogram.pp ~label:"congruence classes" ppf c.classes

@@ -1,0 +1,27 @@
+(* Fixed-width text rendering for the reproduction of the paper's Tables. *)
+
+type align = Left | Right
+
+let render ~columns ~rows ppf =
+  let widths =
+    List.mapi
+      (fun i (h, _) ->
+        List.fold_left (fun w r -> max w (String.length (List.nth r i))) (String.length h) rows)
+      columns
+  in
+  let pad (s : string) w = function
+    | Left -> Printf.sprintf "%-*s" w s
+    | Right -> Printf.sprintf "%*s" w s
+  in
+  let line cells =
+    Fmt.pf ppf "  %s@\n"
+      (String.concat "  "
+         (List.map2 (fun (cell, (_, a)) w -> pad cell w a) (List.combine cells columns) widths))
+  in
+  line (List.map fst columns);
+  line (List.map (fun ((h, _), w) -> String.make (max w (String.length h)) '-') (List.combine columns widths));
+  List.iter line rows
+
+let ms seconds = Printf.sprintf "%.1f" (seconds *. 1000.0)
+let ratio a b = if b = 0.0 then "-" else Printf.sprintf "%.2f" (a /. b)
+let pct a b = if b = 0.0 then "-" else Printf.sprintf "%.1f%%" (100.0 *. a /. b)

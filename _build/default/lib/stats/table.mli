@@ -1,0 +1,14 @@
+(** Fixed-width text rendering for the reproduced tables. *)
+
+type align = Left | Right
+
+val render :
+  columns:(string * align) list -> rows:string list list -> Format.formatter -> unit
+
+val ms : float -> string
+(** Seconds rendered as milliseconds with one decimal. *)
+
+val ratio : float -> float -> string
+(** ["a/b"] with two decimals; ["-"] when the denominator is zero. *)
+
+val pct : float -> float -> string

@@ -1,0 +1,1 @@
+lib/transform/apply.ml: Analysis Array Hashtbl Ir List Pgvn Printf

@@ -1,0 +1,1 @@
+lib/transform/apply.mli: Analysis Ir Pgvn

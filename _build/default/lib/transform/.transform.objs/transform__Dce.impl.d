@@ -1,0 +1,1 @@
+lib/transform/dce.ml: Analysis Array Ir List

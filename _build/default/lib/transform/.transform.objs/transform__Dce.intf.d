@@ -1,0 +1,1 @@
+lib/transform/dce.mli: Ir

@@ -1,0 +1,1 @@
+lib/transform/lvn.ml: Analysis Array Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/transform/lvn.mli: Ir

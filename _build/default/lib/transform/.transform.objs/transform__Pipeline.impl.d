@@ -1,0 +1,1 @@
+lib/transform/pipeline.ml: Analysis Apply Dce Ir List Lvn Pgvn Printf Simplify_cfg String Unix

@@ -1,0 +1,1 @@
+lib/transform/pipeline.mli: Ir Pgvn

@@ -1,0 +1,1 @@
+lib/transform/simplify_cfg.ml: Analysis Array Fun Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/transform/simplify_cfg.mli: Ir

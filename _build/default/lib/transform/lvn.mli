@@ -1,0 +1,6 @@
+(** Local (per-block) value numbering with constant folding: the cheap
+    early pass a pipeline runs before global value numbering. Replaces an
+    instruction with an earlier identical one in the same block (with
+    commutative operand normalization), or with a folded constant. *)
+
+val run : Ir.Func.t -> Ir.Func.t

@@ -1,0 +1,76 @@
+(* The "HLO analog": a multi-pass scalar optimization pipeline in which GVN
+   is one pass among several, so that the paper's Table 1 measurement — GVN
+   time as a fraction of total optimization time — has a meaningful
+   denominator. The pass mix is the usual early-scalar lineup: CFG cleanup,
+   local value numbering, dead code elimination, GVN + rewrite, cleanup. *)
+
+type timing = { pass : string; seconds : float }
+
+type result = {
+  func : Ir.Func.t;
+  timings : timing list;
+  gvn_seconds : float;
+  total_seconds : float;
+  gvn_state : Pgvn.State.t option; (* the last GVN run's state *)
+}
+
+let time_pass name f x timings =
+  let t0 = Unix.gettimeofday () in
+  let y = f x in
+  let dt = Unix.gettimeofday () -. t0 in
+  timings := { pass = name; seconds = dt } :: !timings;
+  y
+
+(* The analysis bookkeeping a real pipeline recomputes between passes:
+   dominators, postdominators, dominance frontiers, loops, def-use chains
+   and value liveness. *)
+let analysis_pass (f : Ir.Func.t) : Ir.Func.t =
+  let g = Analysis.Graph.of_func f in
+  let dom = Analysis.Dom.compute g in
+  let (_ : Analysis.Postdom.t) = Analysis.Postdom.compute g in
+  let (_ : int array array) = Analysis.Domfront.compute g dom in
+  let (_ : Analysis.Loops.t) = Analysis.Loops.compute g in
+  let (_ : int array array) = Ir.Func.def_use f in
+  let (_ : Analysis.Liveness.t) = Analysis.Liveness.compute f in
+  f
+
+let run ?(config = Pgvn.Config.full) ?(rounds = 2) (f : Ir.Func.t) : result =
+  let timings = ref [] in
+  let gvn_state = ref None in
+  let t0 = Unix.gettimeofday () in
+  let current = ref f in
+  for round = 1 to rounds do
+    let tag name = Printf.sprintf "%s#%d" name round in
+    current := time_pass (tag "simplify-cfg") Simplify_cfg.fixpoint !current timings;
+    current := time_pass (tag "analyses") analysis_pass !current timings;
+    current := time_pass (tag "lvn") Lvn.run !current timings;
+    current := time_pass (tag "dce") Dce.run !current timings;
+    current := time_pass (tag "analyses") analysis_pass !current timings;
+    current :=
+      time_pass (tag "gvn")
+        (fun fn ->
+          let st = Pgvn.Driver.run config fn in
+          gvn_state := Some st;
+          Apply.rebuild st fn)
+        !current timings;
+    current := time_pass (tag "dce") Dce.run !current timings;
+    current := time_pass (tag "analyses") analysis_pass !current timings;
+    current := time_pass (tag "simplify-cfg") Simplify_cfg.fixpoint !current timings;
+    current := time_pass (tag "lvn") Lvn.run !current timings;
+    current := time_pass (tag "dce") Dce.run !current timings
+  done;
+  let total = Unix.gettimeofday () -. t0 in
+  let gvn_seconds =
+    List.fold_left
+      (fun acc t ->
+        if String.length t.pass >= 3 && String.sub t.pass 0 3 = "gvn" then acc +. t.seconds
+        else acc)
+      0.0 !timings
+  in
+  {
+    func = !current;
+    timings = List.rev !timings;
+    gvn_seconds;
+    total_seconds = total;
+    gvn_state = !gvn_state;
+  }

@@ -1,0 +1,22 @@
+(** The "HLO analog": a multi-round scalar optimization pipeline in which
+    GVN is one pass among several — the setting of the paper's Table 1,
+    which measures GVN's share of total optimization time. Each round runs
+    CFG cleanup, analyses (dominators, postdominators, frontiers, loops,
+    def-use, liveness), local value numbering, DCE, GVN + rewrite, and
+    cleanup again. *)
+
+type timing = { pass : string; seconds : float }
+
+type result = {
+  func : Ir.Func.t;
+  timings : timing list;  (** per-pass wall-clock times, in order *)
+  gvn_seconds : float;  (** total time in the GVN passes *)
+  total_seconds : float;
+  gvn_state : Pgvn.State.t option;  (** state of the last GVN run *)
+}
+
+val analysis_pass : Ir.Func.t -> Ir.Func.t
+(** Recompute the standard analyses (identity on the function). *)
+
+val run : ?config:Pgvn.Config.t -> ?rounds:int -> Ir.Func.t -> result
+(** Default: {!Pgvn.Config.full}, 2 rounds. *)

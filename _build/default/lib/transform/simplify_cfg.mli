@@ -1,0 +1,6 @@
+(** CFG cleanup: fuse a block into its unconditional successor when it is
+    that successor's only predecessor (collapsing the successor's
+    single-argument φs), and drop structurally unreachable blocks. *)
+
+val run : Ir.Func.t -> Ir.Func.t
+val fixpoint : ?max_rounds:int -> Ir.Func.t -> Ir.Func.t

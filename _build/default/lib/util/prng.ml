@@ -1,0 +1,50 @@
+(* SplitMix64: a small deterministic PRNG so that workloads are reproducible
+   across machines independently of the OCaml stdlib Random implementation. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+(* Uniform in [lo, hi] inclusive. *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Prng.range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* True with probability [num]/[den]. *)
+let chance t num den = int t den < num
+
+(* Pick an element of a non-empty array. *)
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose";
+  a.(int t (Array.length a))
+
+(* Pick an index according to integer weights. *)
+let weighted t weights =
+  let total = Array.fold_left ( + ) 0 weights in
+  if total <= 0 then invalid_arg "Prng.weighted";
+  let r = ref (int t total) in
+  let result = ref (-1) in
+  Array.iteri
+    (fun i w ->
+      if !result < 0 then
+        if !r < w then result := i else r := !r - w)
+    weights;
+  !result

@@ -1,0 +1,35 @@
+(** SplitMix64 pseudo-random numbers: deterministic across platforms and
+    OCaml versions, so generated workloads are stable artifacts. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded with the given integer. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** An independent generator that continues the same stream. *)
+
+val next_int64 : t -> int64
+(** The next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument when [hi < lo]. *)
+
+val bool : t -> bool
+
+val chance : t -> int -> int -> bool
+(** [chance t num den] is [true] with probability [num/den]. *)
+
+val choose : t -> 'a array -> 'a
+(** A uniformly random element.
+    @raise Invalid_argument on an empty array. *)
+
+val weighted : t -> int array -> int
+(** An index distributed according to the given non-negative weights.
+    @raise Invalid_argument when all weights are zero or negative. *)

@@ -1,0 +1,69 @@
+(* Growable vectors; the IR builder and worklists are built on these. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ~dummy = { data = Array.make 8 dummy; len = 0; dummy }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set";
+  v.data.(i) <- x
+
+let ensure_capacity v n =
+  if n > Array.length v.data then begin
+    let cap = max n (2 * Array.length v.data) in
+    let data = Array.make cap v.dummy in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  ensure_capacity v (v.len + 1);
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop";
+  v.len <- v.len - 1;
+  let x = v.data.(v.len) in
+  v.data.(v.len) <- v.dummy;
+  x
+
+let clear v =
+  Array.fill v.data 0 v.len v.dummy;
+  v.len <- 0
+
+let to_array v = Array.sub v.data 0 v.len
+
+let of_array ~dummy a =
+  { data = Array.copy a; len = Array.length a; dummy }
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec go i = i < v.len && (p v.data.(i) || go (i + 1)) in
+  go 0
+
+let to_list v = List.init v.len (fun i -> v.data.(i))

@@ -1,0 +1,37 @@
+(** Growable vectors with explicit dummy elements (so cleared slots do not
+    retain pointers). Used by the IR builder and the GVN work structures. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** An empty vector; [dummy] fills unused capacity. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when the index is out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument when the index is out of bounds. *)
+
+val push : 'a t -> 'a -> unit
+(** Append at the end, growing capacity as needed. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the last element.
+    @raise Invalid_argument on an empty vector. *)
+
+val clear : 'a t -> unit
+(** Remove all elements (capacity is retained, contents overwritten with the
+    dummy). *)
+
+val to_array : 'a t -> 'a array
+(** A fresh array of the current contents. *)
+
+val of_array : dummy:'a -> 'a array -> 'a t
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list

@@ -1,0 +1,1 @@
+lib/workload/corpus.ml: Ir Ssa

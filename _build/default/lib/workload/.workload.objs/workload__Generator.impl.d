@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Ir List Printf Ssa Util

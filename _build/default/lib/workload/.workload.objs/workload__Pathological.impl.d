@@ -1,0 +1,1 @@
+lib/workload/pathological.ml: Ir List Printf Ssa

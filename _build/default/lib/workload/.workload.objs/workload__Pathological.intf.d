@@ -1,0 +1,1 @@
+lib/workload/pathological.mli: Ir

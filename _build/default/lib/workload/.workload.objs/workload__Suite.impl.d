@@ -1,0 +1,1 @@
+lib/workload/suite.ml: Generator Ir List Printf

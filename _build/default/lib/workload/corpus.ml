@@ -1,0 +1,199 @@
+(* Hand-written mini-C programs used throughout the tests, the examples and
+   the benches: the paper's figures, rendered as code.
+
+   Note on Figure 1: the available text of the paper garbles two comparison
+   operators. Lines 08 and 12 must read "!=" (not "="): the §2.10 walkthrough
+   requires the definitions "I = 2" and "P = 2" to be *unreachable* when I is
+   congruent to 1, and only "I != 1" / "if (I != 1) P = 2" makes routine R
+   return 1 on every input — which we verify at run time in the tests. *)
+
+(* Figure 1: the routine the paper's unified algorithm is "currently unique
+   in being able to determine … is guaranteed to always return 1". *)
+let routine_r_src =
+  {|
+routine R(X, Y, Z) {
+  I = 1;
+  J = 1;
+  while (1) {
+    if (J > 9) break;
+    J = J + 1;
+    if (I != 1) I = 2;
+    if (Y == X) {
+      P = 0;
+      if (X >= 1) {
+        if (I != 1) P = 2; else if (X >= 9) P = I;
+      }
+      Q = 0;
+      if (I <= Y) {
+        if (9 <= Y) Q = 1;
+      }
+      if (Z > I) {
+        I = P + (X + 2) + (Z < 1) - (I + Y) - Q;
+      }
+    }
+  }
+  return I;
+}
+|}
+
+(* Figure 6: a chain of equality guards; value inference concludes that
+   X1 is congruent to I1 + 1. *)
+let figure6_src =
+  {|
+routine F6(A, B) {
+  I = f0(A);
+  J = f0(B);
+  K = f1(A);
+  X = 0;
+  if (K == J) {
+    if (J == I) {
+      X = K + 1;   # two-step inference: K -> J -> I, so X is I + 1
+      Y = I + 1;
+      X = X - Y;   # hence 0
+    }
+  }
+  return X + I;
+}
+|}
+
+(* Figure 13: Briggs–Torczon–Cooper's pre-pass rewrites direct uses of the
+   tested name K inside the guarded region, so f0(K) - f0(0) is discovered
+   to be 0 — but L, merely *congruent* to K (it is K + 0), is not a tested
+   name and stays opaque to the pre-pass. The unified algorithm finds both,
+   proving the guarded return constant. *)
+let figure13_src =
+  {|
+routine F13(K) {
+  L = K + 0;
+  if (K == 0) {
+    i = f0(K) - f0(0);
+    j = f0(L) - f0(0);
+    return i + j;
+  }
+  return 7;
+}
+|}
+
+(* Figure 14(a): the φ-of-op congruence Rüthing–Knoop–Steffen capture;
+   K3 and L3 are congruent. *)
+let figure14a_src =
+  {|
+routine F14A(C, A, B) {
+  if (C > 0) {
+    I = f0(A);
+    K = I + 1;
+  } else {
+    I = f0(B);
+    K = I + 1;
+  }
+  L = I + 1;
+  return K - L;
+}
+|}
+
+(* Figure 14(b): the variant neither Kildall nor RKS capture (and neither
+   do we, without the op-of-φ reassociation extension): K3 = I3 + J3 = 3. *)
+let figure14b_src =
+  {|
+routine F14B(C) {
+  if (C > 0) {
+    I = 1;
+    J = 2;
+  } else {
+    I = 2;
+    J = 1;
+  }
+  K = I + J;
+  L = 3;
+  return K - L;
+}
+|}
+
+(* A loop-invariant cyclic value: optimistic value numbering proves that
+   ACC is congruent to P0 throughout (the φ merges only congruent values),
+   while balanced/pessimistic treat the cyclic φ as opaque. *)
+let loop_invariant_src =
+  {|
+routine LI(N, P0) {
+  acc = P0;
+  i = 0;
+  while (i < N) {
+    acc = acc + 0;
+    i = i + 1;
+  }
+  return acc;
+}
+|}
+
+(* Two cyclic congruences (x and y advance in lockstep): optimistic GVN
+   discovers x ≅ y; pessimistic cannot (§1.1). *)
+let cyclic_congruence_src =
+  {|
+routine CC(N) {
+  x = 0;
+  y = 0;
+  i = 0;
+  while (i < N) {
+    x = x + 1;
+    y = y + 1;
+    i = i + 1;
+  }
+  return x - y;
+}
+|}
+
+(* φ-predication across two structurally separate but congruent diamonds
+   (the P/Q pattern of Figure 1, isolated). *)
+let phi_predication_src =
+  {|
+routine PP(A, B) {
+  p = 0;
+  if (A < B) p = 7;
+  q = 0;
+  if (A < B) q = 7;
+  return p - q;
+}
+|}
+
+(* Predicate inference: Z > 5 dominating makes Z < 1 false. *)
+let predicate_inference_src =
+  {|
+routine PI(Z) {
+  r = 9;
+  if (Z > 5) {
+    r = Z < 1;
+  }
+  return r;
+}
+|}
+
+(* Global reassociation: (a + b) + c vs a + (b + c), and distribution. *)
+let reassociation_src =
+  {|
+routine RA(A, B, C) {
+  x = (A + B) + C;
+  y = A + (B + C);
+  z = (A + B) * 2;
+  w = A * 2 + B * 2;
+  return (x - y) + (z - w);
+}
+|}
+
+let parse src = Ir.Parser.parse_one src
+
+let func_of_src ?(pruning = Ssa.Construct.Semi_pruned) src =
+  Ssa.Construct.of_cir ~pruning (Ir.Lower.lower_routine (parse src))
+
+let all_named =
+  [
+    ("routine_r", routine_r_src);
+    ("figure6", figure6_src);
+    ("figure13", figure13_src);
+    ("figure14a", figure14a_src);
+    ("figure14b", figure14b_src);
+    ("loop_invariant", loop_invariant_src);
+    ("cyclic_congruence", cyclic_congruence_src);
+    ("phi_predication", phi_predication_src);
+    ("predicate_inference", predicate_inference_src);
+    ("reassociation", reassociation_src);
+  ]

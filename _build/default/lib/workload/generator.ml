@@ -1,0 +1,242 @@
+module Ast = Ir.Ast
+
+(* Seeded random structured-program generator.
+
+   The paper evaluates on SPEC CINT2000 C sources, which we do not have; per
+   the substitution rule we synthesize routines whose CFG/SSA shape exercises
+   the same analysis machinery. Generation is biased toward the features the
+   algorithm exploits:
+   - redundant recomputation of equal expressions (plain congruences);
+   - branches guarded by constants (unreachable code);
+   - equality-guarded branches over live variables (value inference);
+   - nested comparisons against constants on the same variable
+     (predicate inference);
+   - repeated conditional diamonds with congruent predicates
+     (φ-predication);
+   - counted loops, so every generated program terminates and the
+     interpreter can be used as a differential-testing oracle. *)
+
+type profile = {
+  stmt_budget : int; (* approximate number of statements *)
+  max_depth : int;
+  params : int;
+  loop_weight : int; (* relative weights of statement kinds *)
+  if_weight : int;
+  switch_weight : int;
+  assign_weight : int;
+  equality_guard_weight : int; (* of an if being equality-guarded *)
+  constant_guard_weight : int; (* of an if being constant-guarded (dead arm) *)
+  redundancy_bias : int; (* percent chance an expression repeats an old one *)
+  opaque_bias : int; (* percent chance a leaf is an opaque call *)
+}
+
+let default_profile =
+  {
+    stmt_budget = 40;
+    max_depth = 4;
+    params = 4;
+    loop_weight = 2;
+    if_weight = 5;
+    switch_weight = 1;
+    assign_weight = 8;
+    equality_guard_weight = 25;
+    constant_guard_weight = 15;
+    redundancy_bias = 30;
+    opaque_bias = 10;
+  }
+
+type state = {
+  rng : Util.Prng.t;
+  mutable vars : string array; (* currently-defined variables *)
+  mutable protected : string list; (* loop counters: never reassigned *)
+  mutable loop_depth : int; (* nesting cap keeps dynamic step counts small *)
+  mutable fresh : int;
+  mutable exprs : Ast.expr list; (* previously built expressions, for reuse *)
+  mutable budget : int;
+  profile : profile;
+}
+
+let pick_var st = Util.Prng.choose st.rng st.vars
+
+let fresh_var st =
+  let v = Printf.sprintf "t%d" st.fresh in
+  st.fresh <- st.fresh + 1;
+  v
+
+let small_const st = Util.Prng.range st.rng (-9) 9
+
+let binops = [| Ir.Types.Add; Ir.Types.Add; Ir.Types.Sub; Ir.Types.Mul; Ir.Types.And; Ir.Types.Or; Ir.Types.Xor |]
+let cmps = [| Ir.Types.Eq; Ir.Types.Ne; Ir.Types.Lt; Ir.Types.Le; Ir.Types.Gt; Ir.Types.Ge |]
+
+let rec gen_expr st depth : Ast.expr =
+  let p = st.profile in
+  if
+    st.exprs <> []
+    && depth > 0
+    && Util.Prng.chance st.rng p.redundancy_bias 100
+  then
+    (* Reuse a previously generated expression verbatim: a redundancy for
+       value numbering to discover. *)
+    List.nth st.exprs (Util.Prng.int st.rng (List.length st.exprs))
+  else if depth = 0 then
+    if Util.Prng.chance st.rng p.opaque_bias 100 then
+      Ast.Ecall (Printf.sprintf "f%d" (Util.Prng.int st.rng 4), [ Ast.Evar (pick_var st) ])
+    else if Util.Prng.chance st.rng 40 100 then Ast.Enum (small_const st)
+    else Ast.Evar (pick_var st)
+  else begin
+    let e =
+      match Util.Prng.int st.rng 10 with
+      | 0 -> Ast.Eunop (Ir.Types.Neg, gen_expr st (depth - 1))
+      | 1 | 2 ->
+          Ast.Ecmp
+            (Util.Prng.choose st.rng cmps, gen_expr st (depth - 1), gen_expr st (depth - 1))
+      | _ ->
+          Ast.Ebinop
+            (Util.Prng.choose st.rng binops, gen_expr st (depth - 1), gen_expr st (depth - 1))
+    in
+    if List.length st.exprs < 32 then st.exprs <- e :: st.exprs;
+    e
+  end
+
+let gen_cond st depth : Ast.expr =
+  let p = st.profile in
+  let r = Util.Prng.int st.rng 100 in
+  if r < p.equality_guard_weight && Array.length st.vars >= 2 then
+    (* x == y: the inference analyses thrive on these. *)
+    Ast.Ecmp (Ir.Types.Eq, Ast.Evar (pick_var st), Ast.Evar (pick_var st))
+  else if r < p.equality_guard_weight + p.constant_guard_weight then
+    if Util.Prng.bool st.rng then
+      (* Constant guard: one arm is unreachable. *)
+      Ast.Ecmp
+        ( (if Util.Prng.bool st.rng then Ir.Types.Eq else Ir.Types.Ne),
+          Ast.Enum (small_const st),
+          Ast.Enum (small_const st) )
+    else
+      (* Comparison against a constant: predicate inference fodder when
+         nested under another one. *)
+      Ast.Ecmp (Util.Prng.choose st.rng cmps, Ast.Evar (pick_var st), Ast.Enum (small_const st))
+  else Ast.Ecmp (Util.Prng.choose st.rng cmps, gen_expr st (min 1 depth), gen_expr st (min 1 depth))
+
+let rec gen_stmts st depth : Ast.stmt list =
+  let p = st.profile in
+  let stmts = ref [] in
+  let emit s = stmts := s :: !stmts in
+  let continue_here () = st.budget > 0 && Util.Prng.chance st.rng 85 100 in
+  while continue_here () do
+    st.budget <- st.budget - 1;
+    let kind =
+      if depth >= p.max_depth then `Assign
+      else
+        (* at most two nested loops: iteration counts multiply, and the
+           differential tests need every program to finish well within the
+           interpreter's fuel in *every* IR (the register IR executes
+           uncoalesced copies, so it burns fuel faster) *)
+        let loop_w = if st.loop_depth >= 2 then 0 else p.loop_weight in
+        match
+          Util.Prng.weighted st.rng
+            [| p.assign_weight; p.if_weight; max loop_w 0; p.switch_weight |]
+        with
+        | 0 -> `Assign
+        | 1 -> `If
+        | 2 when loop_w > 0 -> `Loop
+        | 2 -> `Assign
+        | _ -> `Switch
+    in
+    match kind with
+    | `Assign ->
+        (* Loop counters are never reassigned, so every loop terminates. *)
+        let candidates =
+          Array.to_list st.vars |> List.filter (fun v -> not (List.mem v st.protected))
+        in
+        let reuse_var = candidates <> [] && Util.Prng.chance st.rng 50 100 in
+        let v =
+          if reuse_var then List.nth candidates (Util.Prng.int st.rng (List.length candidates))
+          else fresh_var st
+        in
+        let e = gen_expr st (1 + Util.Prng.int st.rng 2) in
+        if not reuse_var then st.vars <- Array.append st.vars [| v |];
+        emit (Ast.Sassign (v, e))
+    | `If ->
+        let cond = gen_cond st depth in
+        let saved = st.vars in
+        let then_ = gen_stmts st (depth + 1) in
+        st.vars <- saved;
+        let else_ = if Util.Prng.bool st.rng then gen_stmts st (depth + 1) else [] in
+        st.vars <- saved;
+        emit (Ast.Sif (cond, then_, else_));
+        if Util.Prng.chance st.rng 20 100 then begin
+          (* A twin diamond guarded by the same condition, assigning a
+             parallel variable: the φ-predication pattern (congruent block
+             predicates across structurally separate conditionals). *)
+          let v1 = fresh_var st and v2 = fresh_var st in
+          let c1 = small_const st and c2 = small_const st in
+          st.vars <- Array.append st.vars [| v1; v2 |];
+          emit (Ast.Sassign (v1, Ast.Enum c1));
+          emit (Ast.Sif (cond, [ Ast.Sassign (v1, Ast.Enum c2) ], []));
+          emit (Ast.Sassign (v2, Ast.Enum c1));
+          emit (Ast.Sif (cond, [ Ast.Sassign (v2, Ast.Enum c2) ], []))
+        end
+    | `Switch ->
+        (* switch over a variable with a few small-constant cases; the per-
+           case equality predicates feed value inference. *)
+        let scrutinee = Ast.Evar (pick_var st) in
+        let ncases = 2 + Util.Prng.int st.rng 3 in
+        let labels = ref [] in
+        while List.length !labels < ncases do
+          let k = small_const st in
+          if not (List.mem k !labels) then labels := k :: !labels
+        done;
+        let saved = st.vars in
+        let cases =
+          List.map
+            (fun k ->
+              let body = gen_stmts st (depth + 1) in
+              st.vars <- saved;
+              (k, body))
+            !labels
+        in
+        let default = if Util.Prng.bool st.rng then gen_stmts st (depth + 1) else [] in
+        st.vars <- saved;
+        emit (Ast.Sswitch (scrutinee, cases, default))
+    | `Loop ->
+        (* Counted loop: i = 0; while (i < k) { body; i = i + 1; } —
+           always terminates. *)
+        let i = fresh_var st in
+        st.vars <- Array.append st.vars [| i |];
+        st.protected <- i :: st.protected;
+        emit (Ast.Sassign (i, Ast.Enum 0));
+        let k = 1 + Util.Prng.int st.rng 8 in
+        let saved = st.vars in
+        st.loop_depth <- st.loop_depth + 1;
+        let body = gen_stmts st (depth + 1) in
+        st.loop_depth <- st.loop_depth - 1;
+        st.vars <- saved;
+        st.protected <- List.tl st.protected;
+        let body = body @ [ Ast.Sassign (i, Ast.Ebinop (Ir.Types.Add, Ast.Evar i, Ast.Enum 1)) ] in
+        emit (Ast.Swhile (Ast.Ecmp (Ir.Types.Lt, Ast.Evar i, Ast.Enum k), body))
+  done;
+  List.rev !stmts
+
+(* Generate one routine. Deterministic in [seed] and [profile]. *)
+let routine ?(profile = default_profile) ~seed ~name () : Ast.routine =
+  let rng = Util.Prng.create seed in
+  let params = List.init profile.params (fun k -> Printf.sprintf "p%d" k) in
+  let st =
+    {
+      rng;
+      vars = Array.of_list params;
+      protected = [];
+      loop_depth = 0;
+      fresh = 0;
+      exprs = [];
+      budget = profile.stmt_budget;
+      profile;
+    }
+  in
+  let body = gen_stmts st 0 in
+  let ret = Ast.Sreturn (gen_expr st 2) in
+  { Ast.name; params; body = body @ [ ret ] }
+
+(* Straight to SSA. *)
+let func ?profile ?(pruning = Ssa.Construct.Semi_pruned) ~seed ~name () : Ir.Func.t =
+  Ssa.Construct.of_cir ~pruning (Ir.Lower.lower_routine (routine ?profile ~seed ~name ()))

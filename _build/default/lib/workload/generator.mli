@@ -1,0 +1,32 @@
+(** Seeded random structured-program generator: the stand-in for SPEC
+    CINT2000 sources (see DESIGN.md). Generation is biased toward the
+    features the algorithm exploits — redundant recomputation, constant
+    and equality guards, switches, repeated diamonds — and every generated
+    program terminates (loop counters are never reassigned). Deterministic
+    in the seed and profile. *)
+
+type profile = {
+  stmt_budget : int;
+  max_depth : int;
+  params : int;
+  loop_weight : int;
+  if_weight : int;
+  switch_weight : int;
+  assign_weight : int;
+  equality_guard_weight : int;  (** percent of ifs guarded by x == y *)
+  constant_guard_weight : int;  (** percent guarded by constants (dead arms) *)
+  redundancy_bias : int;  (** percent chance an expression repeats an old one *)
+  opaque_bias : int;  (** percent chance a leaf is an opaque call *)
+}
+
+val default_profile : profile
+val routine : ?profile:profile -> seed:int -> name:string -> unit -> Ir.Ast.routine
+
+val func :
+  ?profile:profile ->
+  ?pruning:Ssa.Construct.pruning ->
+  seed:int ->
+  name:string ->
+  unit ->
+  Ir.Func.t
+(** Generate, lower and convert to SSA in one step. *)

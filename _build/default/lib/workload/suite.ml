@@ -1,0 +1,46 @@
+(* The synthetic stand-in for the SPEC CINT2000 C benchmarks of Table 1/2.
+
+   Ten "benchmarks" (256.bzip2 excluded, as in the paper) with per-benchmark
+   routine counts and size profiles roughly proportional to the relative GVN
+   times the paper reports — 176.gcc much larger than 181.mcf, etc. A global
+   [scale] lets callers trade benchmark fidelity for wall-clock time. *)
+
+type benchmark = {
+  name : string;
+  seed : int;
+  routines : int; (* at scale = 1.0 *)
+  stmt_budget : int; (* per-routine statement budget *)
+}
+
+let benchmarks =
+  [
+    { name = "164.gzip"; seed = 1001; routines = 10; stmt_budget = 35 };
+    { name = "175.vpr"; seed = 1002; routines = 18; stmt_budget = 40 };
+    { name = "176.gcc"; seed = 1003; routines = 90; stmt_budget = 55 };
+    { name = "181.mcf"; seed = 1004; routines = 4; stmt_budget = 30 };
+    { name = "186.crafty"; seed = 1005; routines = 20; stmt_budget = 60 };
+    { name = "197.parser"; seed = 1006; routines = 22; stmt_budget = 35 };
+    { name = "253.perlbmk"; seed = 1007; routines = 50; stmt_budget = 45 };
+    { name = "254.gap"; seed = 1008; routines = 55; stmt_budget = 45 };
+    { name = "255.vortex"; seed = 1009; routines = 40; stmt_budget = 40 };
+    { name = "300.twolf"; seed = 1010; routines = 25; stmt_budget = 45 };
+  ]
+
+(* All routines of one benchmark, as SSA functions. *)
+let routines_of ?(scale = 1.0) (b : benchmark) : Ir.Func.t list =
+  let n = max 1 (int_of_float (float_of_int b.routines *. scale)) in
+  List.init n (fun k ->
+      let profile =
+        {
+          Generator.default_profile with
+          stmt_budget = b.stmt_budget + (k mod 7 * 5);
+          params = 3 + (k mod 3);
+        }
+      in
+      Generator.func ~profile
+        ~seed:(b.seed * 10_000 + k)
+        ~name:(Printf.sprintf "%s_r%03d" b.name k)
+        ())
+
+let all ?scale () : (benchmark * Ir.Func.t list) list =
+  List.map (fun b -> (b, routines_of ?scale b)) benchmarks

@@ -1,0 +1,18 @@
+(** The synthetic stand-in for the SPEC CINT2000 C benchmarks of Tables 1
+    and 2: ten "benchmarks" (256.bzip2 excluded, as in the paper) with
+    routine counts and sizes in SPEC-like proportions. *)
+
+type benchmark = {
+  name : string;
+  seed : int;
+  routines : int;  (** at scale 1.0 *)
+  stmt_budget : int;
+}
+
+val benchmarks : benchmark list
+
+val routines_of : ?scale:float -> benchmark -> Ir.Func.t list
+(** All routines of one benchmark as SSA functions; [scale] multiplies the
+    routine count (default 1.0). *)
+
+val all : ?scale:float -> unit -> (benchmark * Ir.Func.t list) list

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Ir Pgvn Ssa Transform Util Workload

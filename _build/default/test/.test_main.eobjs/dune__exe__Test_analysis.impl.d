@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Ir List QCheck QCheck_alcotest Ssa Util Workload

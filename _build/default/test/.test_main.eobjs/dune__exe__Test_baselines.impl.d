@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Hashtbl Helpers Ir Pgvn QCheck QCheck_alcotest Ssa Util Workload

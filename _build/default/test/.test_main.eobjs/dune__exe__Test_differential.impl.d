@@ -1,0 +1,1 @@
+test/test_differential.ml: Array Helpers Ir List Pgvn Printf QCheck QCheck_alcotest Ssa Transform Util Workload

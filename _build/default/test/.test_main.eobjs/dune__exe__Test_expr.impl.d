@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Array Ir List Pgvn QCheck QCheck_alcotest

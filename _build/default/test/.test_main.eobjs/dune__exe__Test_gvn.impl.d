@@ -1,0 +1,1 @@
+test/test_gvn.ml: Alcotest Analysis Array Hashtbl Helpers Ir List Pgvn QCheck QCheck_alcotest Util Workload

@@ -1,0 +1,1 @@
+test/test_infer.ml: Alcotest Array Ir List Pgvn

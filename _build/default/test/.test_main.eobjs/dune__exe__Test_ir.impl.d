@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Analysis Array Fmt Fun Ir List Printf QCheck QCheck_alcotest Util Workload

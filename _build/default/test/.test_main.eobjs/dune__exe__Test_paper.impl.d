@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Array Helpers Ir List Pgvn Util Workload

@@ -1,0 +1,1 @@
+test/test_phipred.ml: Alcotest Array Hashtbl Helpers Ir List Pgvn QCheck QCheck_alcotest Ssa Util Workload

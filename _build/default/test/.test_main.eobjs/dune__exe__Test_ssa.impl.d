@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest Array Ir List QCheck QCheck_alcotest Ssa Util Workload

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Helpers Ir List Pgvn QCheck QCheck_alcotest Ssa Transform Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Analysis Array Ir List Pgvn QCheck QCheck_alcotest Ssa Util Workload

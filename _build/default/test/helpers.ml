@@ -1,0 +1,60 @@
+(* Shared helpers for the GVN-level test suites. *)
+
+let func_of_src = Workload.Corpus.func_of_src
+
+(* The constant value of the (first reachable) return, if proved. *)
+let return_constant st f =
+  let result = ref None in
+  for i = 0 to Ir.Func.num_instrs f - 1 do
+    match Ir.Func.instr f i with
+    | Ir.Func.Return v when Pgvn.State.block_reachable st (Ir.Func.block_of_instr f i) ->
+        if !result = None then result := Pgvn.Driver.value_constant st v
+    | _ -> ()
+  done;
+  !result
+
+let run_and_return config src =
+  let f = func_of_src src in
+  let st = Pgvn.Driver.run config f in
+  return_constant st f
+
+(* Optimize end to end: GVN + rewrite + DCE + CFG cleanup, verified. *)
+let optimize config f =
+  let st = Pgvn.Driver.run config f in
+  let g = Transform.Simplify_cfg.fixpoint (Transform.Dce.run (Transform.Apply.rebuild st f)) in
+  ignore (Ssa.Verify.check g);
+  g
+
+(* Behavioural equivalence on random inputs. *)
+let equivalent ?(runs = 30) ?(fuel = 200_000) ~seed f g =
+  let rng = Util.Prng.create seed in
+  let ok = ref true in
+  for _ = 1 to runs do
+    let args = Array.init 8 (fun _ -> Util.Prng.range rng (-15) 15) in
+    if not (Ir.Interp.equal_result (Ir.Interp.run ~fuel f args) (Ir.Interp.run ~fuel g args))
+    then ok := false
+  done;
+  !ok
+
+let check_const msg expected got =
+  match (expected, got) with
+  | Some e, Some g when e = g -> ()
+  | None, None -> ()
+  | _ ->
+      let s = function None -> "non-constant" | Some c -> string_of_int c in
+      Alcotest.failf "%s: expected %s, got %s" msg (s expected) (s got)
+
+let all_configs =
+  [
+    ("full", Pgvn.Config.full);
+    ("complete", { Pgvn.Config.full with variant = Pgvn.Config.Complete });
+    ("balanced", Pgvn.Config.balanced);
+    ("pessimistic", Pgvn.Config.pessimistic);
+    ("dense", Pgvn.Config.dense);
+    ("extended", Pgvn.Config.full_extended);
+    ("basic", Pgvn.Config.basic);
+    ("click", Pgvn.Config.emulate_click);
+    ("sccp", Pgvn.Config.emulate_sccp);
+    ("sccp-exact", Pgvn.Config.emulate_sccp_exact);
+    ("awz", Pgvn.Config.emulate_awz);
+  ]

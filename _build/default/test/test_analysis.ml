@@ -1,0 +1,353 @@
+(* CFG analyses, each validated against a brute-force reference on random
+   graphs: dominators, postdominators, dominance frontiers, the incremental
+   dominator tree, RPO, loops and liveness. *)
+
+(* Random digraph on n nodes with entry 0. *)
+let random_graph rng n ~extra_edges =
+  let succ = Array.make n [] in
+  (* A random spanning structure keeps most nodes reachable. *)
+  for v = 1 to n - 1 do
+    let u = Util.Prng.int rng v in
+    succ.(u) <- v :: succ.(u)
+  done;
+  for _ = 1 to extra_edges do
+    let u = Util.Prng.int rng n and v = Util.Prng.int rng n in
+    succ.(u) <- v :: succ.(u)
+  done;
+  Analysis.Graph.make ~entry:0 (Array.map Array.of_list succ)
+
+(* Reference dominators by iterative set intersection over bitsets. *)
+let brute_dominators (g : Analysis.Graph.t) =
+  let n = g.Analysis.Graph.n in
+  let full = Array.make n true in
+  let dom = Array.init n (fun v -> if v = g.Analysis.Graph.entry then Array.make n false else Array.copy full) in
+  dom.(g.Analysis.Graph.entry).(g.Analysis.Graph.entry) <- true;
+  let reach = Analysis.Graph.reachable g in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to n - 1 do
+      if v <> g.Analysis.Graph.entry && reach.(v) then begin
+        let inter = Array.make n true in
+        let any = ref false in
+        Array.iter
+          (fun p ->
+            if reach.(p) then begin
+              any := true;
+              for i = 0 to n - 1 do
+                inter.(i) <- inter.(i) && dom.(p).(i)
+              done
+            end)
+          g.Analysis.Graph.pred.(v);
+        if not !any then Array.fill inter 0 n false;
+        inter.(v) <- true;
+        if inter <> dom.(v) then begin
+          dom.(v) <- inter;
+          changed := true
+        end
+      end
+    done
+  done;
+  (dom, reach)
+
+let prop_dominators =
+  QCheck.Test.make ~name:"Dom.compute matches brute-force dominator sets" ~count:80
+    QCheck.(pair (int_bound 100000) (int_range 1 14))
+    (fun (seed, n) ->
+      let rng = Util.Prng.create seed in
+      let g = random_graph rng n ~extra_edges:(Util.Prng.int rng (2 * n)) in
+      let dom = Analysis.Dom.compute g in
+      let ref_dom, reach = brute_dominators g in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          let expected = reach.(a) && reach.(b) && ref_dom.(b).(a) in
+          if Analysis.Dom.dominates dom a b <> expected then ok := false
+        done;
+        if reach.(a) <> Analysis.Dom.reachable dom a then ok := false
+      done;
+      !ok)
+
+let prop_nca =
+  QCheck.Test.make ~name:"Dom.nca is the deepest common dominator" ~count:60
+    QCheck.(pair (int_bound 100000) (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Util.Prng.create seed in
+      let g = random_graph rng n ~extra_edges:(Util.Prng.int rng n) in
+      let dom = Analysis.Dom.compute g in
+      let reach = Analysis.Graph.reachable g in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if reach.(a) && reach.(b) then begin
+            let z = Analysis.Dom.nca dom a b in
+            if not (Analysis.Dom.dominates dom z a && Analysis.Dom.dominates dom z b) then
+              ok := false;
+            (* No strictly deeper common dominator. *)
+            for c = 0 to n - 1 do
+              if
+                reach.(c)
+                && Analysis.Dom.dominates dom c a
+                && Analysis.Dom.dominates dom c b
+                && not (Analysis.Dom.dominates dom c z)
+              then ok := false
+            done
+          end
+        done
+      done;
+      !ok)
+
+let prop_domfront =
+  QCheck.Test.make ~name:"dominance frontiers match their definition" ~count:80
+    QCheck.(pair (int_bound 100000) (int_range 1 12))
+    (fun (seed, n) ->
+      let rng = Util.Prng.create seed in
+      let g = random_graph rng n ~extra_edges:(Util.Prng.int rng (2 * n)) in
+      let dom = Analysis.Dom.compute g in
+      let df = Analysis.Domfront.compute g dom in
+      let reach = Analysis.Graph.reachable g in
+      (* DF(a) = { y | a dominates some pred of y, a does not strictly dominate y } *)
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        if reach.(a) then
+          for y = 0 to n - 1 do
+            if reach.(y) then begin
+              let expected =
+                Array.exists
+                  (fun p -> reach.(p) && Analysis.Dom.dominates dom a p)
+                  g.Analysis.Graph.pred.(y)
+                && not (Analysis.Dom.strictly_dominates dom a y)
+              in
+              let got = Array.exists (fun x -> x = y) df.(a) in
+              if expected <> got then ok := false
+            end
+          done
+      done;
+      !ok)
+
+let prop_postdom =
+  QCheck.Test.make ~name:"postdominators = dominators of the reversed graph" ~count:60
+    QCheck.(pair (int_bound 100000) (int_range 1 12))
+    (fun (seed, n) ->
+      let rng = Util.Prng.create seed in
+      let g = random_graph rng n ~extra_edges:(Util.Prng.int rng n) in
+      let pd = Analysis.Postdom.compute g in
+      (* Reference: a postdominates b iff every path from b to any exit
+         passes a. Brute force via path search avoiding a. *)
+      let exits = ref [] in
+      for v = 0 to n - 1 do
+        if Array.length g.Analysis.Graph.succ.(v) = 0 then exits := v :: !exits
+      done;
+      let reaches_exit_avoiding a b =
+        (* can b reach an exit without touching a? *)
+        let seen = Array.make n false in
+        let rec dfs v =
+          if v = a || seen.(v) then false
+          else begin
+            seen.(v) <- true;
+            List.mem v !exits || Array.exists dfs g.Analysis.Graph.succ.(v)
+          end
+        in
+        dfs b
+      in
+      let reaches_exit b =
+        let seen = Array.make n false in
+        let rec dfs v =
+          if seen.(v) then false
+          else begin
+            seen.(v) <- true;
+            List.mem v !exits || Array.exists dfs g.Analysis.Graph.succ.(v)
+          end
+        in
+        dfs b
+      in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if reaches_exit b && reaches_exit a then begin
+            let expected = a = b || not (reaches_exit_avoiding a b) in
+            if Analysis.Postdom.postdominates pd a b <> expected then ok := false
+          end
+        done
+      done;
+      !ok)
+
+(* The incremental dominator tree must agree with from-scratch recomputation
+   after every single insertion, for arbitrary insertion orders in which
+   each edge's source is already reachable (the GVN setting). *)
+let prop_inc_dom =
+  QCheck.Test.make ~name:"Inc_dom agrees with recomputation after every insertion" ~count:120
+    QCheck.(pair (int_bound 1000000) (int_range 2 14))
+    (fun (seed, n) ->
+      let rng = Util.Prng.create seed in
+      let g = random_graph rng n ~extra_edges:(Util.Prng.int rng (2 * n)) in
+      let t = Analysis.Inc_dom.create ~n ~entry:0 in
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        Array.iter (fun v -> edges := (u, v) :: !edges) g.Analysis.Graph.succ.(u)
+      done;
+      let ok = ref true in
+      let rec insert_all remaining =
+        let ready, blocked =
+          List.partition (fun (u, _) -> Analysis.Inc_dom.is_reachable t u) remaining
+        in
+        match ready with
+        | [] -> ()
+        | _ ->
+            (* pick one ready edge at random *)
+            let k = Util.Prng.int rng (List.length ready) in
+            let u, v = List.nth ready k in
+            ignore (Analysis.Inc_dom.insert_edge t ~src:u ~dst:v);
+            (* compare against recomputation *)
+            let reference = Analysis.Inc_dom.recompute_reference t in
+            for b = 0 to n - 1 do
+              let ri = reference.Analysis.Dom.idom.(b) in
+              let ii = Analysis.Inc_dom.idom t b in
+              let rr = Analysis.Dom.reachable reference b in
+              let ir = Analysis.Inc_dom.is_reachable t b in
+              if rr <> ir then ok := false;
+              if rr && b <> 0 && ri <> ii then ok := false;
+              if rr && reference.Analysis.Dom.depth.(b) <> Analysis.Inc_dom.depth t b then
+                ok := false
+            done;
+            insert_all (blocked @ List.filteri (fun i _ -> i <> k) ready)
+      in
+      insert_all !edges;
+      !ok)
+
+let prop_rpo =
+  QCheck.Test.make ~name:"RPO numbers respect forward edges on DAG part" ~count:60
+    QCheck.(pair (int_bound 100000) (int_range 1 15))
+    (fun (seed, n) ->
+      let rng = Util.Prng.create seed in
+      let g = random_graph rng n ~extra_edges:(Util.Prng.int rng n) in
+      let rpo = Analysis.Rpo.compute g in
+      let reach = Analysis.Graph.reachable g in
+      (* Every reachable node appears exactly once; entry is first. *)
+      let count = Array.make n 0 in
+      Array.iter (fun b -> count.(b) <- count.(b) + 1) rpo.Analysis.Rpo.order;
+      let ok = ref (rpo.Analysis.Rpo.order.(0) = 0) in
+      for v = 0 to n - 1 do
+        if reach.(v) then begin
+          if count.(v) <> 1 then ok := false;
+          if rpo.Analysis.Rpo.number.(v) < 0 then ok := false
+        end
+        else if rpo.Analysis.Rpo.number.(v) >= 0 then ok := false
+      done;
+      (* Back-edge classification is consistent with the numbering. *)
+      for u = 0 to n - 1 do
+        if reach.(u) then
+          Array.iter
+            (fun v ->
+              let back = Analysis.Rpo.is_back_edge rpo ~src:u ~dst:v in
+              let expect = rpo.Analysis.Rpo.number.(v) <= rpo.Analysis.Rpo.number.(u) in
+              if back <> expect then ok := false)
+            g.Analysis.Graph.succ.(u)
+      done;
+      !ok)
+
+let test_loops_nesting () =
+  let src =
+    "routine f(n) { i = 0; while (i < n) { j = 0; while (j < n) { j = j + 1; } i = i + 1; } \
+     return i; }"
+  in
+  let f = Ssa.Construct.of_cir (Ir.Lower.lower_routine (Ir.Parser.parse_one src)) in
+  let loops = Analysis.Loops.compute (Analysis.Graph.of_func f) in
+  Alcotest.(check int) "max nesting" 2 (Analysis.Loops.max_nesting loops);
+  Alcotest.(check int) "two loop headers" 2 (List.length loops.Analysis.Loops.headers)
+
+let test_liveness_simple () =
+  (* x is live across the branch; the constant only in the entry block. *)
+  let src = "routine f(a) { x = a + 1; if (a > 0) { y = x + 1; return y; } return x; }" in
+  let f = Ssa.Construct.of_cir (Ir.Lower.lower_routine (Ir.Parser.parse_one src)) in
+  let live = Analysis.Liveness.compute f in
+  (* Find the x value: the Add of param and const. *)
+  let x = ref (-1) in
+  for i = 0 to Ir.Func.num_instrs f - 1 do
+    match Ir.Func.instr f i with
+    | Ir.Func.Binop (Ir.Types.Add, _, _) when !x < 0 -> x := i
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "x live out of entry" true (Analysis.Liveness.live_out_at live 0 !x);
+  (* x is live into every successor of entry. *)
+  let succs = Ir.Func.succ_blocks f in
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "x live into successors" true (Analysis.Liveness.live_in_at live s !x))
+    succs.(0)
+
+(* Necessary conditions for liveness on arbitrary generated programs:
+   cross-block operands are live-in at the using block, and φ arguments are
+   live-out of the predecessor carrying them. *)
+let prop_liveness_uses =
+  QCheck.Test.make ~name:"liveness covers cross-block uses and phi args" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let f = Workload.Generator.func ~seed ~name:"lv" () in
+      let live = Analysis.Liveness.compute f in
+      let ok = ref true in
+      for b = 0 to Ir.Func.num_blocks f - 1 do
+        let blk = Ir.Func.block f b in
+        Array.iter
+          (fun i ->
+            match Ir.Func.instr f i with
+            | Ir.Func.Phi args ->
+                Array.iteri
+                  (fun ix v ->
+                    let src = (Ir.Func.edge f blk.Ir.Func.preds.(ix)).Ir.Func.src in
+                    if
+                      Ir.Func.block_of_instr f v <> src
+                      && not (Analysis.Liveness.live_in_at live src v)
+                    then ok := false)
+                  args
+            | ins ->
+                Ir.Func.iter_operands
+                  (fun v ->
+                    if Ir.Func.block_of_instr f v <> b && not (Analysis.Liveness.live_in_at live b v)
+                    then ok := false)
+                  ins)
+          blk.Ir.Func.instrs
+      done;
+      !ok)
+
+let prop_idom_is_dominator =
+  QCheck.Test.make ~name:"idom chains enumerate exactly the dominators" ~count:60
+    QCheck.(pair (int_bound 100000) (int_range 1 12))
+    (fun (seed, n) ->
+      let rng = Util.Prng.create seed in
+      let g = random_graph rng n ~extra_edges:(Util.Prng.int rng n) in
+      let dom = Analysis.Dom.compute g in
+      let ok = ref true in
+      for b = 0 to n - 1 do
+        if Analysis.Dom.reachable dom b then begin
+          (* walk the idom chain; every node on it must dominate b, and the
+             count must equal the number of dominators of b *)
+          let chain = ref [] in
+          let v = ref b in
+          while !v >= 0 do
+            chain := !v :: !chain;
+            v := dom.Analysis.Dom.idom.(!v)
+          done;
+          List.iter (fun a -> if not (Analysis.Dom.dominates dom a b) then ok := false) !chain;
+          let count = ref 0 in
+          for a = 0 to n - 1 do
+            if Analysis.Dom.dominates dom a b then incr count
+          done;
+          if !count <> List.length !chain then ok := false
+        end
+      done;
+      !ok)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_dominators;
+    QCheck_alcotest.to_alcotest prop_idom_is_dominator;
+    QCheck_alcotest.to_alcotest prop_liveness_uses;
+    QCheck_alcotest.to_alcotest prop_nca;
+    QCheck_alcotest.to_alcotest prop_domfront;
+    QCheck_alcotest.to_alcotest prop_postdom;
+    QCheck_alcotest.to_alcotest prop_inc_dom;
+    QCheck_alcotest.to_alcotest prop_rpo;
+    Alcotest.test_case "loop nesting depth" `Quick test_loops_nesting;
+    Alcotest.test_case "liveness on a diamond" `Quick test_liveness_simple;
+  ]

@@ -1,0 +1,102 @@
+(* The heavy differential battery: for randomized programs under every
+   configuration, the full optimization (GVN rewrite + DCE + CFG cleanup)
+   must preserve the interpreter's results, keep SSA valid, and the engine's
+   facts must hold at run time. This is the suite's strongest oracle. *)
+
+let optimize_pipeline config f =
+  let st = Pgvn.Driver.run config f in
+  let g = Transform.Apply.rebuild st f in
+  ignore (Ssa.Verify.check g);
+  let g = Transform.Simplify_cfg.fixpoint (Transform.Dce.run g) in
+  ignore (Ssa.Verify.check g);
+  (st, g)
+
+let profiles =
+  [
+    ("default", Workload.Generator.default_profile);
+    ("acyclic", { Workload.Generator.default_profile with loop_weight = 0 });
+    ( "switch-heavy",
+      { Workload.Generator.default_profile with switch_weight = 6; if_weight = 2 } );
+    ( "guard-dense",
+      {
+        Workload.Generator.default_profile with
+        equality_guard_weight = 40;
+        constant_guard_weight = 25;
+      } );
+    ("deep", { Workload.Generator.default_profile with max_depth = 6; stmt_budget = 60 });
+  ]
+
+let prop_for (pname, profile) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "every config preserves semantics (%s programs)" pname)
+    ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let f = Workload.Generator.func ~profile ~seed ~name:"d" () in
+      let rng = Util.Prng.create (seed + 1) in
+      List.for_all
+        (fun (_, config) ->
+          let _, g = optimize_pipeline config f in
+          let ok = ref true in
+          for _ = 1 to 12 do
+            let args = Array.init 8 (fun _ -> Util.Prng.range rng (-15) 15) in
+            if
+              not
+                (Ir.Interp.equal_result
+                   (Ir.Interp.run ~fuel:300_000 f args)
+                   (Ir.Interp.run ~fuel:300_000 g args))
+            then ok := false
+          done;
+          !ok)
+        Helpers.all_configs)
+
+let prop_optimized_not_weaker =
+  (* Optimizing an already-optimized function must be a no-op or shrink it:
+     a fixed-point sanity check. *)
+  QCheck.Test.make ~name:"optimization reaches a fixed point" ~count:20
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let f = Workload.Generator.func ~seed ~name:"fp" () in
+      let _, g = optimize_pipeline Pgvn.Config.full f in
+      let _, h = optimize_pipeline Pgvn.Config.full g in
+      Ir.Func.num_instrs h <= Ir.Func.num_instrs g)
+
+let prop_extended_at_least_as_strong =
+  (* On the corpus, the φ-distribution extension only adds constants. (Like
+     value inference, it is not guaranteed monotone in general — it can
+     trade a sum-shaped congruence for a φ-shaped one — so the general
+     property is semantic soundness, covered above.) *)
+  QCheck.Test.make ~name:"full_extended not weaker on the corpus" ~count:1 QCheck.unit
+    (fun () ->
+      List.for_all
+        (fun (_, src) ->
+          let f = Helpers.func_of_src src in
+          let s0 = Pgvn.Driver.summarize (Pgvn.Driver.run Pgvn.Config.full f) in
+          let s1 = Pgvn.Driver.summarize (Pgvn.Driver.run Pgvn.Config.full_extended f) in
+          s1.Pgvn.Driver.constant_values >= s0.Pgvn.Driver.constant_values)
+        Workload.Corpus.all_named)
+
+let prop_corpus_all_configs =
+  QCheck.Test.make ~name:"every config preserves semantics on the corpus" ~count:1
+    QCheck.unit
+    (fun () ->
+      List.for_all
+        (fun (_, src) ->
+          let f = Helpers.func_of_src src in
+          List.for_all
+            (fun (_, config) ->
+              let _, g = optimize_pipeline config f in
+              Helpers.equivalent ~runs:40 ~seed:99 f g)
+            Helpers.all_configs)
+        Workload.Corpus.all_named)
+
+let suite =
+  List.map prop_for profiles
+  |> List.map QCheck_alcotest.to_alcotest
+  |> fun l ->
+  l
+  @ [
+      QCheck_alcotest.to_alcotest prop_optimized_not_weaker;
+      QCheck_alcotest.to_alcotest prop_extended_at_least_as_strong;
+      QCheck_alcotest.to_alcotest prop_corpus_all_configs;
+    ]

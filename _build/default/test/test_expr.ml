@@ -1,0 +1,193 @@
+(* The symbolic expression algebra: the canonical sum-of-products form is
+   property-tested against direct numeric evaluation, and the hash/equality
+   pair against each other. *)
+
+module E = Pgvn.Expr
+
+(* Value ids 0..9 with ranks = id + 1 and a numeric environment. *)
+let rank v = v + 1
+
+let eval_terms env ts =
+  List.fold_left
+    (fun acc t ->
+      acc + (t.E.coeff * List.fold_left (fun p v -> p * env.(v)) 1 t.E.factors))
+    0 ts
+
+(* Random canonical term lists, built through the algebra itself. *)
+let gen_atom =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> E.Const n) (int_range (-5) 5);
+        map (fun v -> E.Value v) (int_range 0 9);
+      ])
+
+let rec gen_terms size =
+  QCheck.Gen.(
+    if size = 0 then map E.terms_of_atom gen_atom
+    else
+      oneof
+        [
+          map E.terms_of_atom gen_atom;
+          map2 (E.merge_terms rank) (gen_terms (size - 1)) (gen_terms (size - 1));
+          map (fun t -> E.negate_terms t) (gen_terms (size - 1));
+          map2 (E.mul_terms rank) (gen_terms (size - 1)) (gen_terms (size - 1));
+        ])
+
+let arb_terms = QCheck.make (gen_terms 3) ~print:(fun ts -> E.to_string (E.Sum ts))
+let arb_env = QCheck.(array_of_size (QCheck.Gen.return 10) (int_range (-4) 4))
+
+let prop_merge_is_addition =
+  QCheck.Test.make ~name:"merge_terms computes addition" ~count:300
+    QCheck.(triple arb_terms arb_terms arb_env)
+    (fun (a, b, env) ->
+      eval_terms env (E.merge_terms rank a b) = eval_terms env a + eval_terms env b)
+
+let prop_mul_is_multiplication =
+  QCheck.Test.make ~name:"mul_terms computes multiplication" ~count:300
+    QCheck.(triple arb_terms arb_terms arb_env)
+    (fun (a, b, env) ->
+      eval_terms env (E.mul_terms rank a b) = eval_terms env a * eval_terms env b)
+
+let prop_negate =
+  QCheck.Test.make ~name:"negate_terms negates" ~count:200
+    QCheck.(pair arb_terms arb_env)
+    (fun (a, env) -> eval_terms env (E.negate_terms a) = -eval_terms env a)
+
+(* Canonical-form invariants: sorted factor lists, nonzero coefficients,
+   no duplicate products. *)
+let prop_canonical_invariants =
+  QCheck.Test.make ~name:"term lists stay canonical" ~count:300 arb_terms (fun ts ->
+      let sorted_factors t =
+        let rec go = function
+          | a :: (b :: _ as rest) -> (rank a, a) <= (rank b, b) && go rest
+          | _ -> true
+        in
+        go t.E.factors
+      in
+      let rec strictly_increasing = function
+        | a :: (b :: _ as rest) ->
+            E.compare_factors rank a.E.factors b.E.factors < 0 && strictly_increasing rest
+        | _ -> true
+      in
+      List.for_all (fun t -> t.E.coeff <> 0 && sorted_factors t) ts && strictly_increasing ts)
+
+(* Commutativity and associativity come for free from canonicalization:
+   syntactically equal results. *)
+let prop_commutative =
+  QCheck.Test.make ~name:"a+b and b+a canonicalize identically" ~count:200
+    QCheck.(pair arb_terms arb_terms)
+    (fun (a, b) -> E.equal_terms (E.merge_terms rank a b) (E.merge_terms rank b a))
+
+let prop_associative =
+  QCheck.Test.make ~name:"(a+b)+c and a+(b+c) canonicalize identically" ~count:200
+    QCheck.(triple arb_terms arb_terms arb_terms)
+    (fun (a, b, c) ->
+      E.equal_terms
+        (E.merge_terms rank (E.merge_terms rank a b) c)
+        (E.merge_terms rank a (E.merge_terms rank b c)))
+
+let prop_distributive =
+  QCheck.Test.make ~name:"a*(b+c) and a*b + a*c canonicalize identically" ~count:200
+    QCheck.(triple arb_terms arb_terms arb_terms)
+    (fun (a, b, c) ->
+      E.equal_terms
+        (E.mul_terms rank a (E.merge_terms rank b c))
+        (E.merge_terms rank (E.mul_terms rank a b) (E.mul_terms rank a c)))
+
+let prop_equal_hash =
+  QCheck.Test.make ~name:"equal expressions hash equally" ~count:300
+    QCheck.(pair arb_terms arb_terms)
+    (fun (a, b) ->
+      let ea = E.of_terms a and eb = E.of_terms b in
+      (not (E.equal ea eb)) || E.hash ea = E.hash eb)
+
+let test_of_terms_reduction () =
+  Alcotest.(check bool) "empty = 0" true (E.equal (E.of_terms []) (E.Const 0));
+  Alcotest.(check bool) "const term" true
+    (E.equal (E.of_terms [ { E.coeff = 7; factors = [] } ]) (E.Const 7));
+  Alcotest.(check bool) "unit value" true
+    (E.equal (E.of_terms [ { E.coeff = 1; factors = [ 3 ] } ]) (E.Value 3));
+  match E.of_terms [ { E.coeff = 2; factors = [ 3 ] } ] with
+  | E.Sum _ -> ()
+  | _ -> Alcotest.fail "2*v3 must stay a sum"
+
+let test_cmp_canonicalization () =
+  (* Constants order before values; swapping flips the operator. *)
+  (match E.cmp_atoms rank Ir.Types.Gt (E.Value 4) (E.Const 1) with
+  | E.Cmp (Ir.Types.Lt, E.Const 1, E.Value 4) -> ()
+  | e -> Alcotest.failf "bad canonicalization: %s" (E.to_string e));
+  (* Higher-ranked value second. *)
+  (match E.cmp_atoms rank Ir.Types.Le (E.Value 7) (E.Value 2) with
+  | E.Cmp (Ir.Types.Ge, E.Value 2, E.Value 7) -> ()
+  | e -> Alcotest.failf "bad value ordering: %s" (E.to_string e));
+  (* Identical operands fold. *)
+  (match E.cmp_atoms rank Ir.Types.Le (E.Value 5) (E.Value 5) with
+  | E.Const 1 -> ()
+  | e -> Alcotest.failf "x<=x should fold to 1: %s" (E.to_string e));
+  match E.cmp_atoms rank Ir.Types.Lt (E.Const 3) (E.Const 4) with
+  | E.Const 1 -> ()
+  | e -> Alcotest.failf "3<4 should fold: %s" (E.to_string e)
+
+let gen_atom_arb = QCheck.make gen_atom
+
+let prop_cmp_semantics =
+  QCheck.Test.make ~name:"cmp_atoms preserves comparison semantics" ~count:400
+    QCheck.(triple (pair gen_atom_arb gen_atom_arb) (int_range 0 5) arb_env)
+    (fun ((x, y), opi, env) ->
+      let op = List.nth [ Ir.Types.Eq; Ne; Lt; Le; Gt; Ge ] opi in
+      let eval_atom = function E.Const n -> n | E.Value v -> env.(v) | _ -> assert false in
+      let expected = Ir.Types.eval_cmp op (eval_atom x) (eval_atom y) in
+      match E.cmp_atoms rank op x y with
+      | E.Const c ->
+          (* Folding is only valid when forced: equal atoms or two consts. *)
+          c = expected
+      | E.Cmp (op', a, b) -> Ir.Types.eval_cmp op' (eval_atom a) (eval_atom b) = expected
+      | _ -> false)
+
+let prop_negate_pred =
+  QCheck.Test.make ~name:"negate_pred inverts comparison truth" ~count:300
+    QCheck.(triple (pair gen_atom_arb gen_atom_arb) (int_range 0 5) arb_env)
+    (fun ((x, y), opi, env) ->
+      let op = List.nth [ Ir.Types.Eq; Ne; Lt; Le; Gt; Ge ] opi in
+      let eval_atom = function E.Const n -> n | E.Value v -> env.(v) | _ -> assert false in
+      let rec eval_pred = function
+        | E.Const n -> n <> 0
+        | E.Cmp (op, a, b) -> Ir.Types.eval_cmp op (eval_atom a) (eval_atom b) = 1
+        | E.Op (E.Uuop Ir.Types.Lnot, [ p ]) -> not (eval_pred p)
+        | _ -> assert false
+      in
+      let p = E.cmp_atoms rank op x y in
+      eval_pred (E.negate_pred p) = not (eval_pred p))
+
+let test_binop_simplifications () =
+  let check msg expected got =
+    Alcotest.(check bool) msg true (E.equal expected got)
+  in
+  check "x & x = x" (E.Value 2) (E.binop_atoms rank Ir.Types.And (E.Value 2) (E.Value 2));
+  check "x ^ x = 0" (E.Const 0) (E.binop_atoms rank Ir.Types.Xor (E.Value 2) (E.Value 2));
+  check "x | 0 = x" (E.Value 2) (E.binop_atoms rank Ir.Types.Or (E.Value 2) (E.Const 0));
+  check "x / 1 = x" (E.Value 2) (E.binop_atoms rank Ir.Types.Div (E.Value 2) (E.Const 1));
+  check "x % 1 = 0" (E.Const 0) (E.binop_atoms rank Ir.Types.Rem (E.Value 2) (E.Const 1));
+  check "x << 0 = x" (E.Value 2) (E.binop_atoms rank Ir.Types.Shl (E.Value 2) (E.Const 0));
+  (* Division by zero must never fold: it traps at run time. *)
+  match E.binop_atoms rank Ir.Types.Div (E.Const 6) (E.Const 0) with
+  | E.Op (E.Ubop Ir.Types.Div, _) -> ()
+  | e -> Alcotest.failf "6/0 must stay symbolic: %s" (E.to_string e)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_merge_is_addition;
+    QCheck_alcotest.to_alcotest prop_mul_is_multiplication;
+    QCheck_alcotest.to_alcotest prop_negate;
+    QCheck_alcotest.to_alcotest prop_canonical_invariants;
+    QCheck_alcotest.to_alcotest prop_commutative;
+    QCheck_alcotest.to_alcotest prop_associative;
+    QCheck_alcotest.to_alcotest prop_distributive;
+    QCheck_alcotest.to_alcotest prop_equal_hash;
+    Alcotest.test_case "of_terms reductions" `Quick test_of_terms_reduction;
+    Alcotest.test_case "comparison canonicalization" `Quick test_cmp_canonicalization;
+    QCheck_alcotest.to_alcotest prop_cmp_semantics;
+    QCheck_alcotest.to_alcotest prop_negate_pred;
+    Alcotest.test_case "algebraic binop simplifications" `Quick test_binop_simplifications;
+  ]

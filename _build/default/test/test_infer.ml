@@ -1,0 +1,128 @@
+(* Exhaustive soundness of the predicate implication logic (§2.7): for every
+   pair of comparisons over two symbolic values and small constants, and for
+   every integer assignment, a True/False verdict must agree with the
+   ground truth whenever the fact holds. *)
+
+module E = Pgvn.Expr
+module I = Pgvn.Infer
+
+let ops = [ Ir.Types.Eq; Ne; Lt; Le; Gt; Ge ]
+
+(* Atom universe: two values (ids 0, 1) and constants -2..2. *)
+let atoms =
+  E.Value 0 :: E.Value 1 :: List.init 5 (fun i -> E.Const (i - 2))
+
+let same a b =
+  match (a, b) with
+  | E.Value v, E.Value w -> v = w
+  | E.Const x, E.Const y -> x = y
+  | _ -> false
+
+let eval_atom env = function
+  | E.Const n -> n
+  | E.Value v -> env.(v)
+  | _ -> assert false
+
+let holds env = function
+  | E.Cmp (op, a, b) -> Ir.Types.eval_cmp op (eval_atom env a) (eval_atom env b) = 1
+  | _ -> assert false
+
+let test_exhaustive_soundness () =
+  let checked = ref 0 in
+  List.iter
+    (fun fop ->
+      List.iter
+        (fun qop ->
+          List.iter
+            (fun fa ->
+              List.iter
+                (fun fb ->
+                  List.iter
+                    (fun qa ->
+                      List.iter
+                        (fun qb ->
+                          let fact = E.Cmp (fop, fa, fb) in
+                          let query = E.Cmp (qop, qa, qb) in
+                          match I.decide ~same ~fact ~query with
+                          | I.Unknown -> ()
+                          | verdict ->
+                              (* check against every assignment *)
+                              for x = -4 to 4 do
+                                for y = -4 to 4 do
+                                  let env = [| x; y |] in
+                                  if holds env fact then begin
+                                    incr checked;
+                                    let q = holds env query in
+                                    match verdict with
+                                    | I.True ->
+                                        if not q then
+                                          Alcotest.failf "unsound True: %s => %s with x=%d y=%d"
+                                            (E.to_string fact) (E.to_string query) x y
+                                    | I.False ->
+                                        if q then
+                                          Alcotest.failf "unsound False: %s => %s with x=%d y=%d"
+                                            (E.to_string fact) (E.to_string query) x y
+                                    | I.Unknown -> ()
+                                  end
+                                done
+                              done)
+                        atoms)
+                    atoms)
+                atoms)
+            atoms)
+        ops)
+    ops;
+  Alcotest.(check bool) "exercised many decided cases" true (!checked > 10_000)
+
+(* Completeness spot checks: the paper's motivating inferences must be
+   decided, not Unknown. *)
+let check_verdict msg expected fact query =
+  let got = I.decide ~same ~fact ~query in
+  let to_s = function I.True -> "True" | I.False -> "False" | I.Unknown -> "Unknown" in
+  Alcotest.(check string) msg (to_s expected) (to_s got)
+
+let test_paper_inferences () =
+  (* "the value of X < 0 is false in a block dominated by X > 0" *)
+  check_verdict "X>0 refutes X<0" I.False
+    (E.Cmp (Ir.Types.Gt, E.Value 0, E.Const 0))
+    (E.Cmp (Ir.Types.Lt, E.Value 0, E.Const 0));
+  (* Figure 2: Z > 1 makes Z < 1 false (via Z > I with I = 1). *)
+  check_verdict "Z>1 refutes Z<1" I.False
+    (E.Cmp (Ir.Types.Gt, E.Value 0, E.Const 1))
+    (E.Cmp (Ir.Types.Lt, E.Value 0, E.Const 1));
+  (* Same-operand table. *)
+  check_verdict "X=Y implies X<=Y" I.True
+    (E.Cmp (Ir.Types.Eq, E.Value 0, E.Value 1))
+    (E.Cmp (Ir.Types.Le, E.Value 0, E.Value 1));
+  check_verdict "X<Y implies Y>=X ... mirrored" I.True
+    (E.Cmp (Ir.Types.Lt, E.Value 0, E.Value 1))
+    (E.Cmp (Ir.Types.Gt, E.Value 1, E.Value 0));
+  check_verdict "X<Y refutes X=Y" I.False
+    (E.Cmp (Ir.Types.Lt, E.Value 0, E.Value 1))
+    (E.Cmp (Ir.Types.Eq, E.Value 0, E.Value 1));
+  (* Interval reasoning across different constants. *)
+  check_verdict "X>3 implies X>1" I.True
+    (E.Cmp (Ir.Types.Gt, E.Value 0, E.Const 3))
+    (E.Cmp (Ir.Types.Gt, E.Value 0, E.Const 1));
+  check_verdict "X>3 implies X!=2" I.True
+    (E.Cmp (Ir.Types.Gt, E.Value 0, E.Const 3))
+    (E.Cmp (Ir.Types.Ne, E.Value 0, E.Const 2));
+  check_verdict "X>3 refutes X=0" I.False
+    (E.Cmp (Ir.Types.Gt, E.Value 0, E.Const 3))
+    (E.Cmp (Ir.Types.Eq, E.Value 0, E.Const 0));
+  check_verdict "X=2 implies X<=2" I.True
+    (E.Cmp (Ir.Types.Eq, E.Value 0, E.Const 2))
+    (E.Cmp (Ir.Types.Le, E.Value 0, E.Const 2));
+  (* Genuinely undecidable stays Unknown. *)
+  check_verdict "X<=Y leaves X<Y unknown" I.Unknown
+    (E.Cmp (Ir.Types.Le, E.Value 0, E.Value 1))
+    (E.Cmp (Ir.Types.Lt, E.Value 0, E.Value 1));
+  check_verdict "unrelated operands stay unknown" I.Unknown
+    (E.Cmp (Ir.Types.Lt, E.Value 0, E.Const 0))
+    (E.Cmp (Ir.Types.Lt, E.Value 1, E.Const 0))
+
+let suite =
+  [
+    Alcotest.test_case "exhaustive implication soundness" `Quick test_exhaustive_soundness;
+    Alcotest.test_case "paper's inferences are decided" `Quick test_paper_inferences;
+  ]

@@ -1,0 +1,247 @@
+(* The IR substrate: lexer, parser, lowering, builder, validator and the
+   two interpreters. *)
+
+let lex_kinds src =
+  List.map fst (Ir.Lexer.tokenize src) |> List.map Ir.Lexer.string_of_token
+
+let test_lexer_basic () =
+  Alcotest.(check (list string))
+    "tokens"
+    [ "routine"; "f"; "("; ")"; "{"; "return"; "1"; ";"; "}"; "<eof>" ]
+    (lex_kinds "routine f() { return 1; }")
+
+let test_lexer_operators () =
+  Alcotest.(check (list string))
+    "multi-char operators"
+    [ "=="; "!="; "<="; ">="; "<<"; ">>"; "&&"; "||"; "<"; ">"; "="; "!"; "~"; "<eof>" ]
+    (lex_kinds "== != <= >= << >> && || < > = ! ~")
+
+let test_lexer_comments () =
+  Alcotest.(check (list string))
+    "comments skipped" [ "1"; "2"; "<eof>" ]
+    (lex_kinds "1 # comment\n // other\n2")
+
+let test_lexer_error () =
+  match Ir.Lexer.tokenize "routine f() { @ }" with
+  | exception Ir.Lexer.Error (_, off) -> Alcotest.(check int) "offset" 14 off
+  | _ -> Alcotest.fail "expected lexer error"
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3); (1 + 2) * 3 respects parens. *)
+  let r = Ir.Parser.parse_one "routine f() { return 1 + 2 * 3; }" in
+  (match r.Ir.Ast.body with
+  | [ Ir.Ast.Sreturn (Ir.Ast.Ebinop (Ir.Types.Add, Ir.Ast.Enum 1, Ir.Ast.Ebinop (Ir.Types.Mul, _, _))) ]
+    ->
+      ()
+  | _ -> Alcotest.fail "wrong precedence for +/*");
+  let r = Ir.Parser.parse_one "routine f() { return (1 + 2) * 3; }" in
+  match r.Ir.Ast.body with
+  | [ Ir.Ast.Sreturn (Ir.Ast.Ebinop (Ir.Types.Mul, Ir.Ast.Ebinop (Ir.Types.Add, _, _), Ir.Ast.Enum 3)) ]
+    ->
+      ()
+  | _ -> Alcotest.fail "parens ignored"
+
+let test_parser_left_assoc () =
+  let r = Ir.Parser.parse_one "routine f(a,b,c) { return a - b - c; }" in
+  match r.Ir.Ast.body with
+  | [ Ir.Ast.Sreturn (Ir.Ast.Ebinop (Ir.Types.Sub, Ir.Ast.Ebinop (Ir.Types.Sub, _, _), _)) ] -> ()
+  | _ -> Alcotest.fail "subtraction must be left-associative"
+
+let test_parser_dangling_else () =
+  let r = Ir.Parser.parse_one "routine f(a,b) { if (a) if (b) x = 1; else x = 2; return x; }" in
+  match r.Ir.Ast.body with
+  | [ Ir.Ast.Sif (_, [ Ir.Ast.Sif (_, _, [ Ir.Ast.Sassign ("x", Ir.Ast.Enum 2) ]) ], []); _ ] -> ()
+  | _ -> Alcotest.fail "else must bind to the inner if"
+
+let test_parser_errors () =
+  let expect_error src =
+    match Ir.Parser.parse_one src with
+    | exception Ir.Parser.Error _ -> ()
+    | _ -> Alcotest.fail ("parse should fail: " ^ src)
+  in
+  expect_error "routine f( { return 1; }";
+  expect_error "routine f() { return 1 }";
+  expect_error "routine f() { x = ; }";
+  expect_error "routine f() { if a { } }";
+  expect_error "routine f() { } routine g() { }  trailing"
+
+let test_parser_program () =
+  let rs = Ir.Parser.parse_program "routine f() { return 1; } routine g(x) { return x; }" in
+  Alcotest.(check (list string)) "names" [ "f"; "g" ] (List.map (fun r -> r.Ir.Ast.name) rs)
+
+(* Run a mini-C routine through Cir (the pre-SSA interpreter). *)
+let run_src src args =
+  let cir = Ir.Lower.lower_routine (Ir.Parser.parse_one src) in
+  Ir.Cir.run cir args
+
+let check_ret msg expected src args =
+  match run_src src args with
+  | Ir.Interp.Ret n -> Alcotest.(check int) msg expected n
+  | r -> Alcotest.failf "%s: expected ret, got %a" msg Ir.Interp.pp_result r
+
+let test_interp_arith () =
+  check_ret "arith" 17 "routine f(a, b) { return a * b + 2; }" [| 3; 5 |];
+  check_ret "neg" (-4) "routine f(a) { return -a; }" [| 4 |];
+  check_ret "cmp true" 1 "routine f(a) { return a < 10; }" [| 3 |];
+  check_ret "cmp false" 0 "routine f(a) { return a < 10; }" [| 30 |];
+  check_ret "bitwise" 6 "routine f() { return (12 & 7) ^ 2; }" [||];
+  check_ret "shift" 40 "routine f(a) { return a << 2; }" [| 10 |];
+  check_ret "lnot" 1 "routine f() { return !0; }" [||];
+  check_ret "bnot" (-1) "routine f() { return ~0; }" [||]
+
+let test_interp_short_circuit () =
+  (* 1 || (1/0 traps) must not trap; 0 && trap must not trap. *)
+  check_ret "or shortcut" 1 "routine f(a) { return 1 || (a / 0); }" [| 5 |];
+  check_ret "and shortcut" 0 "routine f(a) { return 0 && (a / 0); }" [| 5 |];
+  (match run_src "routine f(a) { return 0 || (a / 0); }" [| 5 |] with
+  | Ir.Interp.Trap -> ()
+  | r -> Alcotest.failf "expected trap, got %a" Ir.Interp.pp_result r);
+  check_ret "result is 0/1" 1 "routine f() { return 7 && 9; }" [||]
+
+let test_interp_control () =
+  check_ret "while" 45 "routine f(n) { s = 0; i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }"
+    [| 10 |];
+  check_ret "break" 5 "routine f() { i = 0; while (1) { if (i >= 5) break; i = i + 1; } return i; }"
+    [||];
+  check_ret "continue" 31
+    "routine f() { s = 0; i = 0; while (i < 10) { i = i + 1; if (i & 1) continue; s = s + i; } \
+     return s + (s == 30); }"
+    [||];
+  check_ret "uninitialized vars read as zero" 0 "routine f() { return nope; }" [||]
+
+let test_interp_trap_and_timeout () =
+  (match run_src "routine f(a) { return a / 0; }" [| 1 |] with
+  | Ir.Interp.Trap -> ()
+  | r -> Alcotest.failf "expected trap, got %a" Ir.Interp.pp_result r);
+  (match run_src "routine f() { return 5 % 0; }" [||] with
+  | Ir.Interp.Trap -> ()
+  | r -> Alcotest.failf "expected rem trap, got %a" Ir.Interp.pp_result r);
+  let cir = Ir.Lower.lower_routine (Ir.Parser.parse_one "routine f() { while (1) { x = x + 1; } return 0; }") in
+  match Ir.Cir.run ~fuel:1000 cir [||] with
+  | Ir.Interp.Timeout -> ()
+  | r -> Alcotest.failf "expected timeout, got %a" Ir.Interp.pp_result r
+
+let test_interp_switch () =
+  let src =
+    "routine f(x) { switch (x) { case 1: { return 10; } case 2: { return 20; } \
+     case -3: { return 30; } default: { return 0; } } return 99; }"
+  in
+  List.iter
+    (fun (x, want) -> check_ret (Printf.sprintf "switch %d" x) want src [| x |])
+    [ (1, 10); (2, 20); (-3, 30); (7, 0) ];
+  (* default-less switch falls through to the join *)
+  check_ret "empty default" 5 "routine f(x) { r = 5; switch (x) { case 1: { r = 6; } } return r; }"
+    [| 2 |];
+  check_ret "case taken" 6 "routine f(x) { r = 5; switch (x) { case 1: { r = 6; } } return r; }"
+    [| 1 |]
+
+let test_parser_switch_errors () =
+  (match Ir.Parser.parse_one "routine f(x) { switch (x) { case 1: { } case 1: { } } return 0; }" with
+  | exception Ir.Parser.Error _ -> ()
+  | _ -> Alcotest.fail "duplicate case labels must be rejected");
+  match Ir.Parser.parse_one "routine f(x) { switch (x) { case y: { } } return 0; }" with
+  | exception Ir.Parser.Error _ -> ()
+  | _ -> Alcotest.fail "non-constant case labels must be rejected"
+
+let test_validate_catches_errors () =
+  (* A phi with the wrong argument count must be rejected. *)
+  let bld = Ir.Builder.create ~name:"bad" ~nparams:0 in
+  let b0 = Ir.Builder.add_block bld in
+  Alcotest.check_raises "unterminated block"
+    (Invalid_argument "Builder: block 0 not terminated") (fun () ->
+      ignore (Ir.Builder.finish bld));
+  Ir.Builder.ret bld b0 (Ir.Builder.const bld b0 1);
+  ignore (Ir.Builder.finish bld)
+
+let test_builder_double_terminator () =
+  let bld = Ir.Builder.create ~name:"bad" ~nparams:0 in
+  let b0 = Ir.Builder.add_block bld in
+  let b1 = Ir.Builder.add_block bld in
+  ignore (Ir.Builder.jump bld b0 ~dst:b1);
+  Alcotest.check_raises "double terminator"
+    (Invalid_argument "Builder: block 0 already terminated") (fun () ->
+      ignore (Ir.Builder.jump bld b0 ~dst:b1))
+
+let test_builder_final_value () =
+  let bld = Ir.Builder.create ~name:"m" ~nparams:1 in
+  let b0 = Ir.Builder.add_block bld in
+  let p = Ir.Builder.param bld b0 0 in
+  let c = Ir.Builder.const bld b0 5 in
+  let s = Ir.Builder.binop bld b0 Ir.Types.Add p c in
+  Ir.Builder.ret bld b0 s;
+  let f = Ir.Builder.finish bld in
+  let m = Ir.Builder.final_value bld in
+  (match Ir.Func.instr f (m s) with
+  | Ir.Func.Binop (Ir.Types.Add, a, b) ->
+      Alcotest.(check (pair int int)) "operands remapped" (m p, m c) (a, b)
+  | _ -> Alcotest.fail "wrong instruction at mapped id");
+  match Ir.Interp.run f [| 37 |] with
+  | Ir.Interp.Ret 42 -> ()
+  | r -> Alcotest.failf "expected 42, got %a" Ir.Interp.pp_result r
+
+let test_prune_unreachable () =
+  (* Statements after return are unreachable and must be pruned. *)
+  let cir = Ir.Lower.lower_routine (Ir.Parser.parse_one
+    "routine f() { return 1; x = 2; return x; }") in
+  let g = Analysis.Graph.of_cir cir in
+  let reach = Analysis.Graph.reachable g in
+  Alcotest.(check bool) "all blocks reachable after prune" true (Array.for_all Fun.id reach)
+
+(* Property: SSA-level and register-level interpreters agree on every
+   generated program. *)
+let prop_cir_ssa_agree =
+  QCheck.Test.make ~name:"Cir.run agrees with Interp.run after SSA construction" ~count:60
+    QCheck.(pair (int_bound 100000) (int_bound 1000))
+    (fun (seed, argseed) ->
+      let f = Workload.Generator.func ~seed ~name:"p" () in
+      let cir = Ir.Lower.lower_routine (Workload.Generator.routine ~seed ~name:"p" ()) in
+      let rng = Util.Prng.create argseed in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let args = Array.init 8 (fun _ -> Util.Prng.range rng (-20) 20) in
+        if not (Ir.Interp.equal_result (Ir.Cir.run cir args) (Ir.Interp.run f args)) then
+          ok := false
+      done;
+      !ok)
+
+(* Property: the AST printer emits re-parsable mini-C. *)
+let prop_ast_roundtrip =
+  QCheck.Test.make ~name:"pretty-printed routines re-parse and agree" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let r = Workload.Generator.routine ~seed ~name:"rt" () in
+      let printed = Fmt.str "%a" Ir.Ast.pp_routine r in
+      let r2 = Ir.Parser.parse_one printed in
+      let c1 = Ir.Lower.lower_routine r and c2 = Ir.Lower.lower_routine r2 in
+      let rng = Util.Prng.create seed in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let args = Array.init 8 (fun _ -> Util.Prng.range rng (-20) 20) in
+        if not (Ir.Interp.equal_result (Ir.Cir.run c1 args) (Ir.Cir.run c2 args)) then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "lexer: basics" `Quick test_lexer_basic;
+    Alcotest.test_case "lexer: operators" `Quick test_lexer_operators;
+    Alcotest.test_case "lexer: comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer: error offset" `Quick test_lexer_error;
+    Alcotest.test_case "parser: precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "parser: left associativity" `Quick test_parser_left_assoc;
+    Alcotest.test_case "parser: dangling else" `Quick test_parser_dangling_else;
+    Alcotest.test_case "parser: rejects malformed input" `Quick test_parser_errors;
+    Alcotest.test_case "parser: multi-routine programs" `Quick test_parser_program;
+    Alcotest.test_case "interp: arithmetic and comparisons" `Quick test_interp_arith;
+    Alcotest.test_case "interp: short-circuit operators" `Quick test_interp_short_circuit;
+    Alcotest.test_case "interp: loops, break, continue" `Quick test_interp_control;
+    Alcotest.test_case "interp: traps and timeouts" `Quick test_interp_trap_and_timeout;
+    Alcotest.test_case "interp: switch" `Quick test_interp_switch;
+    Alcotest.test_case "parser: switch errors" `Quick test_parser_switch_errors;
+    Alcotest.test_case "builder: missing terminator rejected" `Quick test_validate_catches_errors;
+    Alcotest.test_case "builder: double terminator rejected" `Quick test_builder_double_terminator;
+    Alcotest.test_case "builder: final_value remapping" `Quick test_builder_final_value;
+    Alcotest.test_case "lowering: prunes unreachable blocks" `Quick test_prune_unreachable;
+    QCheck_alcotest.to_alcotest prop_cir_ssa_agree;
+    QCheck_alcotest.to_alcotest prop_ast_roundtrip;
+  ]

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "pgvn"
+    [
+      ("util", Test_util.suite);
+      ("ir", Test_ir.suite);
+      ("analysis", Test_analysis.suite);
+      ("ssa", Test_ssa.suite);
+      ("expr", Test_expr.suite);
+      ("infer", Test_infer.suite);
+      ("gvn", Test_gvn.suite);
+      ("phipred", Test_phipred.suite);
+      ("differential", Test_differential.suite);
+      ("paper", Test_paper.suite);
+      ("baselines", Test_baselines.suite);
+      ("transform", Test_transform.suite);
+      ("workload", Test_workload.suite);
+      ("stats", Test_stats.suite);
+    ]

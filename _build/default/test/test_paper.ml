@@ -1,0 +1,104 @@
+(* The paper's running example (Figures 1/2, §2.10) as executable checks:
+   routine R always returns 1, only the full unified algorithm proves it,
+   and removing any single analysis breaks the chain of inferences. *)
+
+let full = Pgvn.Config.full
+let r_func () = Helpers.func_of_src Workload.Corpus.routine_r_src
+
+let test_r_returns_one_at_runtime () =
+  let f = r_func () in
+  let rng = Util.Prng.create 1 in
+  for _ = 1 to 500 do
+    let args = Array.init 3 (fun _ -> Util.Prng.range rng (-25) 25) in
+    match Ir.Interp.run f args with
+    | Ir.Interp.Ret 1 -> ()
+    | r -> Alcotest.failf "R(%d,%d,%d) = %a" args.(0) args.(1) args.(2) Ir.Interp.pp_result r
+  done
+
+let test_full_proves_r_constant () =
+  List.iter
+    (fun (name, variant) ->
+      let f = r_func () in
+      let st = Pgvn.Driver.run { full with Pgvn.Config.variant } f in
+      Helpers.check_const (name ^ " proves R = 1") (Some 1) (Helpers.return_constant st f);
+      let s = Pgvn.Driver.summarize st in
+      (* The definitions of "I = 2" and "P = 2" are unreachable (§2.10). *)
+      Alcotest.(check int) (name ^ ": two unreachable values") 2 s.Pgvn.Driver.unreachable_values;
+      (* The walkthrough takes exactly 3 passes (§2.10). *)
+      Alcotest.(check int) (name ^ ": three passes") 3 s.Pgvn.Driver.passes)
+    [ ("practical", Pgvn.Config.Practical); ("complete", Pgvn.Config.Complete) ]
+
+let test_every_analysis_is_needed () =
+  (* §1.3: "If predicate inference, value inference or φ-predication are not
+     performed, it will break the chain of inferences." *)
+  let weakened =
+    [
+      ("without value inference", { full with Pgvn.Config.value_inference = false });
+      ("without predicate inference", { full with Pgvn.Config.predicate_inference = false });
+      ("without phi-predication", { full with Pgvn.Config.phi_predication = false });
+      ("without reassociation", { full with Pgvn.Config.reassociation = false });
+      ("without unreachable-code analysis", { full with Pgvn.Config.unreachable_code = false });
+      ("Click emulation", Pgvn.Config.emulate_click);
+      ("SCCP emulation", Pgvn.Config.emulate_sccp);
+      ("AWZ emulation", Pgvn.Config.emulate_awz);
+      ("balanced", Pgvn.Config.balanced);
+      ("pessimistic", Pgvn.Config.pessimistic);
+    ]
+  in
+  List.iter
+    (fun (name, config) ->
+      Helpers.check_const name None (Helpers.run_and_return config Workload.Corpus.routine_r_src))
+    weakened
+
+let test_optimizer_rewrites_r () =
+  let f = r_func () in
+  let g = Helpers.optimize full f in
+  (* The optimized routine must still return 1 everywhere, with the dead
+     blocks removed. *)
+  Alcotest.(check bool) "equivalent" true (Helpers.equivalent ~seed:77 f g);
+  Alcotest.(check bool) "strictly smaller" true (Ir.Func.num_instrs g < Ir.Func.num_instrs f)
+
+let test_sparse_matches_dense_on_r () =
+  let f = r_func () in
+  let a = Pgvn.Driver.summarize (Pgvn.Driver.run full f) in
+  let b = Pgvn.Driver.summarize (Pgvn.Driver.run Pgvn.Config.dense f) in
+  Alcotest.(check int) "constants" a.Pgvn.Driver.constant_values b.Pgvn.Driver.constant_values;
+  Alcotest.(check int) "unreachable" a.Pgvn.Driver.unreachable_values b.Pgvn.Driver.unreachable_values;
+  Alcotest.(check int) "classes" a.Pgvn.Driver.congruence_classes b.Pgvn.Driver.congruence_classes
+
+let test_q14_congruent_p11 () =
+  (* §2.10: "Instruction 14.1 computes the expression φ(14, 0, 1, 0), so Q14
+     evaluates to P11" — the two guarded accumulators are congruent. In our
+     SSA form these are the φs merging P and Q before the Z > I test. We
+     check that SOME φ pair from different blocks is congruent, which only
+     φ-predication can establish. *)
+  let f = r_func () in
+  let st = Pgvn.Driver.run full f in
+  let cross_block_phi_congruence st =
+    let found = ref false in
+    for i = 0 to Ir.Func.num_instrs f - 1 do
+      for j = i + 1 to Ir.Func.num_instrs f - 1 do
+        if
+          Ir.Func.is_phi (Ir.Func.instr f i)
+          && Ir.Func.is_phi (Ir.Func.instr f j)
+          && Ir.Func.block_of_instr f i <> Ir.Func.block_of_instr f j
+          && Pgvn.Driver.congruent st i j
+        then found := true
+      done
+    done;
+    !found
+  in
+  Alcotest.(check bool) "phis in different blocks congruent" true (cross_block_phi_congruence st);
+  let st' = Pgvn.Driver.run { full with Pgvn.Config.phi_predication = false } f in
+  Alcotest.(check bool) "not without phi-predication" false (cross_block_phi_congruence st')
+
+let suite =
+  [
+    Alcotest.test_case "R returns 1 at run time" `Quick test_r_returns_one_at_runtime;
+    Alcotest.test_case "full algorithm proves R = 1 (both variants)" `Quick
+      test_full_proves_r_constant;
+    Alcotest.test_case "every analysis is needed for R" `Quick test_every_analysis_is_needed;
+    Alcotest.test_case "optimizer rewrites R" `Quick test_optimizer_rewrites_r;
+    Alcotest.test_case "sparse == dense on R" `Quick test_sparse_matches_dense_on_r;
+    Alcotest.test_case "Q14 congruent to P11 via phi-predication" `Quick test_q14_congruent_p11;
+  ]

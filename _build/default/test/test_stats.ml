@@ -1,0 +1,57 @@
+(* The measurement helpers used by the benchmark harness. *)
+
+let test_histogram () =
+  let h = Stats.Histogram.of_list [ 0; 0; 1; 1; 1; -2; 5 ] in
+  Alcotest.(check int) "zero count" 2 (Stats.Histogram.zero_count h);
+  Alcotest.(check int) "improved" 4 (Stats.Histogram.improved_count h);
+  Alcotest.(check int) "regressed" 1 (Stats.Histogram.regressed_count h);
+  Alcotest.(check int) "total" 7 (Stats.Histogram.total h);
+  Alcotest.(check (list (pair int int)))
+    "sorted entries"
+    [ (-2, 1); (0, 2); (1, 3); (5, 1) ]
+    (Stats.Histogram.sorted_entries h)
+
+let test_strength_comparison () =
+  (* Full vs Click on routine R: strictly positive improvement. *)
+  let funcs = [ Helpers.func_of_src Workload.Corpus.routine_r_src ] in
+  let cmp =
+    Stats.Strength.compare_configs ~config:Pgvn.Config.full ~baseline:Pgvn.Config.emulate_click
+      funcs
+  in
+  Alcotest.(check int) "one routine improved (unreachable)" 1
+    (Stats.Histogram.improved_count cmp.Stats.Strength.unreachable);
+  Alcotest.(check int) "one routine improved (constants)" 1
+    (Stats.Histogram.improved_count cmp.Stats.Strength.constants);
+  (* And full never loses to SCCP on constants over the corpus. *)
+  let funcs = List.map (fun (_, s) -> Helpers.func_of_src s) Workload.Corpus.all_named in
+  let cmp =
+    Stats.Strength.compare_configs ~config:Pgvn.Config.full ~baseline:Pgvn.Config.emulate_sccp
+      funcs
+  in
+  Alcotest.(check int) "no constant regressions vs SCCP" 0
+    (Stats.Histogram.regressed_count cmp.Stats.Strength.constants)
+
+let test_table_render () =
+  let out =
+    Fmt.str "%t" (fun ppf ->
+        Stats.Table.render
+          ~columns:[ ("name", Stats.Table.Left); ("x", Stats.Table.Right) ]
+          ~rows:[ [ "a"; "1" ]; [ "bb"; "22" ] ]
+          ppf)
+  in
+  Alcotest.(check bool) "header present" true
+    (String.length out > 0 && String.split_on_char '\n' out |> List.length >= 4)
+
+let test_ratio_helpers () =
+  Alcotest.(check string) "ms" "1500.0" (Stats.Table.ms 1.5);
+  Alcotest.(check string) "ratio" "2.00" (Stats.Table.ratio 4.0 2.0);
+  Alcotest.(check string) "ratio div0" "-" (Stats.Table.ratio 4.0 0.0);
+  Alcotest.(check string) "pct" "50.0%" (Stats.Table.pct 1.0 2.0)
+
+let suite =
+  [
+    Alcotest.test_case "histogram accounting" `Quick test_histogram;
+    Alcotest.test_case "strength comparison" `Quick test_strength_comparison;
+    Alcotest.test_case "table rendering" `Quick test_table_render;
+    Alcotest.test_case "ratio helpers" `Quick test_ratio_helpers;
+  ]

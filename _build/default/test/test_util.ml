@@ -1,0 +1,80 @@
+(* Unit and property tests for the utility layer: growable vectors and the
+   deterministic PRNG. *)
+
+let test_vec_push_pop () =
+  let v = Util.Vec.create ~dummy:0 in
+  Alcotest.(check bool) "empty" true (Util.Vec.is_empty v);
+  for i = 1 to 100 do
+    Util.Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Util.Vec.length v);
+  Alcotest.(check int) "get" 42 (Util.Vec.get v 41);
+  Util.Vec.set v 41 7;
+  Alcotest.(check int) "set" 7 (Util.Vec.get v 41);
+  Alcotest.(check int) "pop" 100 (Util.Vec.pop v);
+  Alcotest.(check int) "length after pop" 99 (Util.Vec.length v);
+  Util.Vec.clear v;
+  Alcotest.(check bool) "cleared" true (Util.Vec.is_empty v)
+
+let test_vec_bounds () =
+  let v = Util.Vec.create ~dummy:0 in
+  Util.Vec.push v 1;
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Util.Vec.get v 1));
+  Alcotest.check_raises "set oob" (Invalid_argument "Vec.set") (fun () -> Util.Vec.set v (-1) 0);
+  ignore (Util.Vec.pop v);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop") (fun () ->
+      ignore (Util.Vec.pop v))
+
+let test_vec_iter_fold () =
+  let v = Util.Vec.of_array ~dummy:0 [| 1; 2; 3; 4 |] in
+  Alcotest.(check int) "fold" 10 (Util.Vec.fold ( + ) 0 v);
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3; 4 ] (Util.Vec.to_list v);
+  let seen = ref [] in
+  Util.Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  Alcotest.(check int) "iteri count" 4 (List.length !seen);
+  Alcotest.(check bool) "exists" true (Util.Vec.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "not exists" false (Util.Vec.exists (fun x -> x = 9) v)
+
+let test_prng_deterministic () =
+  let a = Util.Prng.create 12345 in
+  let b = Util.Prng.create 12345 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int) "same stream" (Util.Prng.int a 1000) (Util.Prng.int b 1000)
+  done
+
+let test_prng_copy () =
+  let a = Util.Prng.create 7 in
+  ignore (Util.Prng.int a 10);
+  let b = Util.Prng.copy a in
+  Alcotest.(check int) "copy continues identically" (Util.Prng.int a 1000) (Util.Prng.int b 1000)
+
+let prop_prng_range =
+  QCheck.Test.make ~name:"prng range stays in bounds" ~count:500
+    QCheck.(pair small_int (pair small_int small_nat))
+    (fun (seed, (lo, span)) ->
+      let rng = Util.Prng.create seed in
+      let hi = lo + span in
+      let x = Util.Prng.range rng lo hi in
+      x >= lo && x <= hi)
+
+let prop_prng_weighted =
+  QCheck.Test.make ~name:"weighted picks a positive-weight index" ~count:500
+    QCheck.(pair small_int (list_of_size (Gen.int_range 1 6) (make (Gen.int_range 0 5))))
+    (fun (seed, ws) ->
+      QCheck.assume (List.exists (fun w -> w > 0) ws);
+      let rng = Util.Prng.create seed in
+      let ws = Array.of_list ws in
+      let i = Util.Prng.weighted rng ws in
+      i >= 0 && i < Array.length ws && ws.(i) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "vec push/pop/get/set/clear" `Quick test_vec_push_pop;
+    Alcotest.test_case "vec bounds checking" `Quick test_vec_bounds;
+    Alcotest.test_case "vec iteration and folding" `Quick test_vec_iter_fold;
+    Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng copy" `Quick test_prng_copy;
+    QCheck_alcotest.to_alcotest prop_prng_range;
+    QCheck_alcotest.to_alcotest prop_prng_weighted;
+  ]
