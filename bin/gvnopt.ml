@@ -5,6 +5,8 @@
      gvnopt --analyze file.mc              facts only (no rewriting)
      gvnopt --preset click --stats file.mc
      gvnopt --run 1,2,3 file.mc            interpret (before and after)
+     gvnopt --check file.mc                verify IR invariants before/after
+     gvnopt --lint --Werror file.mc        + lint tier, warnings fail the run
 *)
 
 open Cmdliner
@@ -41,14 +43,33 @@ let pruning_conv =
   in
   Arg.conv (parse, fun ppf p -> Fmt.string ppf (Ssa.Construct.pruning_to_string p))
 
-let process ~config ~pruning ~action ~stats ~dump_input ~run_args path =
+(* Render diagnostics for one routine under the --check/--lint flags;
+   returns true when the run should be considered failed. *)
+let report_diagnostics ~lint ~werror ~stage name f =
+  let ds = Check.sort (Check.run_all ~lint f) in
+  let shown =
+    if lint then ds
+    else List.filter (fun d -> d.Check.Diagnostic.severity = Check.Diagnostic.Error) ds
+  in
+  List.iter (fun d -> Fmt.pr "%s (%s): %a@." name stage Check.Diagnostic.pp d) shown;
+  Check.has_errors ds
+  || (werror
+     && List.exists (fun d -> d.Check.Diagnostic.severity = Check.Diagnostic.Warning) ds)
+
+let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~werror path =
   let src = read_file path in
   let routines = Ir.Parser.parse_program src in
+  let failed = ref false in
+  let checking = check || lint || werror in
+  let diagnose ~stage name f =
+    if checking && report_diagnostics ~lint ~werror ~stage name f then failed := true
+  in
   List.iter
     (fun r ->
       let f = Ssa.Construct.of_cir ~pruning (Ir.Lower.lower_routine r) in
       Fmt.pr "=== %s ===@." r.Ir.Ast.name;
       if dump_input then Fmt.pr "--- input SSA ---@.%a@." Ir.Printer.pp f;
+      diagnose ~stage:"input" r.Ir.Ast.name f;
       let st = Pgvn.Driver.run config f in
       let s = Pgvn.Driver.summarize st in
       Fmt.pr
@@ -76,6 +97,7 @@ let process ~config ~pruning ~action ~stats ~dump_input ~run_args path =
           Fmt.pr "--- optimized (%d -> %d instrs, %d -> %d blocks) ---@.%a@."
             (Ir.Func.num_instrs f) (Ir.Func.num_instrs g) (Ir.Func.num_blocks f)
             (Ir.Func.num_blocks g) Ir.Printer.pp g;
+          diagnose ~stage:"optimized" r.Ir.Ast.name g;
           match run_args with
           | None -> ()
           | Some args ->
@@ -85,7 +107,7 @@ let process ~config ~pruning ~action ~stats ~dump_input ~run_args path =
                 args Ir.Interp.pp_result a Ir.Interp.pp_result b
                 (if Ir.Interp.equal_result a b then "agree" else "DISAGREE")))
     routines;
-  0
+  if !failed then 1 else 0
 
 let cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc") in
@@ -101,6 +123,15 @@ let cmd =
   let analyze = Arg.(value & flag & info [ "analyze"; "a" ] ~doc:"Report facts; do not rewrite.") in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics.") in
   let dump_input = Arg.(value & flag & info [ "dump-input" ] ~doc:"Print the input SSA form.") in
+  let check_flag =
+    Arg.(value & flag & info [ "check" ] ~doc:"Run the IR verifier on the input SSA and on the optimized routine; report Error-severity diagnostics and exit non-zero if any fire.")
+  in
+  let lint_flag =
+    Arg.(value & flag & info [ "lint" ] ~doc:"Like --check, also reporting the warning/info lint tier (unreachable blocks, dead pure instructions, trivial phis, ...).")
+  in
+  let werror_flag =
+    Arg.(value & flag & info [ "Werror" ] ~doc:"Treat Warning-severity diagnostics as failures (implies --check).")
+  in
   let run_args =
     let ints_conv =
       Arg.conv
@@ -119,7 +150,7 @@ let cmd =
   let no_vi = disable "value-inference" in
   let no_pp = disable "phi-predication" in
   let no_sparse = disable "sparse" in
-  let main preset complete pruning analyze stats dump_input run_args nr npi nvi npp nsp path =
+  let main preset complete pruning analyze stats dump_input run_args check lint werror nr npi nvi npp nsp path =
     let config =
       {
         preset with
@@ -132,11 +163,12 @@ let cmd =
       }
     in
     let action = if analyze then Analyze else Optimize in
-    process ~config ~pruning ~action ~stats ~dump_input ~run_args path
+    process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~werror path
   in
   let term =
     Term.(
       const main $ preset $ complete $ pruning $ analyze $ stats $ dump_input $ run_args
+      $ check_flag $ lint_flag $ werror_flag
       $ no_reassoc $ no_pi $ no_vi $ no_pp $ no_sparse $ path)
   in
   Cmd.v (Cmd.info "gvnopt" ~doc:"Predicated global value numbering for mini-C routines") term

@@ -1,0 +1,146 @@
+(* CFG invariants: the edge table and the per-block pred/succ lists must
+   mirror each other exactly, every block must end in exactly one terminator
+   whose shape matches its out-degree, and the entry block must have no
+   predecessors. Everything here is index-guarded so the checker survives
+   arbitrarily corrupted functions without raising. *)
+
+open Ir.Func
+
+let run (f : Ir.Func.t) : Diagnostic.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let err ~check ~loc fmt = Printf.ksprintf (fun m -> add (Diagnostic.error ~check ~loc "%s" m)) fmt in
+  let nb = num_blocks f and ni = num_instrs f and ne = num_edges f in
+  if nb = 0 then
+    [ Diagnostic.error ~check:"cfg-no-blocks" ~loc:Diagnostic.Func "function %s has no blocks" f.name ]
+  else begin
+    (* Edge table -> block lists. *)
+    Array.iteri
+      (fun e { src; dst; src_ix; dst_ix } ->
+        if src < 0 || src >= nb || dst < 0 || dst >= nb then
+          err ~check:"cfg-edge-endpoints" ~loc:(Diagnostic.Edge e)
+            "edge e%d connects b%d -> b%d, outside the %d blocks" e src dst nb
+        else begin
+          let bsrc = block f src and bdst = block f dst in
+          if src_ix < 0 || src_ix >= Array.length bsrc.succs || bsrc.succs.(src_ix) <> e then
+            err ~check:"cfg-edge-src-mirror" ~loc:(Diagnostic.Edge e)
+              "edge e%d claims slot %d of b%d's successors, which does not hold it" e src_ix src;
+          if dst_ix < 0 || dst_ix >= Array.length bdst.preds || bdst.preds.(dst_ix) <> e then
+            err ~check:"cfg-edge-dst-mirror" ~loc:(Diagnostic.Edge e)
+              "edge e%d claims slot %d of b%d's predecessors, which does not hold it" e dst_ix dst
+        end)
+      f.edges;
+    (* Block lists -> edge table. *)
+    Array.iteri
+      (fun b (blk : block) ->
+        Array.iteri
+          (fun ix e ->
+            if e < 0 || e >= ne then
+              err ~check:"cfg-succ-edge-range" ~loc:(Diagnostic.Block b)
+                "b%d successor slot %d holds edge id %d, outside the %d edges" b ix e ne
+            else
+              let ed = edge f e in
+              if ed.src <> b || ed.src_ix <> ix then
+                err ~check:"cfg-succ-mirror" ~loc:(Diagnostic.Block b)
+                  "b%d successor slot %d holds e%d, whose source is b%d slot %d" b ix e ed.src
+                  ed.src_ix)
+          blk.succs;
+        Array.iteri
+          (fun ix e ->
+            if e < 0 || e >= ne then
+              err ~check:"cfg-pred-edge-range" ~loc:(Diagnostic.Block b)
+                "b%d predecessor slot %d holds edge id %d, outside the %d edges" b ix e ne
+            else
+              let ed = edge f e in
+              if ed.dst <> b || ed.dst_ix <> ix then
+                err ~check:"cfg-pred-mirror" ~loc:(Diagnostic.Block b)
+                  "b%d predecessor slot %d holds e%d, whose destination is b%d slot %d" b ix e
+                  ed.dst ed.dst_ix)
+          blk.preds)
+      f.blocks;
+    if Array.length (block f entry).preds <> 0 then
+      err ~check:"cfg-entry-preds" ~loc:(Diagnostic.Block entry)
+        "entry block has %d predecessors" (Array.length (block f entry).preds);
+    (* Terminator placement and arity per block. *)
+    Array.iteri
+      (fun b (blk : block) ->
+        let n = Array.length blk.instrs in
+        if n = 0 then
+          err ~check:"cfg-block-no-instrs" ~loc:(Diagnostic.Block b)
+            "b%d has no instructions (needs at least a terminator)" b
+        else
+          Array.iteri
+            (fun pos i ->
+              if i < 0 || i >= ni then
+                err ~check:"cfg-instr-range" ~loc:(Diagnostic.Block b)
+                  "b%d position %d holds instruction id %d, outside the %d instructions" b pos i
+                  ni
+              else begin
+                let ins = instr f i in
+                if is_terminator ins && pos <> n - 1 then
+                  err ~check:"cfg-terminator-position" ~loc:(Diagnostic.Instr i)
+                    "terminator v%d at position %d of b%d is not last" i pos b;
+                if pos = n - 1 then
+                  if not (is_terminator ins) then
+                    err ~check:"cfg-terminator-missing" ~loc:(Diagnostic.Block b)
+                      "b%d does not end in a terminator" b
+                  else begin
+                    let out = Array.length blk.succs in
+                    let expect =
+                      match ins with
+                      | Jump -> Some 1
+                      | Branch _ -> Some 2
+                      | Switch (_, cases) -> Some (Array.length cases + 1)
+                      | Return _ -> Some 0
+                      | _ -> None
+                    in
+                    (match expect with
+                    | Some k when k <> out ->
+                        err ~check:"cfg-terminator-arity" ~loc:(Diagnostic.Instr i)
+                          "terminator of b%d wants %d successors, block has %d" b k out
+                    | _ -> ());
+                    match ins with
+                    | Switch (_, cases) ->
+                        let sorted = Array.copy cases in
+                        Array.sort compare sorted;
+                        for k = 1 to Array.length sorted - 1 do
+                          if sorted.(k) = sorted.(k - 1) then
+                            err ~check:"cfg-switch-duplicate-case" ~loc:(Diagnostic.Instr i)
+                              "switch in b%d lists case constant %d twice" b sorted.(k)
+                        done
+                    | _ -> ()
+                  end
+              end)
+            blk.instrs)
+      f.blocks;
+    (* Duplicate edges and critical edges: legal here (φ arguments are
+       per-edge), but worth surfacing — split-critical-edges style passes
+       and the paper's edge predicates both care. *)
+    Array.iteri
+      (fun b (blk : block) ->
+        let seen = Hashtbl.create 4 in
+        Array.iter
+          (fun e ->
+            if e >= 0 && e < ne then begin
+              let d = (edge f e).dst in
+              if Hashtbl.mem seen d then
+                add
+                  (Diagnostic.warning ~check:"cfg-duplicate-edge" ~loc:(Diagnostic.Edge e)
+                     "b%d has parallel edges to b%d" b d)
+              else Hashtbl.add seen d ()
+            end)
+          blk.succs)
+      f.blocks;
+    Array.iteri
+      (fun e { src; dst; _ } ->
+        if
+          src >= 0 && src < nb && dst >= 0 && dst < nb
+          && Array.length (block f src).succs > 1
+          && Array.length (block f dst).preds > 1
+        then
+          add
+            (Diagnostic.info ~check:"cfg-critical-edge" ~loc:(Diagnostic.Edge e)
+               "edge e%d (b%d -> b%d) is critical" e src dst))
+      f.edges;
+    List.rev !diags
+  end

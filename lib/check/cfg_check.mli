@@ -1,0 +1,10 @@
+(** CFG invariant checker: edge-table/block-list mirror consistency, entry
+    reachability preconditions (entry exists, has no predecessors),
+    terminator placement and arity, switch case uniqueness, plus
+    duplicate-edge warnings and critical-edge reports.
+
+    Safe on arbitrarily corrupted functions: never raises. The other
+    checkers ({!Ssa_check}, {!Type_check}, {!Lint}) assume this checker
+    reported no errors. *)
+
+val run : Ir.Func.t -> Diagnostic.t list

@@ -1,0 +1,54 @@
+(* The currency of the verifier: a structured finding, not an exception.
+   Every checker in this library reports through this type so that callers
+   can filter by severity, match on check ids, and attribute findings to
+   pipeline passes. *)
+
+type severity = Error | Warning | Info
+
+type loc =
+  | Func
+  | Block of int
+  | Instr of int
+  | Edge of int
+
+type t = { severity : severity; check : string; loc : loc; message : string }
+
+let make severity ~check ~loc fmt =
+  Printf.ksprintf (fun message -> { severity; check; loc; message }) fmt
+
+let error ~check ~loc fmt = make Error ~check ~loc fmt
+let warning ~check ~loc fmt = make Warning ~check ~loc fmt
+let info ~check ~loc fmt = make Info ~check ~loc fmt
+
+let is_error d = d.severity = Error
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let loc_rank = function
+  | Func -> (0, 0)
+  | Block b -> (1, b)
+  | Instr i -> (2, i)
+  | Edge e -> (3, e)
+
+(* Errors first, then by check id and location: a stable report order. *)
+let compare a b =
+  compare
+    (severity_rank a.severity, a.check, loc_rank a.loc, a.message)
+    (severity_rank b.severity, b.check, loc_rank b.loc, b.message)
+
+let string_of_severity = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pp_loc ppf = function
+  | Func -> Fmt.string ppf "func"
+  | Block b -> Fmt.pf ppf "b%d" b
+  | Instr i -> Fmt.pf ppf "v%d" i
+  | Edge e -> Fmt.pf ppf "e%d" e
+
+let pp ppf d =
+  Fmt.pf ppf "%s[%s] at %a: %s" (string_of_severity d.severity) d.check pp_loc
+    d.loc d.message
+
+let to_string d = Fmt.str "%a" pp d

@@ -1,0 +1,85 @@
+(* The lint tier: findings that are semantically harmless but indicate work
+   a transformation pipeline should have done — unreachable blocks, values
+   no terminator depends on, φs that merge nothing, forwarder blocks, and
+   branches on constants. All warnings; none of these make the IR invalid. *)
+
+open Ir.Func
+
+let run (f : Ir.Func.t) : Diagnostic.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let ni = num_instrs f in
+  (* Unreachable blocks. *)
+  let g = Analysis.Graph.of_func f in
+  let reach = Analysis.Graph.reachable g in
+  Array.iteri
+    (fun b r ->
+      if not r then
+        add
+          (Diagnostic.warning ~check:"lint-unreachable-block" ~loc:(Diagnostic.Block b)
+             "b%d is unreachable from the entry" b))
+    reach;
+  (* Dead pure instructions: nothing in this IR has side effects, so a value
+     is live only if a terminator transitively depends on it (the same
+     notion DCE uses). *)
+  let live = Array.make ni false in
+  let rec mark v =
+    if v >= 0 && v < ni && not live.(v) then begin
+      live.(v) <- true;
+      iter_operands mark (instr f v)
+    end
+  in
+  Array.iter
+    (fun ins -> match ins with Branch c | Switch (c, _) | Return c -> mark c | _ -> ())
+    f.instrs;
+  Array.iteri
+    (fun i ins ->
+      if defines_value ins && not live.(i) then
+        add
+          (Diagnostic.warning ~check:"lint-dead-instr" ~loc:(Diagnostic.Instr i)
+             "v%d is pure and unused (DCE fodder)" i))
+    f.instrs;
+  (* Trivial φs: all arguments equal, ignoring self-references. *)
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Phi args ->
+          let distinct =
+            Array.to_list args |> List.filter (fun v -> v <> i) |> List.sort_uniq compare
+          in
+          if List.length distinct <= 1 then
+            add
+              (Diagnostic.warning ~check:"lint-trivial-phi" ~loc:(Diagnostic.Instr i)
+                 "φ v%d merges only %s" i
+                 (match distinct with [ v ] -> Printf.sprintf "v%d" v | _ -> "itself"))
+      | _ -> ())
+    f.instrs;
+  (* Forwarder blocks: a lone unconditional jump (the entry is exempt: it
+     may legitimately forward into a loop header). *)
+  Array.iteri
+    (fun b (blk : block) ->
+      if
+        b <> entry
+        && Array.length blk.instrs = 1
+        && (match instr f blk.instrs.(0) with Jump -> true | _ -> false)
+      then
+        add
+          (Diagnostic.warning ~check:"lint-empty-block" ~loc:(Diagnostic.Block b)
+             "b%d contains only a jump" b))
+    f.blocks;
+  (* Branches and switches on constants: the branch is decidable at compile
+     time, so unreachable-code elimination left money on the table. *)
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Branch c | Switch (c, _) -> (
+          if c >= 0 && c < ni then
+            match instr f c with
+            | Const n ->
+                add
+                  (Diagnostic.warning ~check:"lint-const-branch" ~loc:(Diagnostic.Instr i)
+                     "v%d branches on the constant %d" i n)
+            | _ -> ())
+      | _ -> ())
+    f.instrs;
+  List.rev !diags

@@ -1,0 +1,7 @@
+(** Lint tier: warnings for IR that is valid but that a clean pipeline
+    should not produce — unreachable blocks, dead pure instructions,
+    trivial φs, forwarder (jump-only) blocks, branches on constants.
+
+    Assumes {!Cfg_check} reported no errors. *)
+
+val run : Ir.Func.t -> Diagnostic.t list

@@ -1,0 +1,9 @@
+(** SSA verifier: single definition, instr/block table agreement, φ
+    placement and arity, operand validity, def-dominates-use for straight
+    uses, per-edge availability for φ arguments, and no reachable use of a
+    definition in an unreachable block.
+
+    Subsumes the old [Ssa.Verify] exception-based check (which is now a thin
+    wrapper over this module). Assumes {!Cfg_check} reported no errors. *)
+
+val run : Ir.Func.t -> Diagnostic.t list

@@ -1,41 +1,6 @@
-(* SSA well-formedness over and above {!Ir.Func.validate}: every non-φ use
-   is dominated by its definition, and every φ argument's definition
-   dominates the source block of the edge that carries it. *)
+(* Legacy raise-on-error SSA verification, now a thin wrapper over the
+   {!Check} library: run the structural, SSA and type checkers and raise on
+   the first Error-severity diagnostic. Callers that want the diagnostics
+   themselves should use {!Check.run_all} directly. *)
 
-let check (f : Ir.Func.t) =
-  let g = Analysis.Graph.of_func f in
-  let dom = Analysis.Dom.compute g in
-  let fail fmt = Printf.ksprintf failwith fmt in
-  (* Position of each instruction inside its block, for same-block order. *)
-  let pos = Array.make (Ir.Func.num_instrs f) 0 in
-  for b = 0 to Ir.Func.num_blocks f - 1 do
-    Array.iteri (fun k i -> pos.(i) <- k) (Ir.Func.block f b).Ir.Func.instrs
-  done;
-  let def_dominates_use ~def ~use_block ~use_pos =
-    let db = Ir.Func.block_of_instr f def in
-    if db = use_block then pos.(def) < use_pos
-    else Analysis.Dom.strictly_dominates dom db use_block
-  in
-  for i = 0 to Ir.Func.num_instrs f - 1 do
-    let b = Ir.Func.block_of_instr f i in
-    if Analysis.Dom.reachable dom b then
-      match Ir.Func.instr f i with
-      | Ir.Func.Phi args ->
-          let preds = (Ir.Func.block f b).Ir.Func.preds in
-          Array.iteri
-            (fun ix v ->
-              let e = Ir.Func.edge f preds.(ix) in
-              let src = e.Ir.Func.src in
-              if Analysis.Dom.reachable dom src then
-                let n = Array.length (Ir.Func.block f src).Ir.Func.instrs in
-                if not (def_dominates_use ~def:v ~use_block:src ~use_pos:n) then
-                  fail "ssa: phi v%d arg v%d not available on edge from b%d" i v src)
-            args
-      | ins ->
-          Ir.Func.iter_operands
-            (fun v ->
-              if not (def_dominates_use ~def:v ~use_block:b ~use_pos:pos.(i)) then
-                fail "ssa: use of v%d in v%d (b%d) not dominated by its definition" v i b)
-            ins
-  done;
-  f
+let check (f : Ir.Func.t) = Check.check_exn f

@@ -1,6 +1,6 @@
-(** SSA well-formedness over and above {!Ir.Func.validate}: every non-φ use
-    is dominated by its definition, and every φ argument's definition
-    dominates the source of the edge carrying it. *)
+(** SSA well-formedness, as a raise-on-error wrapper over {!Check}: the
+    structural (CFG), SSA-dominance and type checkers run; the first
+    [Error]-severity diagnostic is rendered and raised. *)
 
 val check : Ir.Func.t -> Ir.Func.t
 (** Returns its argument. @raise Failure with a diagnostic on violations. *)

@@ -2,9 +2,21 @@
    is one pass among several, so that the paper's Table 1 measurement — GVN
    time as a fraction of total optimization time — has a meaningful
    denominator. The pass mix is the usual early-scalar lineup: CFG cleanup,
-   local value numbering, dead code elimination, GVN + rewrite, cleanup. *)
+   local value numbering, dead code elimination, GVN + rewrite, cleanup.
 
-type timing = { pass : string; seconds : float }
+   With [~check:true] the {!Check} verifier runs after every pass and the
+   first broken invariant is attributed to the pass that introduced it. *)
+
+type pass_kind = Simplify_cfg | Analyses | Lvn | Dce | Gvn
+
+let pass_kind_name = function
+  | Simplify_cfg -> "simplify-cfg"
+  | Analyses -> "analyses"
+  | Lvn -> "lvn"
+  | Dce -> "dce"
+  | Gvn -> "gvn"
+
+type timing = { pass : string; kind : pass_kind; seconds : float }
 
 type result = {
   func : Ir.Func.t;
@@ -14,12 +26,18 @@ type result = {
   gvn_state : Pgvn.State.t option; (* the last GVN run's state *)
 }
 
-let time_pass name f x timings =
-  let t0 = Unix.gettimeofday () in
-  let y = f x in
-  let dt = Unix.gettimeofday () -. t0 in
-  timings := { pass = name; seconds = dt } :: !timings;
-  y
+exception
+  Broken_invariant of { pass : string; diagnostics : Check.Diagnostic.t list }
+
+let () =
+  Printexc.register_printer (function
+    | Broken_invariant { pass; diagnostics } ->
+        Some
+          (Fmt.str "pipeline pass %s broke %d invariant(s); first: %a" pass
+             (List.length diagnostics)
+             Fmt.(option Check.Diagnostic.pp)
+             (List.nth_opt diagnostics 0))
+    | _ -> None)
 
 (* The analysis bookkeeping a real pipeline recomputes between passes:
    dominators, postdominators, dominance frontiers, loops, def-use chains
@@ -34,37 +52,48 @@ let analysis_pass (f : Ir.Func.t) : Ir.Func.t =
   let (_ : Analysis.Liveness.t) = Analysis.Liveness.compute f in
   f
 
-let run ?(config = Pgvn.Config.full) ?(rounds = 2) (f : Ir.Func.t) : result =
+let guard ~check ~pass f =
+  if check then begin
+    match Check.errors (Check.run_all f) with
+    | [] -> f
+    | diagnostics -> raise (Broken_invariant { pass; diagnostics })
+  end
+  else f
+
+let run ?(config = Pgvn.Config.full) ?(rounds = 2) ?(check = false) (f : Ir.Func.t) : result =
   let timings = ref [] in
   let gvn_state = ref None in
+  let time_pass kind round pass x =
+    let name = Printf.sprintf "%s#%d" (pass_kind_name kind) round in
+    let t0 = Unix.gettimeofday () in
+    let y = pass x in
+    let dt = Unix.gettimeofday () -. t0 in
+    timings := { pass = name; kind; seconds = dt } :: !timings;
+    guard ~check ~pass:name y
+  in
   let t0 = Unix.gettimeofday () in
-  let current = ref f in
+  let current = ref (guard ~check ~pass:"input" f) in
   for round = 1 to rounds do
-    let tag name = Printf.sprintf "%s#%d" name round in
-    current := time_pass (tag "simplify-cfg") Simplify_cfg.fixpoint !current timings;
-    current := time_pass (tag "analyses") analysis_pass !current timings;
-    current := time_pass (tag "lvn") Lvn.run !current timings;
-    current := time_pass (tag "dce") Dce.run !current timings;
-    current := time_pass (tag "analyses") analysis_pass !current timings;
-    current :=
-      time_pass (tag "gvn")
-        (fun fn ->
-          let st = Pgvn.Driver.run config fn in
-          gvn_state := Some st;
-          Apply.rebuild st fn)
-        !current timings;
-    current := time_pass (tag "dce") Dce.run !current timings;
-    current := time_pass (tag "analyses") analysis_pass !current timings;
-    current := time_pass (tag "simplify-cfg") Simplify_cfg.fixpoint !current timings;
-    current := time_pass (tag "lvn") Lvn.run !current timings;
-    current := time_pass (tag "dce") Dce.run !current timings
+    let pass kind p = current := time_pass kind round p !current in
+    pass Simplify_cfg Simplify_cfg.fixpoint;
+    pass Analyses analysis_pass;
+    pass Lvn Lvn.run;
+    pass Dce Dce.run;
+    pass Analyses analysis_pass;
+    pass Gvn (fun fn ->
+        let st = Pgvn.Driver.run config fn in
+        gvn_state := Some st;
+        Apply.rebuild st fn);
+    pass Dce Dce.run;
+    pass Analyses analysis_pass;
+    pass Simplify_cfg Simplify_cfg.fixpoint;
+    pass Lvn Lvn.run;
+    pass Dce Dce.run
   done;
   let total = Unix.gettimeofday () -. t0 in
   let gvn_seconds =
     List.fold_left
-      (fun acc t ->
-        if String.length t.pass >= 3 && String.sub t.pass 0 3 = "gvn" then acc +. t.seconds
-        else acc)
+      (fun acc t -> if t.kind = Gvn then acc +. t.seconds else acc)
       0.0 !timings
   in
   {

@@ -5,7 +5,13 @@
     def-use, liveness), local value numbering, DCE, GVN + rewrite, and
     cleanup again. *)
 
-type timing = { pass : string; seconds : float }
+type pass_kind = Simplify_cfg | Analyses | Lvn | Dce | Gvn
+
+val pass_kind_name : pass_kind -> string
+
+type timing = { pass : string; kind : pass_kind; seconds : float }
+(** [pass] is the display name ("gvn#2"); [kind] identifies the pass
+    structurally — time accounting matches on it, not on the name. *)
 
 type result = {
   func : Ir.Func.t;
@@ -15,8 +21,17 @@ type result = {
   gvn_state : Pgvn.State.t option;  (** state of the last GVN run *)
 }
 
+exception
+  Broken_invariant of { pass : string; diagnostics : Check.Diagnostic.t list }
+(** Raised under [~check:true] when a pass's output fails the verifier:
+    [pass] names the offending pass and round ("lvn#1"; "input" for the
+    function as given), [diagnostics] the Error-severity findings. *)
+
 val analysis_pass : Ir.Func.t -> Ir.Func.t
 (** Recompute the standard analyses (identity on the function). *)
 
-val run : ?config:Pgvn.Config.t -> ?rounds:int -> Ir.Func.t -> result
-(** Default: {!Pgvn.Config.full}, 2 rounds. *)
+val run : ?config:Pgvn.Config.t -> ?rounds:int -> ?check:bool -> Ir.Func.t -> result
+(** Default: {!Pgvn.Config.full}, 2 rounds, [check] off. With
+    [~check:true], {!Check.run_all} runs on the input and after every pass;
+    the first Error-severity diagnostic raises {!Broken_invariant}
+    attributed to the pass that introduced it. *)

@@ -4,11 +4,14 @@
    facts must hold at run time. This is the suite's strongest oracle. *)
 
 let optimize_pipeline config f =
+  (* Every routine goes through the full structured checker before and
+     after optimization: zero Error-severity diagnostics allowed. *)
+  ignore (Check.check_exn f);
   let st = Pgvn.Driver.run config f in
   let g = Transform.Apply.rebuild st f in
-  ignore (Ssa.Verify.check g);
+  ignore (Check.check_exn g);
   let g = Transform.Simplify_cfg.fixpoint (Transform.Dce.run g) in
-  ignore (Ssa.Verify.check g);
+  ignore (Check.check_exn g);
   (st, g)
 
 let profiles =

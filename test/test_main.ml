@@ -5,6 +5,7 @@ let () =
       ("ir", Test_ir.suite);
       ("analysis", Test_analysis.suite);
       ("ssa", Test_ssa.suite);
+      ("check", Test_check.suite);
       ("expr", Test_expr.suite);
       ("infer", Test_infer.suite);
       ("gvn", Test_gvn.suite);
