@@ -3,7 +3,7 @@
    the related-work experiments of Figures 13/14. Run with no arguments for
    everything, or name sections:
 
-     dune exec bench/main.exe -- table1 table2 fig9 fig10 fig11 fig12 fig13 scalars bechamel
+     dune exec bench/main.exe -- table1 table2 fig9 fig10 fig11 fig12 fig13 scalars validate bechamel
 
    Absolute times are this machine's, not a 440 MHz PA-8500's; the claims
    being reproduced are the *ratios* and *shapes* (see EXPERIMENTS.md). *)
@@ -362,6 +362,59 @@ let bechamel_section () =
         analyzed)
     tests
 
+(* Translation-validation overhead: run the pipeline under full validation
+   and report, per pass kind, what the validator adds on top of the pass
+   itself (witness audit against the oracle for GVN; interpreter diffing
+   for every rewriting pass), plus the certification totals. *)
+let validate_section suite =
+  Fmt.pr "@\n=== Translation validation: per-pass overhead (whole suite) ===@\n";
+  let funcs = all_funcs suite in
+  let pass_s = Hashtbl.create 8 and val_s = Hashtbl.create 8 in
+  let bump h k dt =
+    Hashtbl.replace h k (dt +. try Hashtbl.find h k with Not_found -> 0.0)
+  in
+  let kind_of_name name =
+    match String.index_opt name '#' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  let combined = ref Validate.Report.empty in
+  List.iter
+    (fun f ->
+      let r = Transform.Pipeline.run ~validate:Validate.All f in
+      List.iter
+        (fun t ->
+          bump pass_s
+            (Transform.Pipeline.pass_kind_name t.Transform.Pipeline.kind)
+            t.Transform.Pipeline.seconds)
+        r.Transform.Pipeline.timings;
+      match r.Transform.Pipeline.validation with
+      | None -> ()
+      | Some v ->
+          List.iter
+            (fun p ->
+              bump val_s (kind_of_name p.Validate.Report.pass) p.Validate.Report.seconds;
+              combined := Validate.Report.add !combined p)
+            v.Validate.Report.passes)
+    funcs;
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) pass_s []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+    |> List.map (fun (kind, ps) ->
+           let vs = try Hashtbl.find val_s kind with Not_found -> 0.0 in
+           [ kind; Stats.Table.ms ps; Stats.Table.ms vs; Stats.Table.ratio vs ps ])
+  in
+  Stats.Table.render
+    ~columns:
+      [
+        ("pass", Stats.Table.Left);
+        ("pass ms", Stats.Table.Right);
+        ("validate ms", Stats.Table.Right);
+        ("overhead x", Stats.Table.Right);
+      ]
+    ~rows Fmt.stdout;
+  Fmt.pr "totals: %a@\n" Validate.Report.pp_summary !combined
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args =
@@ -390,4 +443,5 @@ let () =
   if want "fig9" then fig9 ();
   if want "fig13" then fig13 ();
   if want "ablation" then ablation (Lazy.force suite);
+  if want "validate" then validate_section (Lazy.force suite);
   if want "bechamel" then bechamel_section ()

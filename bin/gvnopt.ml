@@ -7,7 +7,12 @@
      gvnopt --run 1,2,3 file.mc            interpret (before and after)
      gvnopt --check file.mc                verify IR invariants before/after
      gvnopt --lint --Werror file.mc        + lint tier, warnings fail the run
-*)
+     gvnopt --validate=all file.mc         certify every rewrite (translation
+                                           validation: witness audit + diff)
+
+   Exit codes: 0 clean; 1 diagnostics at or above the failure threshold
+   (verifier errors, --Werror'd warnings, rejected rewrites, --run
+   disagreement); 2 usage or parse error. *)
 
 open Cmdliner
 
@@ -34,6 +39,14 @@ let preset_conv =
   in
   Arg.conv (parse, fun ppf _ -> Fmt.string ppf "<preset>")
 
+let validate_conv =
+  let parse s =
+    match Validate.mode_of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown validation mode %S (witness, diff, all)" s))
+  in
+  Arg.conv (parse, fun ppf m -> Fmt.string ppf (Validate.mode_to_string m))
+
 let pruning_conv =
   let parse = function
     | "minimal" -> Ok Ssa.Construct.Minimal
@@ -56,7 +69,8 @@ let report_diagnostics ~lint ~werror ~stage name f =
   || (werror
      && List.exists (fun d -> d.Check.Diagnostic.severity = Check.Diagnostic.Warning) ds)
 
-let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~werror path =
+let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~werror
+    ~validate path =
   let src = read_file path in
   let routines = Ir.Parser.parse_program src in
   let failed = ref false in
@@ -93,19 +107,38 @@ let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~
                     | _ -> ())
           done
       | Optimize ->
-          let g = Transform.Simplify_cfg.fixpoint (Transform.Dce.run (Transform.Apply.rebuild st f)) in
+          let rewritten, witnesses = Transform.Apply.rebuild_witnessed st f in
+          let g = Transform.Simplify_cfg.fixpoint (Transform.Dce.run rewritten) in
           Fmt.pr "--- optimized (%d -> %d instrs, %d -> %d blocks) ---@.%a@."
             (Ir.Func.num_instrs f) (Ir.Func.num_instrs g) (Ir.Func.num_blocks f)
             (Ir.Func.num_blocks g) Ir.Printer.pp g;
           diagnose ~stage:"optimized" r.Ir.Ast.name g;
-          match run_args with
+          (match validate with
+          | None -> ()
+          | Some mode ->
+              (* Engine 1 audits the GVN rewrite's witnesses against [f];
+                 Engine 2 diffs observable behavior across the whole
+                 rewrite + cleanup. *)
+              let p =
+                Validate.certify ~mode ~pass:"gvn+cleanup" ~witnesses f g
+              in
+              let report = Validate.Report.add Validate.Report.empty p in
+              Fmt.pr "validate: %a@." Validate.Report.pp_summary report;
+              let errors = Validate.Report.errors report in
+              List.iter
+                (fun d -> Fmt.pr "%s (validate): %a@." r.Ir.Ast.name Check.Diagnostic.pp d)
+                errors;
+              if errors <> [] then failed := true);
+          (match run_args with
           | None -> ()
           | Some args ->
               let a = Ir.Interp.run f args and b = Ir.Interp.run g args in
+              let agree = Ir.Interp.equal_result a b in
               Fmt.pr "run(%a): input %a | optimized %a | %s@."
                 Fmt.(array ~sep:(any ",") int)
                 args Ir.Interp.pp_result a Ir.Interp.pp_result b
-                (if Ir.Interp.equal_result a b then "agree" else "DISAGREE")))
+                (if agree then "agree" else "DISAGREE");
+              if not agree then failed := true)))
     routines;
   if !failed then 1 else 0
 
@@ -132,6 +165,18 @@ let cmd =
   let werror_flag =
     Arg.(value & flag & info [ "Werror" ] ~doc:"Treat Warning-severity diagnostics as failures (implies --check).")
   in
+  let validate_flag =
+    Arg.(
+      value
+      & opt ~vopt:(Some Validate.All) (some validate_conv) None
+      & info [ "validate" ]
+          ~doc:
+            "Translation validation of the optimization: $(b,witness) audits every \
+             GVN rewrite against an independent oracle GVN, $(b,diff) compares \
+             observable behavior through the interpreter, $(b,all) (the default \
+             when the flag is given bare) does both. Rejected rewrites are \
+             reported with their location and fail the run.")
+  in
   let run_args =
     let ints_conv =
       Arg.conv
@@ -150,7 +195,7 @@ let cmd =
   let no_vi = disable "value-inference" in
   let no_pp = disable "phi-predication" in
   let no_sparse = disable "sparse" in
-  let main preset complete pruning analyze stats dump_input run_args check lint werror nr npi nvi npp nsp path =
+  let main preset complete pruning analyze stats dump_input run_args check lint werror validate nr npi nvi npp nsp path =
     let config =
       {
         preset with
@@ -163,14 +208,45 @@ let cmd =
       }
     in
     let action = if analyze then Analyze else Optimize in
-    process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~werror path
+    try
+      process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~werror
+        ~validate path
+    with
+    | Ir.Parser.Error (msg, line) ->
+        Fmt.epr "%s:%d: parse error: %s@." path line msg;
+        2
+    | Ir.Lexer.Error (msg, line) ->
+        Fmt.epr "%s:%d: lex error: %s@." path line msg;
+        2
   in
   let term =
     Term.(
       const main $ preset $ complete $ pruning $ analyze $ stats $ dump_input $ run_args
-      $ check_flag $ lint_flag $ werror_flag
+      $ check_flag $ lint_flag $ werror_flag $ validate_flag
       $ no_reassoc $ no_pi $ no_vi $ no_pp $ no_sparse $ path)
   in
-  Cmd.v (Cmd.info "gvnopt" ~doc:"Predicated global value numbering for mini-C routines") term
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on success (no diagnostics at the failure threshold).";
+      Cmd.Exit.info 1
+        ~doc:
+          "on diagnostics at or above the failure threshold: verifier errors, \
+           warnings under $(b,--Werror), rewrites rejected under $(b,--validate), \
+           or a $(b,--run) disagreement.";
+      Cmd.Exit.info 2 ~doc:"on usage or parse errors.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "gvnopt" ~doc:"Predicated global value numbering for mini-C routines" ~exits)
+    term
 
-let () = exit (Cmd.eval' cmd)
+(* Pin the documented contract: cmdliner's own split of CLI errors (124) vs
+   term errors would leak through [eval']; collapse every usage-level
+   failure — unknown flag, bad option value, missing or nonexistent file —
+   to exit 2. *)
+let () =
+  exit
+    (match Cmd.eval_value cmd with
+    | Ok (`Ok code) -> code
+    | Ok (`Help | `Version) -> 0
+    | Error (`Parse | `Term | `Exn) -> 2)

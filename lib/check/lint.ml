@@ -67,6 +67,21 @@ let run (f : Ir.Func.t) : Diagnostic.t list =
           (Diagnostic.warning ~check:"lint-empty-block" ~loc:(Diagnostic.Block b)
              "b%d contains only a jump" b))
     f.blocks;
+  (* Critical edges: src has several successors and dst several
+     predecessors. Nothing can be inserted "on" such an edge, and
+     mis-associating φ arguments across one is exactly the miscompile class
+     the translation validator's behavior engine hunts. Info severity: the
+     IR is fine, but edge-placement transforms would need a split. *)
+  Array.iteri
+    (fun e (edge : edge) ->
+      if
+        Array.length (block f edge.src).succs > 1
+        && Array.length (block f edge.dst).preds > 1
+      then
+        add
+          (Diagnostic.info ~check:"lint-critical-edge" ~loc:(Diagnostic.Edge e)
+             "edge e%d (b%d -> b%d) is critical" e edge.src edge.dst))
+    f.edges;
   (* Branches and switches on constants: the branch is decidable at compile
      time, so unreachable-code elimination left money on the table. *)
   Array.iteri

@@ -1,6 +1,8 @@
 (** Lint tier: warnings for IR that is valid but that a clean pipeline
     should not produce — unreachable blocks, dead pure instructions,
-    trivial φs, forwarder (jump-only) blocks, branches on constants.
+    trivial φs, forwarder (jump-only) blocks, branches on constants — plus
+    an Info report of critical edges (["lint-critical-edge"]), where
+    mis-associated φ arguments would hide.
 
     Assumes {!Cfg_check} reported no errors. *)
 

@@ -103,6 +103,85 @@ let run ?(fuel = 100_000) ?trace (f : Func.t) (args : int array) : result =
   in
   match exec_block Func.entry None with r -> r | exception Trapped -> Trap
 
+(* Runs [f] with observation hooks: [on_def i v] fires each time
+   instruction [i] defines value [v] (φs fire at block entry, as the
+   parallel copy commits), [on_edge] on each traversed CFG edge, [on_block]
+   on each block entry. The translation validator uses this to refute
+   witness claims at the program point where they are made. *)
+let run_instrumented ?(fuel = 100_000) ?(on_def = fun _ _ -> ())
+    ?(on_edge = fun _ -> ()) ?(on_block = fun _ -> ()) (f : Func.t)
+    (args : int array) : result =
+  let raw = Array.make (Func.num_instrs f) 0 in
+  let exception Trapped in
+  let fuel_left = ref fuel in
+  let record i v =
+    raw.(i) <- v;
+    on_def i v
+  in
+  let rec exec_block b incoming_edge =
+    on_block b;
+    let blk = Func.block f b in
+    let phis = Func.phis_of_block f b in
+    let phi_vals =
+      Array.map
+        (fun p ->
+          match Func.instr f p with
+          | Func.Phi pargs ->
+              let ix =
+                match incoming_edge with
+                | Some e -> (Func.edge f e).Func.dst_ix
+                | None -> invalid_arg "Interp: phi in entry block"
+              in
+              raw.(pargs.(ix))
+          | _ -> assert false)
+        phis
+    in
+    Array.iteri (fun k p -> record p phi_vals.(k)) phis;
+    let take e =
+      on_edge e;
+      exec_block (Func.edge f e).Func.dst (Some e)
+    in
+    let rec step pos =
+      let i = blk.instrs.(pos) in
+      if !fuel_left <= 0 then Timeout
+      else begin
+        decr fuel_left;
+        match Func.instr f i with
+        | Func.Jump -> take blk.succs.(0)
+        | Func.Branch c -> take (if raw.(c) <> 0 then blk.succs.(0) else blk.succs.(1))
+        | Func.Switch (c, cases) ->
+            let ix = ref (Array.length cases) in
+            Array.iteri (fun k case -> if raw.(c) = case then ix := k) cases;
+            take blk.succs.(!ix)
+        | Func.Return v -> Ret raw.(v)
+        | Func.Phi _ -> step (pos + 1)
+        | Func.Const n ->
+            record i n;
+            step (pos + 1)
+        | Func.Param k ->
+            record i (if k < Array.length args then args.(k) else 0);
+            step (pos + 1)
+        | Func.Unop (op, a) ->
+            record i (Types.eval_unop op raw.(a));
+            step (pos + 1)
+        | Func.Binop (op, a, b) -> (
+            match Types.eval_binop op raw.(a) raw.(b) with
+            | n ->
+                record i n;
+                step (pos + 1)
+            | exception Types.Division_by_zero -> raise Trapped)
+        | Func.Cmp (op, a, b) ->
+            record i (Types.eval_cmp op raw.(a) raw.(b));
+            step (pos + 1)
+        | Func.Opaque (tag, oargs) ->
+            record i (opaque_model tag (Array.map (fun v -> raw.(v)) oargs));
+            step (pos + 1)
+      end
+    in
+    step 0
+  in
+  match exec_block Func.entry None with r -> r | exception Trapped -> Trap
+
 (* Runs [f] and also records the value each instruction last computed;
    used to check that GVN-congruent values really agree at run time. *)
 let run_with_env ?(fuel = 100_000) f args =

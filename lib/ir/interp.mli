@@ -21,6 +21,20 @@ val run : ?fuel:int -> ?trace:trace -> Func.t -> int array -> result
 (** Execute on the given arguments (missing parameters read 0). [fuel]
     bounds executed instructions (default 100_000). *)
 
+val run_instrumented :
+  ?fuel:int ->
+  ?on_def:(int -> int -> unit) ->
+  ?on_edge:(int -> unit) ->
+  ?on_block:(int -> unit) ->
+  Func.t ->
+  int array ->
+  result
+(** Like {!run} with observation hooks: [on_def i v] fires each time
+    instruction [i] defines value [v] (φs fire at block entry, as the
+    parallel copy commits), [on_edge] on every traversed CFG edge,
+    [on_block] on every block entry. Used by the translation validator to
+    refute witness claims at the program point where they are made. *)
+
 val run_with_env : ?fuel:int -> Func.t -> int array -> result * int option array
 (** Like {!run}, also returning the value each instruction {e last}
     computed ([None] if it never executed). Congruent values must agree

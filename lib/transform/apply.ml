@@ -31,7 +31,14 @@ let plan_rewrites (st : Pgvn.State.t) (f : Ir.Func.t) (dom : Analysis.Dom.t) =
             | Pgvn.State.Lvalue l when l <> v && def_dominates ~def:l ~v -> Use_value l
             | _ -> Keep))
 
-let rebuild (st : Pgvn.State.t) (f : Ir.Func.t) : Ir.Func.t =
+(* Rebuild, leaving an audit trail: one {!Validate.Witness} per rewrite
+   decision (constant fold, leader replacement, φ collapse, dropped edge or
+   block), phrased in the input function's ids so the translation validator
+   can replay them. *)
+let rebuild_witnessed (st : Pgvn.State.t) (f : Ir.Func.t) :
+    Ir.Func.t * Validate.Witness.t list =
+  let witnesses = ref [] in
+  let witness w = witnesses := w :: !witnesses in
   let g = Analysis.Graph.of_func f in
   let dom = Analysis.Dom.compute g in
   let rewrites = plan_rewrites st f dom in
@@ -41,6 +48,7 @@ let rebuild (st : Pgvn.State.t) (f : Ir.Func.t) : Ir.Func.t =
   let block_map = Array.make nb (-1) in
   for b = 0 to nb - 1 do
     if Pgvn.State.block_reachable st b then block_map.(b) <- Ir.Builder.add_block bld
+    else witness (Validate.Witness.Drop_block { block = b })
   done;
   let value_map = Array.make (Ir.Func.num_instrs f) (-1) in
   (* Constants materialize once, in the entry block. *)
@@ -77,8 +85,13 @@ let rebuild (st : Pgvn.State.t) (f : Ir.Func.t) : Ir.Func.t =
     Array.iter
       (fun i ->
         let ins = Ir.Func.instr f i in
+        let cid = st.Pgvn.State.class_of.(i) in
         match rewrites.(i) with
-        | Use_const _ | Use_value _ -> ()
+        | Use_const c ->
+            (* Rematerializing a Const as itself is not a semantic rewrite. *)
+            if ins <> Ir.Func.Const c then
+              witness (Validate.Witness.Fold_const { v = i; c; cid })
+        | Use_value l -> witness (Validate.Witness.Replace { v = i; leader = l; cid })
         | Keep -> (
             match ins with
             | Ir.Func.Const c -> value_map.(i) <- Ir.Builder.const bld nb' c
@@ -99,10 +112,11 @@ let rebuild (st : Pgvn.State.t) (f : Ir.Func.t) : Ir.Func.t =
                 in
                 (match live with
                 | [] -> invalid_arg "Apply.rebuild: phi with no live arguments"
-                | [ (_, a) ] ->
+                | [ (e, a) ] ->
                     (* Single live incoming edge: the φ is the argument. The
                        argument's definition dominates the sole predecessor,
                        hence this block. *)
+                    witness (Validate.Witness.Collapse_phi { phi = i; arg = a; kept_edge = e });
                     Hashtbl.replace alias i a
                 | live ->
                     let p = Ir.Builder.phi bld nb' in
@@ -122,6 +136,11 @@ let rebuild (st : Pgvn.State.t) (f : Ir.Func.t) : Ir.Func.t =
     if block_map.(b) >= 0 then begin
       let nb' = block_map.(b) in
       let blk = Ir.Func.block f b in
+      Array.iter
+        (fun e ->
+          if not (Pgvn.State.edge_reachable st e) then
+            witness (Validate.Witness.Drop_edge { edge = e }))
+        blk.Ir.Func.succs;
       match Ir.Func.instr f (Ir.Func.terminator_of_block f b) with
       | Ir.Func.Jump ->
           let e = blk.Ir.Func.succs.(0) in
@@ -196,7 +215,9 @@ let rebuild (st : Pgvn.State.t) (f : Ir.Func.t) : Ir.Func.t =
         (fun (e, a) -> Ir.Builder.set_phi_arg bld ~phi:p ~edge:edge_map.(e) (resolve a))
         live)
     !phi_fixups;
-  Ir.Builder.finish bld
+  (Ir.Builder.finish bld, List.rev !witnesses)
+
+let rebuild st f = fst (rebuild_witnessed st f)
 
 (* Run GVN under [config] and rebuild the optimized function. *)
 let optimize ?(config = Pgvn.Config.full) f =

@@ -13,5 +13,11 @@ val rebuild : Pgvn.State.t -> Ir.Func.t -> Ir.Func.t
 (** Rebuild under the analysis' facts. The result is validated; semantics
     are preserved on every execution. *)
 
+val rebuild_witnessed : Pgvn.State.t -> Ir.Func.t -> Ir.Func.t * Validate.Witness.t list
+(** Like {!rebuild}, also returning the audit trail: one witness per
+    rewrite decision (constant fold, leader replacement, φ collapse,
+    dropped edge or block), in the {e input} function's instruction, edge
+    and block ids, ready for {!Validate.Audit.run}. *)
+
 val optimize : ?config:Pgvn.Config.t -> Ir.Func.t -> Ir.Func.t
 (** [run] + [rebuild] in one step (default config: {!Pgvn.Config.full}). *)

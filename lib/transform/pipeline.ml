@@ -24,16 +24,27 @@ type result = {
   gvn_seconds : float;
   total_seconds : float;
   gvn_state : Pgvn.State.t option; (* the last GVN run's state *)
+  validation : Validate.Report.t option; (* under [~validate] *)
 }
 
 exception
   Broken_invariant of { pass : string; diagnostics : Check.Diagnostic.t list }
+
+exception
+  Validation_failed of { pass : string; diagnostics : Check.Diagnostic.t list }
 
 let () =
   Printexc.register_printer (function
     | Broken_invariant { pass; diagnostics } ->
         Some
           (Fmt.str "pipeline pass %s broke %d invariant(s); first: %a" pass
+             (List.length diagnostics)
+             Fmt.(option Check.Diagnostic.pp)
+             (List.nth_opt diagnostics 0))
+    | Validation_failed { pass; diagnostics } ->
+        Some
+          (Fmt.str "pipeline pass %s failed validation with %d finding(s); first: %a"
+             pass
              (List.length diagnostics)
              Fmt.(option Check.Diagnostic.pp)
              (List.nth_opt diagnostics 0))
@@ -60,30 +71,50 @@ let guard ~check ~pass f =
   end
   else f
 
-let run ?(config = Pgvn.Config.full) ?(rounds = 2) ?(check = false) (f : Ir.Func.t) : result =
+let run ?(config = Pgvn.Config.full) ?(rounds = 2) ?(check = false) ?validate
+    (f : Ir.Func.t) : result =
   let timings = ref [] in
   let gvn_state = ref None in
+  let vreport = ref Validate.Report.empty in
+  (* Certify one pass instance under the requested validation mode. The
+     analyses pass is the identity and is skipped; witness audits only ever
+     apply to the GVN pass (the only pass that emits witnesses). *)
+  let validate_pass ~name ~before ~after ~witnesses =
+    match validate with
+    | None -> ()
+    | Some mode ->
+        if Validate.diffs mode || witnesses <> [] then begin
+          let p = Validate.certify ~mode ~pass:name ~witnesses before after in
+          vreport := Validate.Report.add !vreport p;
+          match List.filter Check.Diagnostic.is_error (Validate.Report.pass_diagnostics p) with
+          | [] -> ()
+          | diagnostics -> raise (Validation_failed { pass = name; diagnostics })
+        end
+  in
   let time_pass kind round pass x =
     let name = Printf.sprintf "%s#%d" (pass_kind_name kind) round in
     let t0 = Unix.gettimeofday () in
-    let y = pass x in
+    let y, witnesses = pass x in
     let dt = Unix.gettimeofday () -. t0 in
     timings := { pass = name; kind; seconds = dt } :: !timings;
-    guard ~check ~pass:name y
+    let y = guard ~check ~pass:name y in
+    if kind <> Analyses then validate_pass ~name ~before:x ~after:y ~witnesses;
+    y
   in
   let t0 = Unix.gettimeofday () in
   let current = ref (guard ~check ~pass:"input" f) in
   for round = 1 to rounds do
-    let pass kind p = current := time_pass kind round p !current in
+    let pass_w kind p = current := time_pass kind round p !current in
+    let pass kind p = pass_w kind (fun x -> (p x, [])) in
     pass Simplify_cfg Simplify_cfg.fixpoint;
     pass Analyses analysis_pass;
     pass Lvn Lvn.run;
     pass Dce Dce.run;
     pass Analyses analysis_pass;
-    pass Gvn (fun fn ->
+    pass_w Gvn (fun fn ->
         let st = Pgvn.Driver.run config fn in
         gvn_state := Some st;
-        Apply.rebuild st fn);
+        Apply.rebuild_witnessed st fn);
     pass Dce Dce.run;
     pass Analyses analysis_pass;
     pass Simplify_cfg Simplify_cfg.fixpoint;
@@ -102,4 +133,5 @@ let run ?(config = Pgvn.Config.full) ?(rounds = 2) ?(check = false) (f : Ir.Func
     gvn_seconds;
     total_seconds = total;
     gvn_state = !gvn_state;
+    validation = (match validate with None -> None | Some _ -> Some !vreport);
   }

@@ -19,6 +19,8 @@ type result = {
   gvn_seconds : float;  (** total time in the GVN passes *)
   total_seconds : float;
   gvn_state : Pgvn.State.t option;  (** state of the last GVN run *)
+  validation : Validate.Report.t option;
+      (** per-pass validation results and overhead, under [~validate] *)
 }
 
 exception
@@ -27,11 +29,29 @@ exception
     [pass] names the offending pass and round ("lvn#1"; "input" for the
     function as given), [diagnostics] the Error-severity findings. *)
 
+exception
+  Validation_failed of { pass : string; diagnostics : Check.Diagnostic.t list }
+(** Raised under [~validate] when the translation validator refutes a pass:
+    a rejected rewrite witness or an observable behavior change, attributed
+    to the pass instance ([pass] is e.g. "gvn#1") with Error-severity
+    findings carrying the precise location and evidence. *)
+
 val analysis_pass : Ir.Func.t -> Ir.Func.t
 (** Recompute the standard analyses (identity on the function). *)
 
-val run : ?config:Pgvn.Config.t -> ?rounds:int -> ?check:bool -> Ir.Func.t -> result
-(** Default: {!Pgvn.Config.full}, 2 rounds, [check] off. With
-    [~check:true], {!Check.run_all} runs on the input and after every pass;
-    the first Error-severity diagnostic raises {!Broken_invariant}
-    attributed to the pass that introduced it. *)
+val run :
+  ?config:Pgvn.Config.t ->
+  ?rounds:int ->
+  ?check:bool ->
+  ?validate:Validate.mode ->
+  Ir.Func.t ->
+  result
+(** Default: {!Pgvn.Config.full}, 2 rounds, [check] off, no validation.
+    With [~check:true], {!Check.run_all} runs on the input and after every
+    pass; the first Error-severity diagnostic raises {!Broken_invariant}
+    attributed to the pass that introduced it. With [~validate:mode] every
+    rewriting pass is certified by the translation validator
+    ({!Validate.certify}): the GVN pass's witnesses are audited against the
+    independent oracle (modes [Witness]/[All]) and every pass's observable
+    behavior is diffed through the interpreter (modes [Diff]/[All]); a
+    refuted pass raises {!Validation_failed}. *)

@@ -1,0 +1,50 @@
+(* Engine 2: observable-behavior equivalence. Run the pre- and post-pass
+   functions on the same input battery through the reference interpreter
+   and compare observable results. The observation is the interpreter
+   verdict (returned value / trap / timeout): opaque calls are pure by the
+   IR's contract, so a pass may legitimately duplicate, reorder or delete
+   them and no call trace is compared. Unlike the whole-pipeline
+   differential test, a failure here is attributed to one pass. *)
+
+type mismatch = {
+  args : int array;
+  before : Ir.Interp.result;
+  after : Ir.Interp.result;
+}
+
+type report = {
+  pass : string;  (* e.g. "dce#2" *)
+  func : string;  (* routine name, for attribution *)
+  runs : int;  (* input vectors executed *)
+  mismatches : mismatch list;
+}
+
+let check ?runs ?seed ?(fuel = 300_000) ~pass (before : Ir.Func.t)
+    (after : Ir.Func.t) : report =
+  let nparams = max before.Ir.Func.nparams after.Ir.Func.nparams in
+  let inputs = Inputs.vectors ?runs ?seed nparams in
+  let mismatches =
+    List.filter_map
+      (fun args ->
+        let a = Ir.Interp.run ~fuel before args in
+        let b = Ir.Interp.run ~fuel after args in
+        if Ir.Interp.equal_result a b then None
+        else Some { args; before = a; after = b })
+      inputs
+  in
+  { pass; func = before.Ir.Func.name; runs = List.length inputs; mismatches }
+
+let ok r = r.mismatches = []
+
+let pp_args ppf args = Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any ",") int) args
+
+let diagnostics r =
+  List.map
+    (fun m ->
+      Check.Diagnostic.error ~check:"validate-behavior" ~loc:Check.Diagnostic.Func
+        "%s changed observable behavior on %s: args=%s before=%s after=%s" r.pass
+        r.func
+        (Fmt.to_to_string pp_args m.args)
+        (Fmt.to_to_string Ir.Interp.pp_result m.before)
+        (Fmt.to_to_string Ir.Interp.pp_result m.after))
+    r.mismatches

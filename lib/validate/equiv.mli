@@ -1,0 +1,27 @@
+(** Engine 2: observable-behavior equivalence of a single pass, with
+    per-pass attribution. The observation is the interpreter verdict;
+    opaque calls are pure, so call traces are not part of the observation. *)
+
+type mismatch = {
+  args : int array;
+  before : Ir.Interp.result;
+  after : Ir.Interp.result;
+}
+
+type report = {
+  pass : string;  (** the pass instance blamed, e.g. ["dce#2"] *)
+  func : string;  (** the routine it ran on *)
+  runs : int;  (** input vectors executed *)
+  mismatches : mismatch list;
+}
+
+val check :
+  ?runs:int -> ?seed:int -> ?fuel:int -> pass:string -> Ir.Func.t -> Ir.Func.t -> report
+(** [check ~pass before after] interprets both functions on the same
+    battery (see {!Inputs.vectors}) and records every observable
+    disagreement. *)
+
+val ok : report -> bool
+
+val diagnostics : report -> Check.Diagnostic.t list
+(** One Error per mismatch, naming the pass, routine and inputs. *)

@@ -1,0 +1,28 @@
+(* Input vectors for the concrete engines: a fixed boundary battery (zeros,
+   ones, signs, ascending ramps — the vectors that expose mis-associated φ
+   arguments and dropped predicates) followed by seeded random vectors in
+   the two ranges the differential suite found most discriminating. All
+   deterministic: equal seeds give equal batteries. *)
+
+let boundary n =
+  [
+    Array.make n 0;
+    Array.make n 1;
+    Array.make n (-1);
+    Array.init n (fun i -> i);
+    Array.init n (fun i -> i - (n / 2));
+    Array.init n (fun i -> if i mod 2 = 0 then 0 else 1);
+    Array.make n 7;
+  ]
+
+(* [vectors ~runs ~seed n]: the boundary battery plus [runs] random vectors
+   of length [n]. *)
+let vectors ?(runs = 8) ?(seed = 17) n =
+  let n = max n 1 in
+  let rng = Util.Prng.create seed in
+  let random _ =
+    let wide = Util.Prng.chance rng 1 4 in
+    Array.init n (fun _ ->
+        if wide then Util.Prng.range rng (-1000) 1000 else Util.Prng.range rng (-15) 15)
+  in
+  boundary n @ List.init runs random

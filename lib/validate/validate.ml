@@ -1,0 +1,51 @@
+(* The front door of the translation validator.
+
+   Two independent engines certify each rewriting pass:
+
+   - Engine 1 ({!Audit}): every rewrite the GVN consumer performs leaves a
+     {!Witness}; the audit replays witnesses against an {!Oracle} partition
+     computed by a from-scratch iterative value-graph GVN, and attacks the
+     remainder concretely on the instrumented interpreter. Rewrites the
+     oracle justifies are certified; sound-but-unjustified ones are
+     precision wins; refuted ones are miscompiles.
+
+   - Engine 2 ({!Equiv}): pre- and post-pass functions run through the
+     reference interpreter on a shared input battery; any observable
+     disagreement is attributed to that one pass.
+
+   [certify] bundles both for a single pass; {!Report} aggregates across a
+   pipeline. *)
+
+module Witness = Witness
+module Oracle = Oracle
+module Inputs = Inputs
+module Equiv = Equiv
+module Audit = Audit
+module Report = Report
+
+(* What to run: the witness audit, the behavioral diff, or both. *)
+type mode = Witness | Diff | All
+
+let mode_of_string = function
+  | "witness" -> Some Witness
+  | "diff" -> Some Diff
+  | "all" -> Some All
+  | _ -> None
+
+let mode_to_string = function Witness -> "witness" | Diff -> "diff" | All -> "all"
+let audits = function Witness | All -> true | Diff -> false
+let diffs = function Diff | All -> true | Witness -> false
+
+(* Validate one pass instance: audit its witnesses (when the mode asks and
+   the pass emitted any) and diff its observable behavior. Timed, so the
+   harness can report validation overhead next to pass time. *)
+let certify ?runs ?seed ~mode ~pass ?(witnesses = []) (before : Ir.Func.t)
+    (after : Ir.Func.t) : Report.pass =
+  let t0 = Unix.gettimeofday () in
+  let audit =
+    if audits mode && witnesses <> [] then
+      Some (Audit.run ?runs ?seed ~pass before witnesses)
+    else None
+  in
+  let equiv = if diffs mode then Some (Equiv.check ?runs ?seed ~pass before after) else None in
+  { Report.pass; seconds = Unix.gettimeofday () -. t0; audit; equiv }

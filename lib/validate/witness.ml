@@ -1,0 +1,46 @@
+(* Witness records: the audit trail a rewriting pass leaves behind.
+
+   Each witness names one concrete rewrite decision in terms of the
+   *pre-pass* function — instruction ids, edge ids and block ids all refer
+   to the function the pass consumed — together with the justification the
+   engine claimed for it (its congruence class id). The validator replays
+   every witness against an independent oracle; a rewrite the oracle cannot
+   justify is either refuted concretely (a miscompile) or reported as a
+   precision win of the predicated algorithm. *)
+
+type t =
+  | Replace of { v : Ir.Func.value; leader : Ir.Func.value; cid : int }
+      (* [v] was replaced by congruence-class leader [leader] *)
+  | Fold_const of { v : Ir.Func.value; c : int; cid : int }
+      (* [v] was replaced by the constant [c] *)
+  | Drop_edge of { edge : int }
+      (* the CFG edge was removed as unreachable (branch/switch fold) *)
+  | Drop_block of { block : int }
+      (* the whole block was removed as unreachable *)
+  | Collapse_phi of { phi : Ir.Func.value; arg : Ir.Func.value; kept_edge : int }
+      (* the φ collapsed to [arg]: every other incoming edge was dropped *)
+
+(* Where a diagnostic about this witness should point. *)
+let loc = function
+  | Replace { v; _ } | Fold_const { v; _ } -> Check.Diagnostic.Instr v
+  | Drop_edge { edge } -> Check.Diagnostic.Edge edge
+  | Drop_block { block } -> Check.Diagnostic.Block block
+  | Collapse_phi { phi; _ } -> Check.Diagnostic.Instr phi
+
+(* Stable per-kind check ids for the validator's diagnostics. *)
+let check_id = function
+  | Replace _ -> "validate-replace"
+  | Fold_const _ -> "validate-constant"
+  | Drop_edge _ -> "validate-edge-unreachable"
+  | Drop_block _ -> "validate-block-unreachable"
+  | Collapse_phi _ -> "validate-phi-collapse"
+
+let pp ppf = function
+  | Replace { v; leader; cid } -> Fmt.pf ppf "replace v%d by leader v%d (class %d)" v leader cid
+  | Fold_const { v; c; cid } -> Fmt.pf ppf "fold v%d to constant %d (class %d)" v c cid
+  | Drop_edge { edge } -> Fmt.pf ppf "drop unreachable edge e%d" edge
+  | Drop_block { block } -> Fmt.pf ppf "drop unreachable block b%d" block
+  | Collapse_phi { phi; arg; kept_edge } ->
+      Fmt.pf ppf "collapse phi v%d to v%d (sole live edge e%d)" phi arg kept_edge
+
+let to_string = Fmt.to_to_string pp

@@ -1,0 +1,25 @@
+(** The audit trail a rewriting pass leaves behind: one record per rewrite
+    decision, phrased in terms of the pre-pass function's instruction, edge
+    and block ids. See {!Audit} for how witnesses are replayed. *)
+
+type t =
+  | Replace of { v : Ir.Func.value; leader : Ir.Func.value; cid : int }
+      (** [v] was replaced by its congruence-class leader [leader]; [cid] is
+          the engine's class id, kept for reporting only. *)
+  | Fold_const of { v : Ir.Func.value; c : int; cid : int }
+      (** [v] was replaced by the constant [c]. *)
+  | Drop_edge of { edge : int }  (** a CFG edge was folded away as unreachable *)
+  | Drop_block of { block : int }  (** a whole block was dropped as unreachable *)
+  | Collapse_phi of { phi : Ir.Func.value; arg : Ir.Func.value; kept_edge : int }
+      (** the φ collapsed to [arg] because [kept_edge] is its only live
+          incoming edge. *)
+
+val loc : t -> Check.Diagnostic.loc
+(** The pre-pass location a diagnostic about this witness points at. *)
+
+val check_id : t -> string
+(** The stable diagnostic check id for this witness kind
+    (e.g. ["validate-replace"]). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -254,6 +254,34 @@ let test_lint_empty_block () =
   let g = Transform.Simplify_cfg.fixpoint f in
   Alcotest.(check bool) "clean after simplify-cfg" false (fires "lint-empty-block" g)
 
+let test_lint_critical_edge () =
+  (* b0 branches to b1 and b2; b1 falls through to b2: the edge b0→b2 has a
+     branching source and a merging destination — critical. *)
+  let bld = Ir.Builder.create ~name:"crit" ~nparams:1 in
+  let b0 = Ir.Builder.add_block bld in
+  let b1 = Ir.Builder.add_block bld in
+  let b2 = Ir.Builder.add_block bld in
+  let p = Ir.Builder.param bld b0 0 in
+  let _, ef = Ir.Builder.branch bld b0 p ~ift:b1 ~iff:b2 in
+  let x = Ir.Builder.binop bld b1 Ir.Types.Add p p in
+  let e1 = Ir.Builder.jump bld b1 ~dst:b2 in
+  let phi = Ir.Builder.phi bld b2 in
+  Ir.Builder.set_phi_arg bld ~phi ~edge:ef p;
+  Ir.Builder.set_phi_arg bld ~phi ~edge:e1 x;
+  Ir.Builder.ret bld b2 phi;
+  let f = Ir.Builder.finish bld in
+  (* Pin the check id and the location: the diagnostic must sit on the
+     b0→b2 edge, not on either block. *)
+  let crit = ref (-1) in
+  Array.iteri
+    (fun e (ed : Ir.Func.edge) ->
+      if ed.Ir.Func.src = b0 && ed.Ir.Func.dst = b2 then crit := e)
+    f.Ir.Func.edges;
+  assert_fires ~loc:(Check.Diagnostic.Edge !crit) "lint-critical-edge" f;
+  (* A diamond splits all merges behind dedicated blocks: no critical edge. *)
+  let g, _, _ = diamond () in
+  Alcotest.(check bool) "diamond has no critical edge" false (fires "lint-critical-edge" g)
+
 (* --- corpus sweeps: zero Error diagnostics anywhere --- *)
 
 let test_corpus_clean_all_presets () =
@@ -337,6 +365,7 @@ let suite =
     Alcotest.test_case "lint: trivial phi" `Quick test_lint_trivial_phi;
     Alcotest.test_case "lint: constant branch" `Quick test_lint_const_branch_and_unreachable;
     Alcotest.test_case "lint: forwarder block" `Quick test_lint_empty_block;
+    Alcotest.test_case "lint: critical edge" `Quick test_lint_critical_edge;
     Alcotest.test_case "corpus clean under every preset" `Quick test_corpus_clean_all_presets;
     Alcotest.test_case "benchmark suite clean (full, pessimistic)" `Quick
       test_benchmark_suite_clean;

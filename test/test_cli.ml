@@ -1,0 +1,59 @@
+(* The gvnopt driver's exit-code contract (documented in bin/gvnopt.ml):
+   0 on a clean run, 1 on diagnostics at or above the failure threshold,
+   2 on usage or parse errors. The binary is a declared test dependency, so
+   it sits next to the test executable's directory in the build tree. *)
+
+let gvnopt = Filename.concat (Filename.concat ".." "bin") "gvnopt.exe"
+
+let write_tmp name contents =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) ("gvnopt_cli_" ^ name) in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let run args =
+  Sys.command (Filename.quote_command gvnopt ~stdout:Filename.null ~stderr:Filename.null args)
+
+let clean_mc () = write_tmp "clean.mc" "routine f(a) { return a + 1; }\n"
+
+let test_exit_clean () =
+  let p = clean_mc () in
+  Alcotest.(check int) "plain run" 0 (run [ p ]);
+  Alcotest.(check int) "--check" 0 (run [ "--check"; p ]);
+  Alcotest.(check int) "--analyze" 0 (run [ "--analyze"; p ])
+
+let test_exit_validate_clean () =
+  let p = clean_mc () in
+  Alcotest.(check int) "--validate=all" 0 (run [ "--validate=all"; p ]);
+  Alcotest.(check int) "--validate=witness" 0 (run [ "--validate=witness"; p ]);
+  Alcotest.(check int) "--validate=diff" 0 (run [ "--validate=diff"; p ]);
+  (* The bare flag takes its default value; trailing position keeps the
+     file from being parsed as the mode. *)
+  Alcotest.(check int) "bare --validate" 0 (run [ p; "--validate" ])
+
+let test_exit_werror () =
+  let p = write_tmp "dead.mc" "routine f(a) { dead = a * 37; return a; }\n" in
+  (* The dead instruction is a Warning-severity lint: reported but clean
+     without --Werror, a failure with it. *)
+  Alcotest.(check int) "--lint alone stays clean" 0 (run [ "--lint"; p ]);
+  Alcotest.(check int) "--lint --Werror fails" 1 (run [ "--lint"; "--Werror"; p ])
+
+let test_exit_parse_error () =
+  let p = write_tmp "broken.mc" "routine f( { this is not mini-C" in
+  Alcotest.(check int) "parse error" 2 (run [ p ])
+
+let test_exit_usage_error () =
+  let p = clean_mc () in
+  Alcotest.(check int) "unknown flag" 2 (run [ "--frobnicate"; p ]);
+  Alcotest.(check int) "bad validate mode" 2 (run [ "--validate=bogus"; p ]);
+  Alcotest.(check int) "nonexistent input" 2 (run [ "/nonexistent/no-such-file.mc" ])
+
+let suite =
+  [
+    Alcotest.test_case "exit 0 on clean runs" `Quick test_exit_clean;
+    Alcotest.test_case "exit 0 under --validate" `Quick test_exit_validate_clean;
+    Alcotest.test_case "exit 1 under --lint --Werror" `Quick test_exit_werror;
+    Alcotest.test_case "exit 2 on parse errors" `Quick test_exit_parse_error;
+    Alcotest.test_case "exit 2 on usage errors" `Quick test_exit_usage_error;
+  ]

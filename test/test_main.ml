@@ -14,6 +14,8 @@ let () =
       ("paper", Test_paper.suite);
       ("baselines", Test_baselines.suite);
       ("transform", Test_transform.suite);
+      ("validate", Test_validate.suite);
+      ("cli", Test_cli.suite);
       ("workload", Test_workload.suite);
       ("stats", Test_stats.suite);
     ]

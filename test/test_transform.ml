@@ -28,6 +28,57 @@ let prop_apply_all_configs =
           Helpers.equivalent ~seed:(seed + 3) f g)
         Helpers.all_configs)
 
+(* Engine-2 properties: the validator's behavioral engine as a harness for
+   the cleanup passes, at volume. *)
+
+let prop_dce_keeps_live_opaques =
+  QCheck.Test.make ~name:"DCE keeps live opaque calls (Engine 2)" ~count:100
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let f = gen_func seed in
+      let g = Transform.Dce.run f in
+      (* Every opaque call feeding a terminator transitively — the IR's
+         stand-in for observable side-effecting work — must survive. *)
+      let live = Array.make (Ir.Func.num_instrs f) false in
+      let rec mark v =
+        if not live.(v) then begin
+          live.(v) <- true;
+          Ir.Func.iter_operands mark (Ir.Func.instr f v)
+        end
+      in
+      Array.iter
+        (fun ins -> if Ir.Func.is_terminator ins then Ir.Func.iter_operands mark ins)
+        f.Ir.Func.instrs;
+      let tags keep h =
+        Array.to_list
+          (Array.mapi
+             (fun i ins ->
+               match ins with Ir.Func.Opaque (t, _) when keep i -> Some t | _ -> None)
+             h.Ir.Func.instrs)
+        |> List.filter_map Fun.id |> List.sort compare
+      in
+      let rec subset xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xs', y :: ys' ->
+            if x = y then subset xs' ys' else if y < x then subset xs ys' else false
+      in
+      subset (tags (fun i -> live.(i)) f) (tags (fun _ -> true) g)
+      && Validate.Equiv.ok (Validate.Equiv.check ~runs:4 ~pass:"dce" f g))
+
+let prop_simplify_equiv =
+  QCheck.Test.make ~name:"simplify-cfg preserves edge-associated phi args (Engine 2)"
+    ~count:100
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let f = gen_func seed in
+      let g = Transform.Simplify_cfg.fixpoint f in
+      ignore (Ssa.Verify.check g);
+      (* Block merging and edge folding re-home φ arguments; any slip shows
+         up as a behavioral divergence on the battery. *)
+      Validate.Equiv.ok (Validate.Equiv.check ~runs:4 ~pass:"simplify_cfg" f g))
+
 let prop_pipeline =
   QCheck.Test.make ~name:"full pipeline preserves semantics" ~count:25
     QCheck.(int_bound 100000)
@@ -123,6 +174,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_dce;
     QCheck_alcotest.to_alcotest prop_lvn;
     QCheck_alcotest.to_alcotest prop_simplify;
+    QCheck_alcotest.to_alcotest prop_dce_keeps_live_opaques;
+    QCheck_alcotest.to_alcotest prop_simplify_equiv;
     QCheck_alcotest.to_alcotest prop_apply_all_configs;
     QCheck_alcotest.to_alcotest prop_pipeline;
     QCheck_alcotest.to_alcotest prop_pipeline_monotone_size;

@@ -72,9 +72,23 @@ let test_ladder_quadratic_visits () =
   (* 4x the size must cost clearly more than 4x the visits. *)
   Alcotest.(check bool) "superlinear growth" true (v64 > 8 * v16)
 
+let test_suite_determinism () =
+  (* Regression: the ten-benchmark corpus is a pure function of its baked-in
+     seeds. Generate it twice and compare the printed IR byte for byte —
+     any hidden global state or hash-order dependence breaks this. *)
+  let dump () =
+    Workload.Suite.all ~scale:0.1 ()
+    |> List.concat_map (fun ((b : Workload.Suite.benchmark), funcs) ->
+           b.Workload.Suite.name :: List.map Ir.Printer.to_string funcs)
+    |> String.concat "\n"
+  in
+  Alcotest.(check string) "byte-identical corpus" (dump ()) (dump ())
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_deterministic;
+    Alcotest.test_case "benchmark corpus is byte-identical across runs" `Quick
+      test_suite_determinism;
     QCheck_alcotest.to_alcotest prop_terminates;
     Alcotest.test_case "loop knob controls loop generation" `Quick test_loop_knob;
     Alcotest.test_case "benchmark suite shape" `Quick test_suite_shape;
