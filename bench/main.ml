@@ -10,6 +10,12 @@
 
 let scale = ref 1.0
 
+(* --json FILE: machine-readable per-benchmark timings plus arena/TABLE
+   statistics and a ladder scaling check, for the perf-regression record
+   (BENCH_gvn.json; see EXPERIMENTS.md). *)
+let json_file : string option ref = ref None
+let json_table2 : (string * float * float * float) list ref = ref []
+
 (* ------------------------------------------------------------------ *)
 
 let time_min ~repeats f =
@@ -125,6 +131,7 @@ let table2 suite =
       let a = gvn_time Pgvn.Config.dense funcs in
       let s = gvn_time Pgvn.Config.full funcs in
       let c = gvn_time Pgvn.Config.basic funcs in
+      json_table2 := (b.Workload.Suite.name, a, s, c) :: !json_table2;
       tot.(0) <- tot.(0) +. a;
       tot.(1) <- tot.(1) +. s;
       tot.(2) <- tot.(2) +. c;
@@ -415,8 +422,145 @@ let validate_section suite =
     ~rows Fmt.stdout;
   Fmt.pr "totals: %a@\n" Validate.Report.pp_summary !combined
 
+(* ------------------------------------------------------------------ *)
+(* --json: arena/table statistics and the scaling check, emitted as a
+   hand-rolled JSON document (stdlib only; keys are fixed identifiers and
+   benchmark names, so no string escaping is needed). *)
+
+type gvn_stat = {
+  g_name : string;
+  g_routines : int;
+  g_passes : int;
+  g_instrs : int;
+  g_probes : int;
+  g_hits : int;
+  g_live : int;
+  g_interned : int;
+  g_arena_hits : int;
+  g_max_chain : int;
+}
+
+(* One full-config run per routine, summing the driver's hash-table probe
+   counters and the expression arena's occupancy statistics. *)
+let gvn_stats_pass suite =
+  List.map
+    (fun (b, funcs) ->
+      let acc =
+        ref
+          {
+            g_name = b.Workload.Suite.name;
+            g_routines = List.length funcs;
+            g_passes = 0;
+            g_instrs = 0;
+            g_probes = 0;
+            g_hits = 0;
+            g_live = 0;
+            g_interned = 0;
+            g_arena_hits = 0;
+            g_max_chain = 0;
+          }
+      in
+      List.iter
+        (fun f ->
+          let st = Pgvn.Driver.run Pgvn.Config.full f in
+          let s = st.Pgvn.State.stats in
+          let a = Pgvn.Hexpr.stats st.Pgvn.State.arena in
+          let g = !acc in
+          acc :=
+            {
+              g with
+              g_passes = g.g_passes + s.Pgvn.Run_stats.passes;
+              g_instrs = g.g_instrs + s.Pgvn.Run_stats.instrs_processed;
+              g_probes = g.g_probes + s.Pgvn.Run_stats.table_probes;
+              g_hits = g.g_hits + s.Pgvn.Run_stats.table_hits;
+              g_live = g.g_live + a.Util.Hashcons.live;
+              g_interned = g.g_interned + a.Util.Hashcons.interned;
+              g_arena_hits = g.g_arena_hits + a.Util.Hashcons.hits;
+              g_max_chain = max g.g_max_chain a.Util.Hashcons.max_chain;
+            })
+        funcs;
+      !acc)
+    suite
+
+(* Figure-9-style complexity guard: value-inference visits on the ladder
+   must grow no worse than quadratically, i.e. at most ~4x (we allow 5x
+   slack) per doubling of the ladder size. A super-quadratic regression in
+   the sparse engine trips this before it trips any wall-clock threshold. *)
+let scaling_check () =
+  let sizes = [ 16; 32; 64 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let f = Workload.Pathological.ladder_func n in
+        let t = time_min ~repeats:3 (fun () -> ignore (Pgvn.Driver.run Pgvn.Config.full f)) in
+        let st = Pgvn.Driver.run Pgvn.Config.full f in
+        (n, t, st.Pgvn.State.stats.Pgvn.Run_stats.value_inference_visits))
+      sizes
+  in
+  let rec worst acc = function
+    | (_, _, v1) :: ((_, _, v2) :: _ as rest) ->
+        worst (max acc (float_of_int v2 /. float_of_int (max 1 v1))) rest
+    | _ -> acc
+  in
+  let r = worst 0.0 rows in
+  (rows, r, r <= 5.0)
+
+let emit_json path suite =
+  let stats = gvn_stats_pass suite in
+  let ladder, worst_ratio, quadratic_ok = scaling_check () in
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  let sep i n = if i = n - 1 then "" else "," in
+  pr "{\n";
+  pr "  \"schema\": \"pgvn-bench/1\",\n";
+  pr "  \"scale\": %g,\n" !scale;
+  let t2 = List.rev !json_table2 in
+  pr "  \"table2\": [\n";
+  List.iteri
+    (fun i (name, d, s, b) ->
+      pr "    {\"benchmark\": \"%s\", \"dense_ms\": %.3f, \"sparse_ms\": %.3f, \"basic_ms\": %.3f}%s\n"
+        name (1000. *. d) (1000. *. s) (1000. *. b)
+        (sep i (List.length t2)))
+    t2;
+  pr "  ],\n";
+  pr "  \"gvn_stats\": [\n";
+  List.iteri
+    (fun i g ->
+      pr
+        "    {\"benchmark\": \"%s\", \"routines\": %d, \"passes\": %d, \"instrs\": %d, \
+         \"table_probes\": %d, \"table_hits\": %d, \"arena_live\": %d, \"arena_interned\": %d, \
+         \"arena_hits\": %d, \"arena_max_chain\": %d}%s\n"
+        g.g_name g.g_routines g.g_passes g.g_instrs g.g_probes g.g_hits g.g_live g.g_interned
+        g.g_arena_hits g.g_max_chain
+        (sep i (List.length stats)))
+    stats;
+  pr "  ],\n";
+  pr "  \"scaling\": {\n";
+  pr "    \"ladder\": [\n";
+  List.iteri
+    (fun i (n, t, v) ->
+      pr "      {\"n\": %d, \"gvn_ms\": %.3f, \"vi_visits\": %d}%s\n" n (1000. *. t) v
+        (sep i (List.length ladder)))
+    ladder;
+  pr "    ],\n";
+  pr "    \"worst_visit_ratio_per_doubling\": %.2f,\n" worst_ratio;
+  pr "    \"quadratic_ok\": %b\n" quadratic_ok;
+  pr "  }\n";
+  pr "}\n";
+  close_out oc;
+  Fmt.pr "@\nWrote %s (quadratic_ok=%b, worst visit ratio per doubling %.2f)@\n" path
+    quadratic_ok worst_ratio
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec strip_json = function
+    | [] -> []
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        strip_json rest
+    | a :: rest -> a :: strip_json rest
+  in
+  let args = strip_json args in
   let args =
     List.filter
       (fun a ->
@@ -444,4 +588,7 @@ let () =
   if want "fig13" then fig13 ();
   if want "ablation" then ablation (Lazy.force suite);
   if want "validate" then validate_section (Lazy.force suite);
-  if want "bechamel" then bechamel_section ()
+  if want "bechamel" then bechamel_section ();
+  match !json_file with
+  | None -> ()
+  | Some path -> emit_json path (Lazy.force suite)

@@ -22,6 +22,15 @@ type label =
   | Lbinop of Ir.Types.binop
   | Lcmp of Ir.Types.cmp
 
+(* Labels are interned per run so the initial-partition table probes by
+   precomputed tag rather than rehashing the label structure. *)
+module HL = Util.Hashcons.Make (struct
+  type t = label
+
+  let equal (a : label) (b : label) = a = b
+  let hash (l : label) = Hashtbl.hash l
+end)
+
 let label_of f i =
   match Ir.Func.instr f i with
   | Ir.Func.Const n -> Some (Lconst n)
@@ -39,17 +48,19 @@ let run (f : Ir.Func.t) : int array =
   let cls = Array.make ni (-1) in
   (* Initial partition by label. *)
   let next_class = ref 0 in
-  let by_label = Hashtbl.create 64 in
+  let arena = HL.create ~size:64 () in
+  let by_label : int HL.Tbl.t = HL.Tbl.create 64 in
   for i = 0 to ni - 1 do
     match label_of f i with
     | None -> ()
     | Some l ->
-        (match Hashtbl.find_opt by_label l with
+        let cl = HL.hashcons arena l in
+        (match HL.Tbl.find_opt by_label cl with
         | Some c -> cls.(i) <- c
         | None ->
             let c = !next_class in
             incr next_class;
-            Hashtbl.replace by_label l c;
+            HL.Tbl.replace by_label cl c;
             cls.(i) <- c)
   done;
   (* Operand arrays per value, and users-by-position for splitting. *)

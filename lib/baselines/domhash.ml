@@ -22,6 +22,15 @@ type key =
   | Kbinop of Ir.Types.binop * rep * rep
   | Kcmp of Ir.Types.cmp * rep * rep
 
+(* Keys are interned per run; the scoped table and its undo list hold the
+   consed cells, so probe, bind and rollback all hash a precomputed tag. *)
+module HK = Util.Hashcons.Make (struct
+  type t = key
+
+  let equal (a : key) (b : key) = a = b
+  let hash (k : key) = Hashtbl.hash k
+end)
+
 type result = { rep : rep array (* per value; [Rval v] itself when unique *) }
 
 let run (f : Ir.Func.t) : result =
@@ -30,11 +39,12 @@ let run (f : Ir.Func.t) : result =
   let dom = Analysis.Dom.compute g in
   let out = Array.make ni (Rval (-1)) in
   let known = Array.make ni false in
-  let table : (key, rep) Hashtbl.t = Hashtbl.create 64 in
+  let arena = HK.create ~size:64 () in
+  let table : rep HK.Tbl.t = HK.Tbl.create 64 in
   let undo = ref [] in
-  let bind k r =
-    Hashtbl.add table k r;
-    undo := k :: !undo
+  let bind ck r =
+    HK.Tbl.add table ck r;
+    undo := ck :: !undo
   in
   let fold_key v = function
     | Kunop (op, Rconst a) -> Some (Rconst (Ir.Types.eval_unop op a))
@@ -50,10 +60,11 @@ let run (f : Ir.Func.t) : result =
     match fold_key v k with
     | Some r -> r
     | None -> (
-        match Hashtbl.find_opt table k with
+        let ck = HK.hashcons arena k in
+        match HK.Tbl.find_opt table ck with
         | Some r -> r
         | None ->
-            bind k (Rval v);
+            bind ck (Rval v);
             Rval v)
   in
   let rep_of a = if known.(a) then out.(a) else Rval a in
@@ -97,8 +108,8 @@ let run (f : Ir.Func.t) : result =
     let rec rollback () =
       if !undo != mark then
         match !undo with
-        | k :: rest ->
-            Hashtbl.remove table k;
+        | ck :: rest ->
+            HK.Tbl.remove table ck;
             undo := rest;
             rollback ()
         | [] -> ()

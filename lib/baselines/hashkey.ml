@@ -1,7 +1,11 @@
 (* Shared expression keys for the hash-based baseline value numberers
    (Simpson RPO / SCC, dominator-scoped pessimistic). Purely syntactic —
    no folding, no reordering — so the fixed points coincide with the
-   partition-based AWZ result modulo the φ(x,…,x) → x reduction. *)
+   partition-based AWZ result modulo the φ(x,…,x) → x reduction.
+
+   Keys are interned in a per-run hash-consing arena: numbering tables are
+   keyed by the consed cells, so re-probing a key that was already built
+   this run hashes a precomputed tag instead of re-walking the key. *)
 
 type rep = int (* representative value id; constants are the Const instr *)
 
@@ -23,3 +27,19 @@ module Table = Hashtbl.Make (struct
   let equal = equal
   let hash = hash
 end)
+
+module HC = Util.Hashcons.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+type consed = t Util.Hashcons.consed
+type arena = HC.arena
+
+let create_arena ?(size = 256) () = HC.create ~size ()
+let intern = HC.hashcons
+let arena_stats = HC.stats
+
+module Consed_table = HC.Tbl

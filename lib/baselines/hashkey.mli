@@ -17,3 +17,19 @@ val equal : t -> t -> bool
 val hash : t -> int
 
 module Table : Hashtbl.S with type key = t
+(** Structural key table (kept for tests and as the oracle of the consed
+    variant). *)
+
+(** {1 Hash-consed keys}
+
+    One arena per numbering run: numbering tables key on consed cells, so a
+    key that was already interned this run probes by precomputed tag. *)
+
+type consed = t Util.Hashcons.consed
+type arena
+
+val create_arena : ?size:int -> unit -> arena
+val intern : arena -> t -> consed
+val arena_stats : arena -> Util.Hashcons.stats
+
+module Consed_table : Hashtbl.S with type key = consed

@@ -61,12 +61,15 @@ type result = { vn : int array; passes : int }
 let rpo (f : Ir.Func.t) : result =
   let order = values_in_rpo f in
   let vn = Array.make (Ir.Func.num_instrs f) top in
+  (* One arena per run; per-pass tables key on the consed cells, so a key
+     recurring across passes probes by precomputed tag. *)
+  let arena = Hashkey.create_arena () in
   let passes = ref 0 in
   let changed = ref true in
   while !changed do
     changed := false;
     incr passes;
-    let table = Hashkey.Table.create 64 in
+    let table = Hashkey.Consed_table.create 64 in
     Array.iter
       (fun v ->
         let nv =
@@ -74,10 +77,11 @@ let rpo (f : Ir.Func.t) : result =
           | `Top -> top
           | `Copy r -> r
           | `Key k -> (
-              match Hashkey.Table.find_opt table k with
+              let ck = Hashkey.intern arena k in
+              match Hashkey.Consed_table.find_opt table ck with
               | Some r -> r
               | None ->
-                  Hashkey.Table.replace table k v;
+                  Hashkey.Consed_table.replace table ck v;
                   v)
         in
         if vn.(v) <> nv then begin
@@ -134,7 +138,8 @@ let scc (f : Ir.Func.t) : result =
   let rpo_pos = Array.make (Ir.Func.num_instrs f) max_int in
   Array.iteri (fun k v -> rpo_pos.(v) <- k) order;
   let vn = Array.make (Ir.Func.num_instrs f) top in
-  let valid = Hashkey.Table.create 64 in
+  let arena = Hashkey.create_arena () in
+  let valid = Hashkey.Consed_table.create 64 in
   let passes = ref 0 in
   let self_dependent v =
     let dep = ref false in
@@ -146,18 +151,21 @@ let scc (f : Ir.Func.t) : result =
     | `Top -> top
     | `Copy r -> r
     | `Key k -> (
-        match Hashkey.Table.find_opt valid k with
+        let ck = Hashkey.intern arena k in
+        match Hashkey.Consed_table.find_opt valid ck with
         | Some r -> r
         | None -> (
-            match Hashkey.Table.find_opt table k with
+            match Hashkey.Consed_table.find_opt table ck with
             | Some r -> r
             | None ->
-                Hashkey.Table.replace table k v;
+                Hashkey.Consed_table.replace table ck v;
                 v))
   in
   let commit table =
-    Hashkey.Table.iter
-      (fun k r -> if not (Hashkey.Table.mem valid k) then Hashkey.Table.replace valid k r)
+    Hashkey.Consed_table.iter
+      (fun k r ->
+        if not (Hashkey.Consed_table.mem valid k) then
+          Hashkey.Consed_table.replace valid k r)
       table
   in
   List.iter
@@ -172,7 +180,7 @@ let scc (f : Ir.Func.t) : result =
           while !changed do
             changed := false;
             incr passes;
-            let opt = Hashkey.Table.create 16 in
+            let opt = Hashkey.Consed_table.create 16 in
             List.iter
               (fun v ->
                 let nv = number_with opt v in

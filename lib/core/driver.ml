@@ -2,7 +2,12 @@
    symbolic evaluation with constant folding / algebraic simplification /
    global reassociation, congruence finding over the TABLE, unreachable-code
    analysis of edges, and predicate & value inference along dominating
-   edges. φ-predication (Figure 8) lives in {!Phipred}. *)
+   edges. φ-predication (Figure 8) lives in {!Phipred}.
+
+   Expressions are hash-consed {!Hexpr} cells interned in the run's arena
+   (State.arena): every structurally distinct expression exists exactly
+   once, so TABLE probes hash a precomputed key and compare pointers —
+   the probe cost no longer grows with expression depth. *)
 
 open State
 
@@ -32,27 +37,36 @@ let walk_step st b =
 (* Atom congruence, for predicate relatedness: constants by value, values by
    congruence class (a value congruent to a constant matches it too). *)
 let atoms_congruent st a b =
-  let norm = function
-    | Expr.Value v -> (
-        match (cls st st.class_of.(v)).leader with
-        | Lconst n -> Expr.Const n
-        | Lundef | Lvalue _ -> Expr.Value v)
-    | a -> a
-  in
-  match (norm a, norm b) with
-  | Expr.Const x, Expr.Const y -> x = y
-  | Expr.Value x, Expr.Value y -> st.class_of.(x) = st.class_of.(y)
-  | (Expr.Const _ | Expr.Value _), _ | _, (Expr.Const _ | Expr.Value _) -> false
+  match (Hexpr.node a, Hexpr.node b) with
+  | Hexpr.Const x, Hexpr.Const y -> x = y
+  | Hexpr.Const x, Hexpr.Value v | Hexpr.Value v, Hexpr.Const x -> (
+      match (cls st st.class_of.(v)).leader with
+      | Lconst n -> n = x
+      | Lundef | Lvalue _ -> false)
+  | Hexpr.Value x, Hexpr.Value y -> (
+      let cx = st.class_of.(x) and cy = st.class_of.(y) in
+      cx = cy
+      ||
+      match ((cls st cx).leader, (cls st cy).leader) with
+      | Lconst nx, Lconst ny -> nx = ny
+      | (Lundef | Lvalue _ | Lconst _), _ -> false)
   | _ -> false
+
+let const_atom x = match Hexpr.node x with Hexpr.Const n -> Some n | _ -> None
 
 (* Does the equality predicate of edge [e] rewrite [v]? Canonical equality
    predicates are [Cmp (Eq, x, y)] with rank x < rank y: when [y] is
    congruent to [v], [v] may be replaced by the lower-ranking [x]. *)
 let equality_rewrite st e v =
   match st.pred_edge.(e) with
-  | Some (Expr.Cmp (Ir.Types.Eq, x, Expr.Value y)) when st.class_of.(y) = st.class_of.(v) ->
-      Some x
-  | _ -> None
+  | Some p -> (
+      match Hexpr.node p with
+      | Hexpr.Cmp (Ir.Types.Eq, x, y) -> (
+          match Hexpr.node y with
+          | Hexpr.Value w when st.class_of.(w) = st.class_of.(v) -> Some x
+          | _ -> None)
+      | _ -> None)
+  | None -> None
 
 (* Figure 7, Infer value at block: walk dominating edges upward from [b0],
    repeatedly rewriting [v] through equality predicates; each successful
@@ -61,12 +75,12 @@ let equality_rewrite st e v =
 let infer_value_at_block st b0 atom =
   if not st.config.Config.value_inference then atom
   else
-    match atom with
-    | Expr.Const _ -> atom
+    match Hexpr.node atom with
+    | Hexpr.Const _ -> atom
     (* §3: no equality test mentions any member of this value's class, so
        no dominating edge predicate can possibly rewrite it. *)
-    | Expr.Value v0 when (cls st st.class_of.(v0)).eq_operands = 0 -> atom
-    | Expr.Value v0 ->
+    | Hexpr.Value v0 when (cls st st.class_of.(v0)).eq_operands = 0 -> atom
+    | Hexpr.Value v0 ->
         let v = ref v0 in
         let found_const = ref None in
         let last_block = ref (-1) in
@@ -83,23 +97,26 @@ let infer_value_at_block st b0 atom =
             | Up next -> b := next
             | Via e -> (
                 match equality_rewrite st e !v with
-                | Some (Expr.Value x) ->
-                    v := x;
-                    last_block := !b;
-                    restart := true;
-                    continue_walk := false
-                | Some (Expr.Const _ as c) ->
-                    (* Inferred constant: nothing ranks lower; finish. *)
-                    found_const := Some c;
-                    continue_walk := false
-                | Some _ | None -> b := (Ir.Func.edge st.f e).Ir.Func.src));
+                | Some x -> (
+                    match Hexpr.node x with
+                    | Hexpr.Value xv ->
+                        v := xv;
+                        last_block := !b;
+                        restart := true;
+                        continue_walk := false
+                    | Hexpr.Const _ ->
+                        (* Inferred constant: nothing ranks lower; finish. *)
+                        found_const := Some x;
+                        continue_walk := false
+                    | _ -> b := (Ir.Func.edge st.f e).Ir.Func.src)
+                | None -> b := (Ir.Func.edge st.f e).Ir.Func.src));
             if !continue_walk && (!b < 0 || !b = !last_block) then continue_walk := false
           done
         done;
         (match !found_const with
         | Some c -> c
         | None -> (
-            match leader_atom st !v with Some a -> a | None -> Expr.Value !v))
+            match leader_atom st !v with Some a -> a | None -> Hexpr.value st.arena !v))
     | _ -> atom
 
 (* Figure 7, Infer value at edge: used for φ arguments, which are "used at
@@ -107,13 +124,16 @@ let infer_value_at_block st b0 atom =
 let infer_value_at_edge st e atom =
   if not st.config.Config.value_inference then atom
   else
-    match atom with
-    | Expr.Value v -> (
+    match Hexpr.node atom with
+    | Hexpr.Value v -> (
         match equality_rewrite st e v with
-        | Some (Expr.Const _ as c) -> c
-        | Some (Expr.Value x) -> (
-            match leader_atom st x with Some a -> a | None -> Expr.Value x)
-        | Some _ | None -> infer_value_at_block st (Ir.Func.edge st.f e).Ir.Func.src atom)
+        | Some x -> (
+            match Hexpr.node x with
+            | Hexpr.Const _ -> x
+            | Hexpr.Value w -> (
+                match leader_atom st w with Some a -> a | None -> x)
+            | _ -> infer_value_at_block st (Ir.Func.edge st.f e).Ir.Func.src atom)
+        | None -> infer_value_at_block st (Ir.Func.edge st.f e).Ir.Func.src atom)
     | _ -> atom
 
 (* Figure 7, Infer value of predicate: walk dominating edges; when one
@@ -123,18 +143,27 @@ let infer_value_at_edge st e atom =
    both require some query operand to be a constant (directly or via its
    leader) or to share a class with a comparison operand. *)
 let predicate_query_matchable st p =
-  let matchable = function
-    | Expr.Const _ -> true
-    | Expr.Value v -> (
+  let matchable x =
+    match Hexpr.node x with
+    | Hexpr.Const _ -> true
+    | Hexpr.Value v -> (
         let c = cls st st.class_of.(v) in
         c.cmp_operands > 0 || match c.leader with Lconst _ -> true | Lundef | Lvalue _ -> false)
     | _ -> false
   in
-  match p with Expr.Cmp (_, a, b) -> matchable a || matchable b | _ -> false
+  match Hexpr.node p with
+  | Hexpr.Cmp (_, a, b) -> matchable a || matchable b
+  | _ -> false
 
 let infer_predicate st b0 p =
   if not (st.config.Config.predicate_inference && predicate_query_matchable st p) then p
   else begin
+    let qop, qa, qb =
+      match Hexpr.node p with
+      | Hexpr.Cmp (op, a, b) -> (op, a, b)
+      | _ -> assert false (* matchable queries are comparisons *)
+    in
+    let same = atoms_congruent st in
     let result = ref p in
     let b = ref b0 in
     let continue_walk = ref true in
@@ -149,14 +178,17 @@ let infer_predicate st b0 p =
           match st.pred_edge.(e) with
           | None -> b := origin
           | Some fact -> (
-              match Infer.decide ~same:(atoms_congruent st) ~fact ~query:p with
-              | Infer.True ->
-                  result := Expr.Const 1;
-                  continue_walk := false
-              | Infer.False ->
-                  result := Expr.Const 0;
-                  continue_walk := false
-              | Infer.Unknown -> b := origin))
+              match Hexpr.node fact with
+              | Hexpr.Cmp (fop, fa, fb) -> (
+                  match Infer.decide ~same ~const:const_atom ~fop ~fa ~fb ~qop ~qa ~qb with
+                  | Infer.True ->
+                      result := Hexpr.const st.arena 1;
+                      continue_walk := false
+                  | Infer.False ->
+                      result := Hexpr.const st.arena 0;
+                      continue_walk := false
+                  | Infer.Unknown -> b := origin)
+              | _ -> b := origin))
     done;
     !result
   end
@@ -177,12 +209,15 @@ let rank_fn st v = st.rank.(v)
 (* Terms of an atom, forward-propagating the defining expression of its
    congruence class when global reassociation is on. *)
 let atom_terms ~propagate st atom =
-  match atom with
-  | Expr.Value v when propagate -> (
+  match Hexpr.node atom with
+  | Hexpr.Value v when propagate -> (
       match (cls st st.class_of.(v)).expr with
-      | Some (Expr.Sum ts) -> ts
-      | Some _ | None -> Expr.terms_of_atom atom)
-  | _ -> Expr.terms_of_atom atom
+      | Some e -> (
+          match Hexpr.node e with
+          | Hexpr.Sum ts -> ts
+          | _ -> Hexpr.terms_of_atom atom)
+      | None -> Hexpr.terms_of_atom atom)
+  | _ -> Hexpr.terms_of_atom atom
 
 let eval_arith st (kind : [ `Add | `Sub | `Mul | `Neg ]) atoms =
   let cfg = st.config in
@@ -204,7 +239,7 @@ let eval_arith st (kind : [ `Add | `Sub | `Mul | `Neg ]) atoms =
         build ~propagate:false
       else ts
     in
-    Expr.of_terms ts
+    Hexpr.of_terms st.arena ts
   end
   else
     let op : Expr.opsym =
@@ -214,39 +249,41 @@ let eval_arith st (kind : [ `Add | `Sub | `Mul | `Neg ]) atoms =
       | `Mul -> Expr.Ubop Ir.Types.Mul
       | `Neg -> Expr.Uuop Ir.Types.Neg
     in
-    match (cfg.Config.constant_folding, op, atoms) with
-    | true, Expr.Ubop bop, [ Expr.Const a; Expr.Const b ]
+    match (cfg.Config.constant_folding, op, List.map Hexpr.node atoms) with
+    | true, Expr.Ubop bop, [ Hexpr.Const a; Hexpr.Const b ]
       when not (Ir.Types.binop_can_trap bop b) ->
-        Expr.Const (Ir.Types.eval_binop bop a b)
-    | true, Expr.Uuop uop, [ Expr.Const a ] -> Expr.Const (Ir.Types.eval_unop uop a)
-    | _ -> Expr.Op (op, atoms) (* syntactic: no commutative reordering *)
+        Hexpr.const st.arena (Ir.Types.eval_binop bop a b)
+    | true, Expr.Uuop uop, [ Hexpr.Const a ] ->
+        Hexpr.const st.arena (Ir.Types.eval_unop uop a)
+    | _ -> Hexpr.op_ st.arena op atoms (* syntactic: no commutative reordering *)
 
 let eval_nonassoc_binop st op x y =
   let cfg = st.config in
   let rank = rank_fn st in
-  if cfg.Config.algebraic_simplification then Expr.binop_atoms rank op x y
+  if cfg.Config.algebraic_simplification then Hexpr.binop_atoms st.arena rank op x y
   else
-    match (cfg.Config.constant_folding, x, y) with
-    | true, Expr.Const a, Expr.Const b when not (Ir.Types.binop_can_trap op b) ->
-        Expr.Const (Ir.Types.eval_binop op a b)
-    | _ -> Expr.Op (Expr.Ubop op, [ x; y ]) (* syntactic *)
+    match (cfg.Config.constant_folding, Hexpr.node x, Hexpr.node y) with
+    | true, Hexpr.Const a, Hexpr.Const b when not (Ir.Types.binop_can_trap op b) ->
+        Hexpr.const st.arena (Ir.Types.eval_binop op a b)
+    | _ -> Hexpr.op_ st.arena (Expr.Ubop op) [ x; y ] (* syntactic *)
 
 let eval_unop st op x =
   let cfg = st.config in
   let rank = rank_fn st in
-  if cfg.Config.algebraic_simplification then Expr.unop_atom rank op x
+  if cfg.Config.algebraic_simplification then Hexpr.unop_atom st.arena rank op x
   else
-    match (cfg.Config.constant_folding, x) with
-    | true, Expr.Const a -> Expr.Const (Ir.Types.eval_unop op a)
-    | _ -> Expr.Op (Expr.Uuop op, [ x ]) (* syntactic *)
+    match (cfg.Config.constant_folding, Hexpr.node x) with
+    | true, Hexpr.Const a -> Hexpr.const st.arena (Ir.Types.eval_unop op a)
+    | _ -> Hexpr.op_ st.arena (Expr.Uuop op) [ x ] (* syntactic *)
 
 let eval_cmp st op x y =
-  match (x, y) with
-  | Expr.Const a, Expr.Const b when st.config.Config.constant_folding ->
-      Expr.Const (Ir.Types.eval_cmp op a b)
+  match (Hexpr.node x, Hexpr.node y) with
+  | Hexpr.Const a, Hexpr.Const b when st.config.Config.constant_folding ->
+      Hexpr.const st.arena (Ir.Types.eval_cmp op a b)
   | _ ->
-      if st.config.Config.algebraic_simplification then Expr.cmp_atoms (rank_fn st) op x y
-      else Expr.Cmp (op, x, y)
+      if st.config.Config.algebraic_simplification then
+        Hexpr.cmp_atoms st.arena (rank_fn st) op x y
+      else Hexpr.cmp_ st.arena op x y
 
 (* ------------------------------------------------------------------ *)
 (* §6 extension (off by default): distribute operations over φ-expressions,
@@ -254,24 +291,39 @@ let eval_cmp st op x y =
    argument up in the TABLE so the result matches an existing value's
    expression. Captures the Rüthing–Knoop–Steffen congruences (Figure 14). *)
 
-let phi_expr_of_atom st = function
-  | Expr.Value v -> (
+let phi_expr_of_atom st atom =
+  match Hexpr.node atom with
+  | Hexpr.Value v -> (
       match (cls st st.class_of.(v)).expr with
-      | Some (Expr.Phi (k, args)) -> Some (k, args)
-      | Some _ | None -> None)
+      | Some e -> (
+          match Hexpr.node e with
+          | Hexpr.Phi (k, args) -> Some (k, args)
+          | _ -> None)
+      | None -> None)
   | _ -> None
+
+(* A TABLE probe: the class id lives in the consed cell's scratch slot, so
+   a probe is a single field read, counted for the bench harness. *)
+let table_find st (e : Hexpr.t) =
+  st.stats.Run_stats.table_probes <- st.stats.Run_stats.table_probes + 1;
+  let cid = Util.Hashcons.slot e in
+  if cid >= 0 then begin
+    st.stats.Run_stats.table_hits <- st.stats.Run_stats.table_hits + 1;
+    Some cid
+  end
+  else None
 
 (* Reduce a combined expression back to an atom: directly, or through the
    congruence class already holding that expression. *)
-let atom_of_expr st (e : Expr.t) : Expr.t option =
-  match e with
-  | Expr.Const _ | Expr.Value _ -> Some e
-  | e -> (
-      match Expr.Table.find_opt st.table e with
+let atom_of_expr st (e : Hexpr.t) : Hexpr.t option =
+  match Hexpr.node e with
+  | Hexpr.Const _ | Hexpr.Value _ -> Some e
+  | _ -> (
+      match table_find st e with
       | Some cid -> (
           match (cls st cid).leader with
-          | Lconst n -> Some (Expr.Const n)
-          | Lvalue l -> Some (Expr.Value l)
+          | Lconst n -> Some (Hexpr.const st.arena n)
+          | Lvalue l -> Some (Hexpr.value st.arena l)
           | Lundef -> None)
       | None -> None)
 
@@ -288,26 +340,29 @@ let try_phi_distribution st combine x y =
       in
       match atoms [] pairs with
       | None -> None
-      | Some (first :: rest) when List.for_all (Expr.equal first) rest -> Some first
-      | Some args -> Some (Expr.Phi (key, args))
+      | Some (first :: rest) when List.for_all (Hexpr.equal first) rest -> Some first
+      | Some args -> Some (Hexpr.phi st.arena key args)
     in
     match (phi_expr_of_atom st x, phi_expr_of_atom st y) with
     | Some (kx, xs), Some (ky, ys)
-      when Expr.equal_key kx ky && List.length xs = List.length ys ->
+      when Hexpr.equal_key kx ky && List.length xs = List.length ys ->
         build kx (List.combine xs ys)
-    | Some (kx, xs), None when Expr.is_atom y -> build kx (List.map (fun a -> (a, y)) xs)
-    | None, Some (ky, ys) when Expr.is_atom x -> build ky (List.map (fun b -> (x, b)) ys)
+    | Some (kx, xs), None when Hexpr.is_atom y -> build kx (List.map (fun a -> (a, y)) xs)
+    | None, Some (ky, ys) when Hexpr.is_atom x -> build ky (List.map (fun b -> (x, b)) ys)
     | _ -> None
 
 (* φ evaluation: drop arguments on unreachable edges and ⊥ arguments
    (optimistically top), reduce when all remaining arguments agree, and key
-   the expression by the block predicate (φ-predication) or the block. *)
+   the expression by the block predicate (φ-predication) or the block.
+   Canonical-order arguments are gathered through the per-edge scratch
+   array [st.phi_scratch] (all [None] between evaluations), replacing the
+   former quadratic association-list lookups. *)
 let eval_phi st b v (args : int array) =
   let blk = Ir.Func.block st.f b in
   let preds = blk.Ir.Func.preds in
   if st.config.Config.mode <> Config.Optimistic && has_incoming_back_edge st b then
     (* Balanced / pessimistic: a cyclic φ is a unique value (§2.6). *)
-    Some (Expr.Self v)
+    Some (Hexpr.self st.arena v)
   else begin
     let pairs = ref [] in
     for ix = Array.length preds - 1 downto 0 do
@@ -319,37 +374,43 @@ let eval_phi st b v (args : int array) =
     done;
     match !pairs with
     | [] -> None
-    | (_, first) :: rest when List.for_all (fun (_, a) -> Expr.equal first a) rest ->
+    | (_, first) :: rest when List.for_all (fun (_, a) -> Hexpr.equal first a) rest ->
         Some first
-    | pairs -> (
+    | pairs ->
+        List.iter (fun (e, a) -> st.phi_scratch.(e) <- Some a) pairs;
         let use_predicate =
           st.config.Config.phi_predication
           && st.pred_block.(b) <> None
           && (* the canonical order must cover exactly the live arguments *)
           Array.length st.canonical.(b) = List.length pairs
-          && Array.for_all (fun e -> List.mem_assoc e pairs) st.canonical.(b)
+          && Array.for_all (fun e -> st.phi_scratch.(e) <> None) st.canonical.(b)
         in
-        if use_predicate then
-          match st.pred_block.(b) with
-          | Some p ->
-              let atoms =
-                Array.to_list (Array.map (fun e -> List.assoc e pairs) st.canonical.(b))
-              in
-              Some (Expr.Phi (Expr.Kpred p, atoms))
-          | None -> assert false
-        else Some (Expr.Phi (Expr.Kblock b, List.map snd pairs)))
+        let result =
+          if use_predicate then
+            match st.pred_block.(b) with
+            | Some p ->
+                let atoms =
+                  Array.to_list
+                    (Array.map (fun e -> Option.get st.phi_scratch.(e)) st.canonical.(b))
+                in
+                Some (Hexpr.phi st.arena (Hexpr.Kpred p) atoms)
+            | None -> assert false
+          else Some (Hexpr.phi st.arena (Hexpr.Kblock b) (List.map snd pairs))
+        in
+        List.iter (fun (e, _) -> st.phi_scratch.(e) <- None) pairs;
+        result
   end
 
 (* Figure 4, Perform symbolic evaluation: the expression an instruction
    computes, over current class leaders, after folding / simplification /
    reassociation and predicate inference. [None] = ⊥ (no information yet:
    some operand is still optimistically undetermined). *)
-let symbolic_eval st b v (ins : Ir.Func.instr) : Expr.t option =
+let symbolic_eval st b v (ins : Ir.Func.instr) : Hexpr.t option =
   let operand w = eval_operand st b w in
   let result =
     match ins with
-    | Ir.Func.Const n -> Some (Expr.Const n)
-    | Ir.Func.Param _ -> Some (Expr.Self v)
+    | Ir.Func.Const n -> Some (Hexpr.const st.arena n)
+    | Ir.Func.Param _ -> Some (Hexpr.self st.arena v)
     | Ir.Func.Phi args -> eval_phi st b v args
     | Ir.Func.Unop (Ir.Types.Neg, a) -> (
         match operand a with Some x -> Some (eval_arith st `Neg [ x ]) | None -> None)
@@ -376,45 +437,48 @@ let symbolic_eval st b v (ins : Ir.Func.instr) : Expr.t option =
     | Ir.Func.Opaque (tag, args) ->
         let atoms = Array.map (fun w -> operand w) args in
         if Array.exists (fun a -> a = None) atoms then None
-        else Some (Expr.Opq (tag, Array.to_list (Array.map Option.get atoms)))
+        else Some (Hexpr.opq st.arena tag (Array.to_list (Array.map Option.get atoms)))
     | Ir.Func.Jump | Ir.Func.Branch _ | Ir.Func.Switch _ | Ir.Func.Return _ -> assert false
   in
   let result =
     match result with
-    | Some (Expr.Cmp _ as p) when st.config.Config.predicate_inference ->
+    | Some p when Hexpr.is_predicate p && st.config.Config.predicate_inference ->
         Some (infer_predicate st b p)
     | r -> r
   in
   (* §2.9 SCCP emulation: non-constant expressions collapse to the value
      itself — only constants and reachability are tracked. *)
   match result with
-  | Some (Expr.Const _) | None -> result
-  | Some e -> if st.config.Config.sccp_only then Some (Expr.Self v) else Some e
+  | None -> result
+  | Some e -> (
+      match Hexpr.node e with
+      | Hexpr.Const _ -> result
+      | _ -> if st.config.Config.sccp_only then Some (Hexpr.self st.arena v) else result)
 
 (* ------------------------------------------------------------------ *)
 (* Congruence finding (Figure 4, lines 31–58).                         *)
 
-let class_for_expr st v (e : Expr.t) =
-  match e with
-  | Expr.Value x -> cls st st.class_of.(x)
-  | Expr.Const n -> (
-      match Expr.Table.find_opt st.table e with
+let class_for_expr st v (e : Hexpr.t) =
+  match Hexpr.node e with
+  | Hexpr.Value x -> cls st st.class_of.(x)
+  | Hexpr.Const n -> (
+      match table_find st e with
       | Some cid -> cls st cid
       | None ->
           let c = new_class st (Lconst n) (Some e) in
-          Expr.Table.replace st.table e c.cid;
+          Util.Hashcons.set_slot e c.cid;
           c.in_table <- true;
           c)
-  | e -> (
-      match Expr.Table.find_opt st.table e with
+  | _ -> (
+      match table_find st e with
       | Some cid -> cls st cid
       | None ->
           let c = new_class st (Lvalue v) (Some e) in
-          Expr.Table.replace st.table e c.cid;
+          Util.Hashcons.set_slot e c.cid;
           c.in_table <- true;
           c)
 
-let congruence_finding st v (e : Expr.t option) : bool =
+let congruence_finding st v (e : Hexpr.t option) : bool =
   match e with
   | None -> false (* still ⊥: leave in INITIAL *)
   | Some e ->
@@ -429,8 +493,7 @@ let congruence_finding st v (e : Expr.t option) : bool =
           if c0.size = 0 then begin
             (match c0.expr with
             | Some ex when c0.in_table ->
-                if Expr.Table.find_opt st.table ex = Some c0.cid then
-                  Expr.Table.remove st.table ex
+                if Util.Hashcons.slot ex = c0.cid then Util.Hashcons.set_slot ex (-1)
             | _ -> ());
             c0.in_table <- false;
             c0.leader <- Lundef;
@@ -459,32 +522,46 @@ let congruence_finding st v (e : Expr.t option) : bool =
    18 nullifies constant predicates). *)
 let edge_predicate st b cond_atom ~is_true =
   match cond_atom with
-  | None | Some (Expr.Const _) -> None
-  | Some (Expr.Value v) -> (
-      let base =
-        match (cls st st.class_of.(v)).expr with
-        | Some (Expr.Cmp (op, x, y)) ->
-            (* Refresh the stored comparison's operands. *)
-            let refresh = function
-              | Expr.Value w -> (
-                  match eval_operand st b w with Some a -> a | None -> Expr.Value w)
-              | a -> a
+  | None -> None
+  | Some a -> (
+      match Hexpr.node a with
+      | Hexpr.Const _ -> None
+      | Hexpr.Value v -> (
+          let base =
+            let stored_cmp =
+              match (cls st st.class_of.(v)).expr with
+              | Some e -> (
+                  match Hexpr.node e with
+                  | Hexpr.Cmp (op, x, y) -> Some (op, x, y)
+                  | _ -> None)
+              | None -> None
             in
-            Expr.cmp_atoms (rank_fn st) op (refresh x) (refresh y)
-        | _ -> Expr.cmp_atoms (rank_fn st) Ir.Types.Ne (Expr.Const 0) (Expr.Value v)
-      in
-      match base with
-      | Expr.Cmp (op, x, y) ->
-          let p = if is_true then Expr.Cmp (op, x, y) else Expr.negate_pred (Expr.Cmp (op, x, y)) in
-          let p = infer_predicate st b p in
-          (match p with Expr.Const _ -> None | p -> Some p)
-      | _ -> None (* folded to a constant *))
-  | Some _ -> None
+            match stored_cmp with
+            | Some (op, x, y) ->
+                (* Refresh the stored comparison's operands. *)
+                let refresh u =
+                  match Hexpr.node u with
+                  | Hexpr.Value w -> (
+                      match eval_operand st b w with Some a -> a | None -> u)
+                  | _ -> u
+                in
+                Hexpr.cmp_atoms st.arena (rank_fn st) op (refresh x) (refresh y)
+            | None ->
+                Hexpr.cmp_atoms st.arena (rank_fn st) Ir.Types.Ne
+                  (Hexpr.const st.arena 0) a
+          in
+          match Hexpr.node base with
+          | Hexpr.Cmp _ -> (
+              let p = if is_true then base else Hexpr.negate_pred st.arena base in
+              let p = infer_predicate st b p in
+              match Hexpr.node p with Hexpr.Const _ -> None | _ -> Some p)
+          | _ -> None (* folded to a constant *))
+      | _ -> None)
 
 let expr_opt_equal a b =
   match (a, b) with
   | None, None -> true
-  | Some x, Some y -> Expr.equal x y
+  | Some x, Some y -> Hexpr.equal x y
   | None, Some _ | Some _, None -> false
 
 let handle_edge st e ~reachable ~pred =
@@ -538,21 +615,27 @@ let process_outgoing_edges st b : bool =
         else
           match atom with
           | None -> fun _ -> false
-          | Some (Expr.Const k) ->
-              let matched = ref ncases in
-              Array.iteri (fun i case -> if case = k then matched := i) cases;
-              let m = !matched in
-              fun ix -> ix = m
-          | Some _ -> fun _ -> true
+          | Some a -> (
+              match Hexpr.node a with
+              | Hexpr.Const k ->
+                  let matched = ref ncases in
+                  Array.iteri (fun i case -> if case = k then matched := i) cases;
+                  let m = !matched in
+                  fun ix -> ix = m
+              | _ -> fun _ -> true)
       in
       let pred_for ix =
         if ix >= ncases then None (* default *)
         else
           match atom with
-          | Some (Expr.Value _ as a) -> (
-              let p = Expr.cmp_atoms (rank_fn st) Ir.Types.Eq (Expr.Const cases.(ix)) a in
+          | Some a when (match Hexpr.node a with Hexpr.Value _ -> true | _ -> false) -> (
+              let p =
+                Hexpr.cmp_atoms st.arena (rank_fn st) Ir.Types.Eq
+                  (Hexpr.const st.arena cases.(ix))
+                  a
+              in
               let p = infer_predicate st b p in
-              match p with Expr.Const _ -> None | p -> Some p)
+              match Hexpr.node p with Hexpr.Const _ -> None | _ -> Some p)
           | _ -> None
       in
       let changed = ref false in
@@ -569,8 +652,10 @@ let process_outgoing_edges st b : bool =
         else
           match atom with
           | None -> (false, false) (* ⊥ condition: neither side known reachable *)
-          | Some (Expr.Const k) -> (k <> 0, k = 0)
-          | Some _ -> (true, true)
+          | Some a -> (
+              match Hexpr.node a with
+              | Hexpr.Const k -> (k <> 0, k = 0)
+              | _ -> (true, true))
       in
       let pt = edge_predicate st b atom ~is_true:true in
       let pf = edge_predicate st b atom ~is_true:false in

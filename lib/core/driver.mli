@@ -41,17 +41,17 @@ val summarize : State.t -> summary
 
 (** {1 Engine steps, exposed for instrumentation and the test suite} *)
 
-val eval_operand : State.t -> int -> Ir.Func.value -> Expr.t option
+val eval_operand : State.t -> int -> Ir.Func.value -> Hexpr.t option
 (** The leader atom of an operand with value inference applied at the given
     block (Figure 7); [None] while the operand is ⊥. *)
 
-val infer_predicate : State.t -> int -> Expr.t -> Expr.t
+val infer_predicate : State.t -> int -> Hexpr.t -> Hexpr.t
 (** Figure 7's [Infer value of predicate]. *)
 
-val symbolic_eval : State.t -> int -> Ir.Func.value -> Ir.Func.instr -> Expr.t option
+val symbolic_eval : State.t -> int -> Ir.Func.value -> Ir.Func.instr -> Hexpr.t option
 (** Figure 4's [Perform symbolic evaluation]; [None] = ⊥. *)
 
-val congruence_finding : State.t -> Ir.Func.value -> Expr.t option -> bool
+val congruence_finding : State.t -> Ir.Func.value -> Hexpr.t option -> bool
 (** Figure 4's [Perform congruence finding]; true when anything changed. *)
 
 val process_outgoing_edges : State.t -> int -> bool

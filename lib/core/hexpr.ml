@@ -1,0 +1,326 @@
+(* Hash-consed expressions. See hexpr.mli for the design contract; the
+   structural twin (and test oracle) is Expr. *)
+
+type t = node Util.Hashcons.consed
+
+and node =
+  | Const of int
+  | Value of int
+  | Sum of Expr.term list
+  | Op of Expr.opsym * t list
+  | Cmp of Ir.Types.cmp * t * t
+  | Phi of key * t list
+  | Opq of int * t list
+  | Self of int
+  | Pand of t list
+  | Por of t list
+
+and key = Kblock of int | Kpred of t
+
+let node (c : t) = c.Util.Hashcons.node
+let tag (c : t) = c.Util.Hashcons.tag
+let equal (a : t) (b : t) = a == b
+let hash (c : t) = c.Util.Hashcons.hkey
+
+let equal_key k1 k2 =
+  match (k1, k2) with
+  | Kblock a, Kblock b -> a = b
+  | Kpred p, Kpred q -> p == q
+  | (Kblock _ | Kpred _), _ -> false
+
+(* Small integer codes for the operator enums, so shallow hashing and
+   equality are pure OCaml int arithmetic — no [Hashtbl.hash] or
+   polymorphic-compare C calls on the intern fast path. *)
+let binop_code : Ir.Types.binop -> int = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Div -> 3
+  | Rem -> 4
+  | And -> 5
+  | Or -> 6
+  | Xor -> 7
+  | Shl -> 8
+  | Shr -> 9
+
+let unop_code : Ir.Types.unop -> int = function Neg -> 0 | Lnot -> 1 | Bnot -> 2
+
+let cmp_code : Ir.Types.cmp -> int = function
+  | Eq -> 0
+  | Ne -> 1
+  | Lt -> 2
+  | Le -> 3
+  | Gt -> 4
+  | Ge -> 5
+
+let sym_code = function
+  | Expr.Ubop b -> binop_code b
+  | Expr.Uuop u -> 16 + unop_code u
+
+(* Shallow equality/hash over one node: children by physical identity /
+   tag, scalars structurally. This is what makes interning O(arity) and
+   every later probe O(1). *)
+module N = struct
+  type nonrec t = node
+
+  let rec eq_list xs ys =
+    match (xs, ys) with
+    | [], [] -> true
+    | x :: xs, y :: ys -> x == y && eq_list xs ys
+    | _ -> false
+
+  let equal a b =
+    match (a, b) with
+    | Const x, Const y -> x = y
+    | Value x, Value y -> x = y
+    | Self x, Self y -> x = y
+    | Sum ts, Sum us -> ts = us (* ints only: structural compare is safe *)
+    | Op (o, xs), Op (p, ys) -> sym_code o = sym_code p && eq_list xs ys
+    | Cmp (o, x1, y1), Cmp (p, x2, y2) ->
+        cmp_code o = cmp_code p && x1 == x2 && y1 == y2
+    | Phi (k1, xs), Phi (k2, ys) -> equal_key k1 k2 && eq_list xs ys
+    | Opq (t1, xs), Opq (t2, ys) -> t1 = t2 && eq_list xs ys
+    | Pand xs, Pand ys | Por xs, Por ys -> eq_list xs ys
+    | ( ( Const _ | Value _ | Self _ | Sum _ | Op _ | Cmp _ | Phi _ | Opq _
+        | Pand _ | Por _ ),
+        _ ) ->
+        false
+
+  let comb h x = (h * 1000003) lxor x
+  let hash_children salt xs = List.fold_left (fun h x -> comb h (tag x)) salt xs
+
+  let hash = function
+    | Const n -> comb 1 n
+    | Value v -> comb 2 v
+    | Self v -> comb 3 v
+    | Sum ts ->
+        List.fold_left
+          (fun h t ->
+            comb
+              (List.fold_left comb (comb h t.Expr.coeff) t.Expr.factors)
+              17)
+          4 ts
+    | Op (o, xs) -> hash_children (comb 5 (sym_code o)) xs
+    | Cmp (o, x, y) -> comb (comb (comb 6 (cmp_code o)) (tag x)) (tag y)
+    | Phi (k, xs) ->
+        let hk = match k with Kblock b -> comb 7 b | Kpred p -> comb 8 (tag p) in
+        hash_children hk xs
+    | Opq (t, xs) -> hash_children (comb 9 t) xs
+    | Pand xs -> hash_children 10 xs
+    | Por xs -> hash_children 11 xs
+end
+
+module HC = Util.Hashcons.Make (N)
+
+(* [small]/[vals] are read-through caches in front of the arena table for
+   the two atom shapes the driver builds on every operand visit: small
+   constants (eager) and per-value leader atoms (filled on first use).
+   Both return the same cells interning would, just without the probe. *)
+type arena = {
+  hc : HC.arena;
+  small : t array; (* Const (-16) .. Const 16 *)
+  mutable vals : t option array; (* Value cells, indexed by value id *)
+}
+
+let create ?(size = 1024) () =
+  let hc = HC.create ~size () in
+  {
+    hc;
+    small = Array.init 33 (fun i -> HC.hashcons hc (Const (i - 16)));
+    vals = Array.make 64 None;
+  }
+
+let stats a = HC.stats a.hc
+let intern a n = HC.hashcons a.hc n
+
+(* ---------------- smart constructors ---------------- *)
+
+let const a n =
+  if n >= -16 && n <= 16 then Array.unsafe_get a.small (n + 16)
+  else intern a (Const n)
+
+let value a v =
+  if v < 0 then intern a (Value v)
+  else begin
+    if v >= Array.length a.vals then begin
+      let nv = Array.make (max (2 * Array.length a.vals) (v + 1)) None in
+      Array.blit a.vals 0 nv 0 (Array.length a.vals);
+      a.vals <- nv
+    end;
+    match a.vals.(v) with
+    | Some c -> c
+    | None ->
+        let c = intern a (Value v) in
+        a.vals.(v) <- Some c;
+        c
+  end
+let self a v = intern a (Self v)
+let sum a ts = intern a (Sum ts)
+let op_ a sym args = intern a (Op (sym, args))
+let cmp_ a op x y = intern a (Cmp (op, x, y))
+let phi a k args = intern a (Phi (k, args))
+let opq a tg args = intern a (Opq (tg, args))
+
+(* Canonical predicate children: flatten one connective, sort by tag,
+   dedup. Tag order is arbitrary but fixed within an arena, which is all
+   canonicity needs: any construction order of the same operand set yields
+   the same cell. *)
+let canon_children flatten xs =
+  let rec flat acc = function
+    | [] -> acc
+    | x :: rest -> (
+        match flatten (node x) with
+        | Some ys -> flat (flat acc ys) rest
+        | None -> flat (x :: acc) rest)
+  in
+  List.sort_uniq (fun a b -> Int.compare (tag a) (tag b)) (flat [] xs)
+
+let pand a xs =
+  match xs with
+  (* Fast path for the dominant binary case with nothing to flatten. *)
+  | [ x; y ] when (match (node x, node y) with Pand _, _ | _, Pand _ -> false | _ -> true)
+    ->
+      if x == y then x
+      else
+        let x, y = if tag x < tag y then (x, y) else (y, x) in
+        intern a (Pand [ x; y ])
+  | xs -> (
+      match canon_children (function Pand ys -> Some ys | _ -> None) xs with
+      | [] -> const a 1 (* empty conjunction: true *)
+      | [ x ] -> x
+      | xs -> intern a (Pand xs))
+
+let por a xs =
+  match xs with
+  | [ x; y ] when (match (node x, node y) with Por _, _ | _, Por _ -> false | _ -> true) ->
+      if x == y then x
+      else
+        let x, y = if tag x < tag y then (x, y) else (y, x) in
+        intern a (Por [ x; y ])
+  | xs -> (
+      match canon_children (function Por ys -> Some ys | _ -> None) xs with
+      | [] -> const a 0 (* empty disjunction: false *)
+      | [ x ] -> x
+      | xs -> intern a (Por xs))
+
+(* ---------------- the atom algebra, mirrored from Expr ---------------- *)
+
+let of_terms a ts =
+  match ts with
+  | [] -> const a 0
+  | [ { Expr.coeff; factors = [] } ] -> const a coeff
+  | [ { Expr.coeff = 1; factors = [ v ] } ] -> value a v
+  | ts -> sum a ts
+
+let terms_of_atom x =
+  match node x with
+  | Const 0 -> []
+  | Const n -> [ { Expr.coeff = n; factors = [] } ]
+  | Value v -> [ { Expr.coeff = 1; factors = [ v ] } ]
+  | _ -> invalid_arg "Hexpr.terms_of_atom"
+
+let terms_opt x =
+  match node x with
+  | Const 0 -> Some []
+  | Const n -> Some [ { Expr.coeff = n; factors = [] } ]
+  | Value v -> Some [ { Expr.coeff = 1; factors = [ v ] } ]
+  | Sum ts -> Some ts
+  | Op _ | Cmp _ | Phi _ | Opq _ | Self _ | Pand _ | Por _ -> None
+
+let is_atom x = match node x with Const _ | Value _ -> true | _ -> false
+
+let atom_rank rank x =
+  match node x with
+  | Const _ -> (0, min_int)
+  | Value v -> (rank v, v)
+  | _ -> invalid_arg "Hexpr.atom_rank"
+
+let cmp_atoms a rank op x y =
+  match (node x, node y) with
+  | Const p, Const q -> const a (Ir.Types.eval_cmp op p q)
+  | _ ->
+      if x == y then
+        const a (match op with Eq | Le | Ge -> 1 | Ne | Lt | Gt -> 0)
+      else if atom_rank rank x <= atom_rank rank y then cmp_ a op x y
+      else cmp_ a (Ir.Types.swap_cmp op) y x
+
+let is_predicate x = match node x with Cmp _ -> true | _ -> false
+
+let make_op a rank sym args =
+  let args =
+    if Expr.op_commutative sym then
+      List.sort (fun u v -> compare (atom_rank rank u) (atom_rank rank v)) args
+    else args
+  in
+  op_ a sym args
+
+let negate_pred a x =
+  match node x with
+  | Cmp (op, u, v) -> cmp_ a (Ir.Types.negate_cmp op) u v
+  | Const n -> const a (if n = 0 then 1 else 0)
+  | _ -> op_ a (Expr.Uuop Ir.Types.Lnot) [ x ]
+
+let binop_atoms a rank (op : Ir.Types.binop) x y =
+  let open Ir.Types in
+  match (op, node x, node y) with
+  | (Div | Rem), _, Const 0 -> make_op a rank (Expr.Ubop op) [ x; y ] (* traps *)
+  | _, Const p, Const q -> const a (eval_binop op p q)
+  | Div, _, Const 1 -> x
+  | Rem, _, Const 1 -> const a 0
+  | Rem, _, Const (-1) -> const a 0
+  | And, _, Const 0 | And, Const 0, _ -> const a 0
+  | And, _, Const (-1) -> x
+  | And, Const (-1), _ -> y
+  | And, Value p, Value q when p = q -> x
+  | Or, _, Const 0 -> x
+  | Or, Const 0, _ -> y
+  | Or, _, Const (-1) | Or, Const (-1), _ -> const a (-1)
+  | Or, Value p, Value q when p = q -> x
+  | Xor, _, Const 0 -> x
+  | Xor, Const 0, _ -> y
+  | Xor, Value p, Value q when p = q -> const a 0
+  | (Shl | Shr), _, Const 0 -> x
+  | (Shl | Shr), Const 0, _ -> const a 0
+  | _, _, _ -> make_op a rank (Expr.Ubop op) [ x; y ]
+
+let unop_atom a rank (op : Ir.Types.unop) x =
+  match (op, node x) with
+  | _, Const p -> const a (Ir.Types.eval_unop op p)
+  | Ir.Types.Lnot, Cmp (c, u, v) -> cmp_ a (Ir.Types.negate_cmp c) u v
+  | _ -> make_op a rank (Expr.Uuop op) [ x ]
+
+(* ---------------- conversions ---------------- *)
+
+let rec to_expr x =
+  match node x with
+  | Const n -> Expr.Const n
+  | Value v -> Expr.Value v
+  | Self v -> Expr.Self v
+  | Sum ts -> Expr.Sum ts
+  | Op (o, xs) -> Expr.Op (o, List.map to_expr xs)
+  | Cmp (o, u, v) -> Expr.Cmp (o, to_expr u, to_expr v)
+  | Phi (Kblock b, xs) -> Expr.Phi (Expr.Kblock b, List.map to_expr xs)
+  | Phi (Kpred p, xs) -> Expr.Phi (Expr.Kpred (to_expr p), List.map to_expr xs)
+  | Opq (t, xs) -> Expr.Opq (t, List.map to_expr xs)
+  | Pand xs -> Expr.Pand (List.map to_expr xs)
+  | Por xs -> Expr.Por (List.map to_expr xs)
+
+let rec of_expr a (e : Expr.t) =
+  match e with
+  | Expr.Const n -> const a n
+  | Expr.Value v -> value a v
+  | Expr.Self v -> self a v
+  | Expr.Sum ts -> sum a ts
+  | Expr.Op (o, xs) -> op_ a o (List.map (of_expr a) xs)
+  | Expr.Cmp (o, u, v) -> cmp_ a o (of_expr a u) (of_expr a v)
+  | Expr.Phi (Expr.Kblock b, xs) -> phi a (Kblock b) (List.map (of_expr a) xs)
+  | Expr.Phi (Expr.Kpred p, xs) ->
+      phi a (Kpred (of_expr a p)) (List.map (of_expr a) xs)
+  | Expr.Opq (t, xs) -> opq a t (List.map (of_expr a) xs)
+  | Expr.Pand xs -> pand a (List.map (of_expr a) xs)
+  | Expr.Por xs -> por a (List.map (of_expr a) xs)
+
+let pp ppf x = Expr.pp ppf (to_expr x)
+let to_string x = Expr.to_string (to_expr x)
+
+module Table = HC.Tbl

@@ -1,0 +1,116 @@
+(** Hash-consed symbolic expressions: the arena-backed twin of {!Expr}.
+
+    Every structurally distinct expression is interned exactly once per
+    {!arena}, so equality is physical ([==] / {!tag} comparison) and
+    hashing is O(1) — the paper's "the cost of a hash lookup is independent
+    of program size" cost model, which the plain recursive {!Expr.t} loses
+    (each TABLE probe re-walks the whole tree).
+
+    Nodes mirror {!Expr.t} constructor for constructor, with two deliberate
+    differences enforced by the smart constructors:
+
+    - {b children are consed}: interning a node hashes only its children's
+      tags, O(arity), and every later probe of the same structure is O(1);
+    - {b predicates are canonical at construction}: {!pand}/{!por} flatten
+      nested conjunctions/disjunctions, sort children by tag and drop
+      duplicates, so path predicates built through different traversal
+      shapes land on the same cell (and hence the same TABLE slot) for
+      free — the [xs @ [q]] appends of the φ-predication walk disappear.
+
+    The structural {!Expr} module stays untouched and serves as the test
+    oracle: [of_expr]/[to_expr] round-trips and the agreement properties
+    are pinned in [test/test_expr.ml]. *)
+
+type t = node Util.Hashcons.consed
+
+and node =
+  | Const of int
+  | Value of int  (** a congruence-class leader *)
+  | Sum of Expr.term list  (** canonical sum of products (term ids only) *)
+  | Op of Expr.opsym * t list  (** non-reassociable op over atomic operands *)
+  | Cmp of Ir.Types.cmp * t * t
+  | Phi of key * t list
+  | Opq of int * t list  (** uninterpreted function of tag and atoms *)
+  | Self of int  (** an expression unique to the given value *)
+  | Pand of t list  (** conjunction: flattened, tag-sorted, deduplicated *)
+  | Por of t list  (** disjunction: flattened, tag-sorted, deduplicated *)
+
+and key = Kblock of int | Kpred of t
+
+type arena
+(** One expression arena, scoped to a GVN run (see {!State.t.arena}). *)
+
+val create : ?size:int -> unit -> arena
+val stats : arena -> Util.Hashcons.stats
+
+val node : t -> node
+val tag : t -> int
+(** Unique per structurally distinct expression within one arena. *)
+
+val equal : t -> t -> bool
+(** Physical equality — O(1), sound within one arena. *)
+
+val hash : t -> int
+(** Precomputed — O(1). *)
+
+val equal_key : key -> key -> bool
+
+(** {1 Smart constructors}
+
+    All take the arena; all return the unique cell for the (canonicalized)
+    structure. *)
+
+val const : arena -> int -> t
+val value : arena -> int -> t
+val self : arena -> int -> t
+val sum : arena -> Expr.term list -> t
+(** Raw [Sum] node — the term list must already be canonical; prefer
+    {!of_terms}. *)
+
+val op_ : arena -> Expr.opsym -> t list -> t
+(** Raw [Op] node, no operand sorting; prefer {!make_op}. *)
+
+val cmp_ : arena -> Ir.Types.cmp -> t -> t -> t
+(** Raw [Cmp] node, no canonicalization; prefer {!cmp_atoms}. *)
+
+val phi : arena -> key -> t list -> t
+val opq : arena -> int -> t list -> t
+
+val pand : arena -> t list -> t
+(** Conjunction: flattens nested [Pand] children, sorts by tag, drops
+    duplicates; collapses to the sole child, or to [Const 1] when empty. *)
+
+val por : arena -> t list -> t
+(** Disjunction, canonicalized like {!pand}; empty collapses to [Const 0]. *)
+
+(** {1 The atom algebra, mirrored from {!Expr}}
+
+    Same semantics, same simplifications — property-tested to agree. Term
+    lists are shared with {!Expr} (they contain only ints), so
+    {!Expr.merge_terms} & co. apply unchanged. *)
+
+val of_terms : arena -> Expr.term list -> t
+val terms_of_atom : t -> Expr.term list
+val terms_opt : t -> Expr.term list option
+val is_atom : t -> bool
+val atom_rank : (int -> int) -> t -> int * int
+val cmp_atoms : arena -> (int -> int) -> Ir.Types.cmp -> t -> t -> t
+val negate_pred : arena -> t -> t
+val is_predicate : t -> bool
+val make_op : arena -> (int -> int) -> Expr.opsym -> t list -> t
+val binop_atoms : arena -> (int -> int) -> Ir.Types.binop -> t -> t -> t
+val unop_atom : arena -> (int -> int) -> Ir.Types.unop -> t -> t
+
+(** {1 Conversions and printing} *)
+
+val of_expr : arena -> Expr.t -> t
+(** Interns a structural expression, canonicalizing [Pand]/[Por] children
+    on the way in. *)
+
+val to_expr : t -> Expr.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Table : Hashtbl.S with type key = t
+(** TABLE keyed by consed expressions: O(1) hash and equality per probe. *)

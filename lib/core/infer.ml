@@ -79,24 +79,40 @@ let interval_implies fact query : verdict =
   | At_least a, Exactly b -> if b < a then False else Unknown
   | At_least a, Not b -> if b < a then True else Unknown
 
-(* Normalize a comparison so the value is on the left: [Cmp (op, x, y)]
-   means "x op y"; if the constant is on the left, flip. Returns
-   (value atom, op, constant). *)
-let value_vs_const = function
-  | Expr.Cmp (op, Expr.Const c, y) -> Some (y, Ir.Types.swap_cmp op, c)
-  | Expr.Cmp (op, x, Expr.Const c) -> Some (x, op, c)
-  | _ -> None
+(* Normalize a comparison so the value is on the left: [(op, x, y)] means
+   "x op y"; if the constant is on the left, flip. Returns
+   (value atom, op, constant). [const] recognises constant atoms. *)
+let value_vs_const ~const (op, x, y) =
+  match const x with
+  | Some c -> Some (y, Ir.Types.swap_cmp op, c)
+  | None -> ( match const y with Some c -> Some (x, op, c) | None -> None)
 
-(* [decide ~same ~fact ~query]: assuming [fact] holds, the truth of
-   [query]. [same] is atom congruence. *)
-let decide ~same ~(fact : Expr.t) ~(query : Expr.t) : verdict =
-  match (fact, query) with
-  | Expr.Cmp (fop, fa, fb), Expr.Cmp (qop, qa, qb) -> (
-      if same fa qa && same fb qb then same_operands_table fop qop
-      else if same fa qb && same fb qa then same_operands_table fop (Ir.Types.swap_cmp qop)
-      else
-        match (value_vs_const fact, value_vs_const query) with
-        | Some (fx, fop, fc), Some (qx, qop, qc) when same fx qx ->
-            interval_implies (interval_of ~op:fop ~c:fc) (interval_of ~op:qop ~c:qc)
-        | _ -> Unknown)
-  | _ -> Unknown
+(* [decide ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb]: assuming fact
+   [fa fop fb] holds, the truth of query [qa qop qb]. Comparisons come as
+   scalar arguments — not tuples — because this runs once per dominating
+   edge visited during predicate inference; the engine can pass structural
+   {!Expr} atoms or hash-consed {!Hexpr} atoms alike. [same] is atom
+   congruence, [const] recognises constant atoms. *)
+let decide ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb : verdict =
+  if same fa qa && same fb qb then same_operands_table fop qop
+  else if same fa qb && same fb qa then same_operands_table fop (Ir.Types.swap_cmp qop)
+  else
+    (* Both sides normalized value-vs-constant, without building tuples:
+       the constant side is flipped to the right (cf. [value_vs_const]). *)
+    let decide_vc fx fop fc =
+      match const qa with
+      | Some qc ->
+          if same fx qb then
+            interval_implies (interval_of ~op:fop ~c:fc)
+              (interval_of ~op:(Ir.Types.swap_cmp qop) ~c:qc)
+          else Unknown
+      | None -> (
+          match const qb with
+          | Some qc when same fx qa ->
+              interval_implies (interval_of ~op:fop ~c:fc) (interval_of ~op:qop ~c:qc)
+          | _ -> Unknown)
+    in
+    match const fa with
+    | Some fc -> decide_vc fb (Ir.Types.swap_cmp fop) fc
+    | None -> (
+        match const fb with Some fc -> decide_vc fa fop fc | None -> Unknown)

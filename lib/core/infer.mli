@@ -17,10 +17,27 @@ val interval_of : op:Ir.Types.cmp -> c:int -> interval
 val interval_implies : interval -> interval -> verdict
 (** Given x ∈ fact, is x ∈ query? *)
 
-val value_vs_const : Expr.t -> (Expr.t * Ir.Types.cmp * int) option
-(** Normalize a comparison with one constant side to (value, op, constant). *)
+val value_vs_const :
+  const:('a -> int option) ->
+  Ir.Types.cmp * 'a * 'a ->
+  ('a * Ir.Types.cmp * int) option
+(** Normalize a comparison with one constant side to (value, op, constant);
+    [const] recognises constant atoms. *)
 
-val decide : same:(Expr.t -> Expr.t -> bool) -> fact:Expr.t -> query:Expr.t -> verdict
-(** [decide ~same ~fact ~query]: assuming [fact] holds, the truth of
-    [query]; [same] is atom congruence. Sound: [True]/[False] verdicts
-    never contradict any satisfying assignment. *)
+val decide :
+  same:('a -> 'a -> bool) ->
+  const:('a -> int option) ->
+  fop:Ir.Types.cmp ->
+  fa:'a ->
+  fb:'a ->
+  qop:Ir.Types.cmp ->
+  qa:'a ->
+  qb:'a ->
+  verdict
+(** [decide ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb]: assuming the fact
+    [fa fop fb] holds, the truth of the query [qa qop qb]. Comparisons are
+    passed as scalars (no tuples — this sits on the predicate-inference
+    walk). Generic in the atom representation (structural {!Expr} or
+    hash-consed {!Hexpr}): [same] is atom congruence, [const] recognises
+    constant atoms. Sound: [True]/[False] verdicts never contradict any
+    satisfying assignment. *)

@@ -7,7 +7,12 @@
 
    Two φ-functions in different blocks become congruent when their blocks'
    predicates are congruent, which is what enables congruence finding across
-   structurally different but logically identical conditionals. *)
+   structurally different but logically identical conditionals.
+
+   Predicates are hash-consed {!Hexpr} cells: {!Hexpr.pand}/{!Hexpr.por}
+   flatten, sort and deduplicate at construction, so path conditions built
+   through different traversal shapes land on the same cell and the
+   congruence comparison is a pointer test. *)
 
 exception Aborted
 
@@ -15,7 +20,8 @@ type ctx = {
   st : State.t;
   b0 : int; (* the block whose predicate is being computed *)
   d0 : int; (* its immediate dominator *)
-  mutable initialized : int list; (* blocks whose OR accumulator is live *)
+  mutable initialized : int list; (* blocks with a live OR accumulator,
+                                     kept only to clear [pp_init] at exit *)
   mutable canonical_rev : int list; (* B0's incoming edges, reverse order *)
 }
 
@@ -39,43 +45,48 @@ let canonical_out_edges st b =
   else
     let classify e =
       match st.State.pred_edge.(e) with
-      | Some (Expr.Cmp ((Ir.Types.Eq | Ir.Types.Lt | Ir.Types.Le), _, _)) -> 0
-      | Some _ -> 1
+      | Some p -> (
+          match Hexpr.node p with
+          | Hexpr.Cmp ((Ir.Types.Eq | Ir.Types.Lt | Ir.Types.Le), _, _) -> 0
+          | _ -> 1)
       | None -> 1
     in
     let a = succs.(0) and b' = succs.(1) in
     if classify a <= classify b' then [ a; b' ] else [ b'; a ]
 
-(* Conjunction with flattening, so that equal path conditions built through
-   different traversal shapes compare equal. *)
-let conj p q =
+(* Conjunction: [Hexpr.pand] flattens nested conjunctions, sorts and
+   deduplicates, so equal path conditions built through different traversal
+   shapes are the same cell. *)
+let conj st p q =
   match (p, q) with
   | None, x | x, None -> x
-  | Some (Expr.Pand xs), Some (Expr.Pand ys) -> Some (Expr.Pand (xs @ ys))
-  | Some (Expr.Pand xs), Some q -> Some (Expr.Pand (xs @ [ q ]))
-  | Some p, Some (Expr.Pand ys) -> Some (Expr.Pand (p :: ys))
-  | Some p, Some q -> Some (Expr.Pand [ p; q ])
+  | Some p, Some q -> Some (Hexpr.pand st.State.arena [ p; q ])
 
-let rec partial ctx b (pp : Expr.t option) ~ignore_incoming =
+let rec partial ctx b (pp : Hexpr.t option) ~ignore_incoming =
   let st = ctx.st in
   st.State.stats.Run_stats.phi_predication_visits <-
     st.State.stats.Run_stats.phi_predication_visits + 1;
   let n_in = reachable_in_count st b in
   if ignore_incoming || n_in < 2 then st.State.partial_pred.(b) <- pp
   else begin
-    if not (List.mem b ctx.initialized) then begin
+    if not st.State.pp_init.(b) then begin
+      st.State.pp_init.(b) <- true;
       ctx.initialized <- b :: ctx.initialized;
-      st.State.partial_pred.(b) <- Some (Expr.Por []);
-      st.State.partial_count.(b) <- 0
+      st.State.partial_ops.(b) <- [];
+      st.State.partial_count.(b) <- 0;
+      st.State.partial_pred.(b) <- None
     end;
-    (* Append this path's predicate as the next OR operand. An unknown
+    (* Accumulate this path's predicate as the next OR operand. An unknown
        (empty) path predicate makes the disjunction unusable. *)
-    (match (st.State.partial_pred.(b), pp) with
-    | Some (Expr.Por ops), Some p -> st.State.partial_pred.(b) <- Some (Expr.Por (ops @ [ p ]))
-    | Some (Expr.Por _), None -> raise Aborted
-    | _ -> raise Aborted);
+    (match pp with
+    | Some p -> st.State.partial_ops.(b) <- p :: st.State.partial_ops.(b)
+    | None -> raise Aborted);
     st.State.partial_count.(b) <- st.State.partial_count.(b) + 1;
-    if st.State.partial_count.(b) < n_in then raise_notrace Exit
+    if st.State.partial_count.(b) < n_in then raise_notrace Exit;
+    (* Final arrival: the disjunction is complete; build its canonical cell
+       (order-insensitive, so the accumulation order does not matter). *)
+    st.State.partial_pred.(b) <-
+      Some (Hexpr.por st.State.arena st.State.partial_ops.(b))
   end;
   if b <> ctx.b0 then begin
     (* Diamond shortcut: when [b] dominates its immediate postdominator,
@@ -94,7 +105,7 @@ let rec partial ctx b (pp : Expr.t option) ~ignore_incoming =
               else
                 match st.State.pred_edge.(e) with
                 | None -> raise Aborted (* conditional edge with unknown predicate *)
-                | Some p -> conj st.State.partial_pred.(b) (Some p)
+                | Some p -> conj st st.State.partial_pred.(b) (Some p)
             in
             let dst = (Ir.Func.edge st.State.f e).Ir.Func.dst in
             descend ctx dst ep ~ignore_incoming:false;
@@ -122,20 +133,36 @@ let compute_block_predicate (st : State.t) b0 =
     let result =
       match descend ctx d0 None ~ignore_incoming:true with
       | () -> (
-          (* The traversal is complete only if every reachable incoming edge
-             of B0 contributed a sub-predicate. *)
-          match st.State.partial_pred.(b0) with
-          | Some (Expr.Por ops) when List.length ops = reachable_in_count st b0 ->
-              Some (Expr.Por ops, List.rev ctx.canonical_rev)
-          | Some p when reachable_in_count st b0 = 1 && ctx.canonical_rev <> [] ->
-              Some (p, List.rev ctx.canonical_rev)
-          | _ -> None)
+          (* The traversal is complete only if it reached B0 at all and, at
+             a join, every reachable incoming edge contributed an OR
+             operand. (The canonical-edge and initialization guards keep a
+             stale accumulator from a previous computation from leaking.) *)
+          let n_in = reachable_in_count st b0 in
+          if ctx.canonical_rev = [] then None
+          else if n_in >= 2 then
+            if st.State.pp_init.(b0) && st.State.partial_count.(b0) = n_in
+            then
+              match st.State.partial_pred.(b0) with
+              | Some p -> Some (p, List.rev ctx.canonical_rev)
+              | None -> None
+            else None
+          else
+            match st.State.partial_pred.(b0) with
+            | Some p when n_in = 1 -> Some (p, List.rev ctx.canonical_rev)
+            | _ -> None)
       | exception Aborted -> None
     in
+    (* Reset the bitset for the next computation; only blocks on the
+       initialized list were touched. *)
+    List.iter (fun b -> st.State.pp_init.(b) <- false) ctx.initialized;
     match result with
     | Some (pred, canonical) ->
         st.State.canonical.(b0) <- Array.of_list canonical;
-        if not (Option.fold ~none:false ~some:(Expr.equal pred) st.State.pred_block.(b0)) then begin
+        if
+          not
+            (Option.fold ~none:false ~some:(Hexpr.equal pred)
+               st.State.pred_block.(b0))
+        then begin
           st.State.pred_block.(b0) <- Some pred;
           true
         end

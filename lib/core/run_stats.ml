@@ -12,6 +12,8 @@ type t = {
   mutable predicate_inference_visits : int;
   mutable phi_predication_visits : int; (* blocks traversed in Figure 8 *)
   mutable class_moves : int;
+  mutable table_probes : int; (* TABLE lookups during congruence finding *)
+  mutable table_hits : int; (* probes answered by an existing class *)
 }
 
 let create () =
@@ -24,6 +26,8 @@ let create () =
     predicate_inference_visits = 0;
     phi_predication_visits = 0;
     class_moves = 0;
+    table_probes = 0;
+    table_hits = 0;
   }
 
 let per_instr count t =

@@ -11,6 +11,8 @@ type t = {
   mutable predicate_inference_visits : int;
   mutable phi_predication_visits : int;
   mutable class_moves : int;
+  mutable table_probes : int;  (** TABLE lookups during congruence finding *)
+  mutable table_hits : int;  (** probes answered by an existing class *)
 }
 
 val create : unit -> t

@@ -12,7 +12,7 @@ type cls = {
   mutable head : int; (* first member, -1 when empty *)
   mutable size : int;
   mutable leader : leader;
-  mutable expr : Expr.t option; (* the class's defining expression *)
+  mutable expr : Hexpr.t option; (* the class's defining expression *)
   mutable in_table : bool; (* whether [expr] is currently a TABLE key *)
   (* §3 optimization: inference walks are skipped when a class contains no
      value that could possibly match an edge predicate. *)
@@ -33,7 +33,10 @@ type t = {
   changed : bool array;
   (* classes *)
   classes : cls Util.Vec.t;
-  table : int Expr.Table.t;
+  arena : Hexpr.arena; (* the run's expression arena: one cell per structure *)
+  (* TABLE lives in the arena cells themselves: each consed expression's
+     [Util.Hashcons.slot] holds its class id (-1 = unbound). The arena is
+     scoped to this run, so the slots are exclusively this table's. *)
   initial : int; (* class id of INITIAL *)
   (* reachability *)
   reach_block : bool array;
@@ -43,11 +46,14 @@ type t = {
   touched_block : bool array;
   mutable touched_count : int;
   (* predicates *)
-  pred_edge : Expr.t option array;
-  pred_block : Expr.t option array;
-  partial_pred : Expr.t option array;
+  pred_edge : Hexpr.t option array;
+  pred_block : Hexpr.t option array;
+  partial_pred : Hexpr.t option array;
+  partial_ops : Hexpr.t list array; (* OR operands accumulating at a join *)
   partial_count : int array; (* operands accumulated in a partial predicate *)
+  pp_init : bool array; (* per-block: OR accumulator live this computation *)
   canonical : int array array; (* block -> canonical reachable incoming edges *)
+  phi_scratch : Hexpr.t option array; (* per-edge φ-argument scratch (eval_phi) *)
   (* static structure *)
   rpo : Analysis.Rpo.t;
   backward : bool array; (* per edge: RPO back edge *)
@@ -152,7 +158,7 @@ let create (config : Config.t) (f : Ir.Func.t) =
     prev_member;
     changed = Array.make ni false;
     classes;
-    table = Expr.Table.create 256;
+    arena = Hexpr.create ~size:256 ();
     initial = 0;
     reach_block = Array.make nb false;
     reach_edge = Array.make ne false;
@@ -162,8 +168,11 @@ let create (config : Config.t) (f : Ir.Func.t) =
     pred_edge = Array.make ne None;
     pred_block = Array.make nb None;
     partial_pred = Array.make nb None;
+    partial_ops = Array.make nb [];
     partial_count = Array.make nb 0;
+    pp_init = Array.make nb false;
     canonical = Array.make nb [||];
+    phi_scratch = Array.make ne None;
     rpo;
     backward = Analysis.Rpo.backward_edges rpo f;
     dom;
@@ -181,8 +190,8 @@ let rank_of t v = t.rank.(v)
 let leader_atom t v =
   match (cls t t.class_of.(v)).leader with
   | Lundef -> None
-  | Lconst n -> Some (Expr.Const n)
-  | Lvalue l -> Some (Expr.Value l)
+  | Lconst n -> Some (Hexpr.const t.arena n)
+  | Lvalue l -> Some (Hexpr.value t.arena l)
 
 (* ---------------- TOUCHED ---------------- *)
 
@@ -306,9 +315,21 @@ let block_reachable t b = t.reach_block.(b)
 let reachable_in_edges t b =
   Array.to_list (Ir.Func.block t.f b).Ir.Func.preds |> List.filter (fun e -> t.reach_edge.(e))
 
-(* The single reachable incoming edge of [b], if there is exactly one. *)
+(* The single reachable incoming edge of [b], if there is exactly one.
+   Allocation-free: this sits under the dominator walk of every inference
+   query, so it must not build the intermediate edge list. *)
 let sole_reachable_in_edge t b =
-  match reachable_in_edges t b with [ e ] -> Some e | _ -> None
+  let preds = (Ir.Func.block t.f b).Ir.Func.preds in
+  let n = Array.length preds in
+  let rec go i found =
+    if i >= n then found
+    else
+      let e = Array.unsafe_get preds i in
+      if t.reach_edge.(e) then if found >= 0 then -2 else go (i + 1) e
+      else go (i + 1) found
+  in
+  let e = go 0 (-1) in
+  if e >= 0 then Some e else None
 
 let has_incoming_back_edge t b =
   Array.exists (fun e -> t.backward.(e)) (Ir.Func.block t.f b).Ir.Func.preds

@@ -12,7 +12,7 @@ type cls = {
   mutable head : int;  (** first member, -1 when empty *)
   mutable size : int;
   mutable leader : leader;
-  mutable expr : Expr.t option;  (** the class's defining expression *)
+  mutable expr : Hexpr.t option;  (** the class's defining expression *)
   mutable in_table : bool;  (** whether [expr] is currently a TABLE key *)
   mutable eq_operands : int;
       (** members that are operands of an =/≠ test or switch scrutinees
@@ -31,18 +31,29 @@ type t = {
   prev_member : int array;
   changed : bool array;  (** CHANGED *)
   classes : cls Util.Vec.t;
-  table : int Expr.Table.t;  (** TABLE: expression -> class id *)
+  arena : Hexpr.arena;
+      (** the run's expression arena: one consed cell per distinct structure.
+          TABLE is distributed over the cells: a consed expression's
+          [Util.Hashcons.slot] holds its class id ([-1] = unbound), so a
+          TABLE probe is a field read — no hashing at all. *)
   initial : int;  (** the INITIAL class id (0) *)
   reach_block : bool array;
   reach_edge : bool array;
   touched_instr : bool array;
   touched_block : bool array;
   mutable touched_count : int;
-  pred_edge : Expr.t option array;  (** PREDICATE of edges (canonical) *)
-  pred_block : Expr.t option array;  (** PREDICATE of blocks (φ-predication) *)
-  partial_pred : Expr.t option array;
+  pred_edge : Hexpr.t option array;  (** PREDICATE of edges (canonical) *)
+  pred_block : Hexpr.t option array;  (** PREDICATE of blocks (φ-predication) *)
+  partial_pred : Hexpr.t option array;
+  partial_ops : Hexpr.t list array;  (** OR operands accumulating at a join *)
   partial_count : int array;
+  pp_init : bool array;
+      (** per-block bit: OR accumulator live in the current Figure 8
+          computation (cleared via the traversal's initialized list) *)
   canonical : int array array;  (** CANONICAL incoming-edge order per block *)
+  phi_scratch : Hexpr.t option array;
+      (** per-edge φ-argument scratch for {!Driver}'s [eval_phi]; all [None]
+          between evaluations *)
   rpo : Analysis.Rpo.t;
   backward : bool array;  (** BACKWARD: RPO back edges *)
   dom : Analysis.Dom.t;
@@ -59,7 +70,7 @@ val create : Config.t -> Ir.Func.t -> t
 val cls : t -> int -> cls
 val rank_of : t -> Ir.Func.value -> int
 
-val leader_atom : t -> Ir.Func.value -> Expr.t option
+val leader_atom : t -> Ir.Func.value -> Hexpr.t option
 (** The atomic expression symbolic evaluation substitutes for a value: its
     class leader. [None] while the value is still in INITIAL (⊥). *)
 
@@ -87,7 +98,7 @@ val propagate_change_in_edge : t -> int -> unit
 
 (** {1 Congruence classes} *)
 
-val new_class : t -> leader -> Expr.t option -> cls
+val new_class : t -> leader -> Hexpr.t option -> cls
 
 val unlink : t -> Ir.Func.value -> unit
 (** Remove from its current class (does not update CLASS). *)

@@ -45,6 +45,16 @@ type key =
    expression key, or a constant. *)
 type sval = V of int | K of key | C of int
 
+(* Keys are interned in one arena shared by every numbering round (they
+   mention only stable instruction ids), so a key recurring across rounds
+   probes the round table by precomputed tag. *)
+module HK = Util.Hashcons.Make (struct
+  type t = key
+
+  let equal (a : key) (b : key) = a = b
+  let hash (k : key) = Hashtbl.hash k
+end)
+
 (* Reverse post-order over all statically present edges; unreachable blocks
    are simply skipped during numbering. *)
 let rpo_order f =
@@ -102,11 +112,11 @@ let compute_reach f (vn : int array) consts =
 (* One numbering round. [prev]/[prev_consts] give the previous round's
    numbering, read for values not yet numbered this round (φ inputs along
    back edges); -1 is the optimistic ⊥, skipped at φs. *)
-let number f order (block_reach : bool array) (edge_reach : bool array)
+let number f arena order (block_reach : bool array) (edge_reach : bool array)
     (prev : int array) prev_consts =
   let ni = Ir.Func.num_instrs f in
   let vn = Array.make ni (-1) in
-  let table : (key, int) Hashtbl.t = Hashtbl.create (2 * ni) in
+  let table : int HK.Tbl.t = HK.Tbl.create (2 * ni) in
   let consts : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let num v = if vn.(v) >= 0 then vn.(v) else prev.(v) in
   let cst v =
@@ -115,10 +125,11 @@ let number f order (block_reach : bool array) (edge_reach : bool array)
     else None
   in
   let intern i ?const key =
-    match Hashtbl.find_opt table key with
+    let ck = HK.hashcons arena key in
+    match HK.Tbl.find_opt table ck with
     | Some r -> r
     | None ->
-        Hashtbl.add table key i;
+        HK.Tbl.add table ck i;
         (match const with Some c -> Hashtbl.replace consts i c | None -> ());
         i
   in
@@ -223,10 +234,11 @@ let consts_equal a b =
 let run (f : Ir.Func.t) : t =
   let ni = Ir.Func.num_instrs f in
   let order = rpo_order f in
+  let arena = HK.create ~size:(2 * ni) () in
   let max_rounds = ni + 8 in
   let rec go prev prev_consts (block_reach, edge_reach) rounds =
     if rounds > max_rounds then failwith "Validate.Oracle: numbering did not converge";
-    let vn, consts = number f order block_reach edge_reach prev prev_consts in
+    let vn, consts = number f arena order block_reach edge_reach prev prev_consts in
     let block_reach', edge_reach' = compute_reach f vn consts in
     if
       vn = prev && consts_equal consts prev_consts

@@ -175,6 +175,110 @@ let test_binop_simplifications () =
   | E.Op (E.Ubop Ir.Types.Div, _) -> ()
   | e -> Alcotest.failf "6/0 must stay symbolic: %s" (E.to_string e)
 
+(* ------------------------------------------------------------------ *)
+(* The hash-consed arena (Hexpr): interning must agree with structural
+   equality, and the canonical predicate connectives must be insensitive
+   to operand order, association and duplication. *)
+
+module H = Pgvn.Hexpr
+
+(* Pand/Por-free expressions over a small alphabet, so random pairs collide
+   often enough to exercise the "equal => same cell" direction. (Pand/Por
+   are excluded because the arena canonicalizes them beyond Expr.equal;
+   they get their own property below.) *)
+let gen_sexpr =
+  QCheck.Gen.(
+    sized_size (int_bound 3)
+    @@ fix (fun self n ->
+           let atom =
+             oneof
+               [
+                 map (fun c -> E.Const c) (int_range (-2) 2);
+                 map (fun v -> E.Value v) (int_range 0 3);
+               ]
+           in
+           if n = 0 then atom
+           else
+             frequency
+               [
+                 (2, atom);
+                 ( 2,
+                   map2
+                     (fun op (x, y) -> E.Cmp (op, x, y))
+                     (oneofl [ Ir.Types.Eq; Ne; Lt; Le; Gt; Ge ])
+                     (pair (self (n - 1)) (self (n - 1))) );
+                 ( 2,
+                   map2
+                     (fun sym xs -> E.Op (sym, xs))
+                     (oneofl
+                        [ E.Ubop Ir.Types.And; E.Ubop Ir.Types.Xor; E.Uuop Ir.Types.Lnot ])
+                     (list_size (int_range 1 2) (self (n - 1))) );
+                 (1, map (fun ts -> E.Sum ts) (gen_terms 2));
+               ]))
+
+let arb_sexpr = QCheck.make gen_sexpr ~print:E.to_string
+
+let prop_cons_iff_equal =
+  QCheck.Test.make ~name:"consed cells identical iff Expr.equal" ~count:500
+    QCheck.(pair arb_sexpr arb_sexpr)
+    (fun (x, y) ->
+      let a = H.create () in
+      let cx = H.of_expr a x and cy = H.of_expr a y in
+      H.equal cx cy = E.equal x y)
+
+let prop_cons_hash_agrees =
+  QCheck.Test.make ~name:"consed hash agrees with structural bucketing" ~count:500
+    QCheck.(pair arb_sexpr arb_sexpr)
+    (fun (x, y) ->
+      let a = H.create () in
+      let cx = H.of_expr a x and cy = H.of_expr a y in
+      (* Equal expressions land in one cell: same tag, same precomputed
+         hash — and the structural hash agrees that they bucket together. *)
+      (not (E.equal x y))
+      || (H.hash cx = H.hash cy && H.tag cx = H.tag cy && E.hash x = E.hash y))
+
+let prop_cons_roundtrip =
+  QCheck.Test.make ~name:"to_expr inverts of_expr" ~count:300 arb_sexpr (fun x ->
+      let a = H.create () in
+      E.equal (H.to_expr (H.of_expr a x)) x)
+
+let gen_pred =
+  QCheck.Gen.(
+    map3
+      (fun op x y -> E.Cmp (op, E.Value x, E.Value y))
+      (oneofl [ Ir.Types.Eq; Ne; Lt; Le; Gt; Ge ])
+      (int_range 0 3) (int_range 0 3))
+
+let prop_pand_por_canonical =
+  QCheck.Test.make ~name:"pand/por insensitive to order, nesting, duplicates" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 4) gen_pred))
+    (fun ps ->
+      let a = H.create () in
+      let cs = List.map (H.of_expr a) ps in
+      let check conn =
+        let flat = conn a cs in
+        let rev = conn a (List.rev cs) in
+        let dup = conn a (cs @ cs) in
+        let nest_r =
+          match cs with p :: rest when rest <> [] -> conn a [ p; conn a rest ] | _ -> flat
+        in
+        let nest_l =
+          match List.rev cs with
+          | p :: rest when rest <> [] -> conn a [ conn a (List.rev rest); p ]
+          | _ -> flat
+        in
+        H.equal flat rev && H.equal flat dup && H.equal flat nest_r && H.equal flat nest_l
+      in
+      check H.pand && check H.por)
+
+let test_pand_por_units () =
+  let a = H.create () in
+  Alcotest.(check bool) "pand [] = 1" true (H.equal (H.pand a []) (H.const a 1));
+  Alcotest.(check bool) "por [] = 0" true (H.equal (H.por a []) (H.const a 0));
+  let p = H.cmp_ a Ir.Types.Lt (H.value a 0) (H.value a 1) in
+  Alcotest.(check bool) "pand [p] = p" true (H.equal (H.pand a [ p ]) p);
+  Alcotest.(check bool) "por [p] = p" true (H.equal (H.por a [ p ]) p)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_merge_is_addition;
@@ -190,4 +294,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_cmp_semantics;
     QCheck_alcotest.to_alcotest prop_negate_pred;
     Alcotest.test_case "algebraic binop simplifications" `Quick test_binop_simplifications;
+    QCheck_alcotest.to_alcotest prop_cons_iff_equal;
+    QCheck_alcotest.to_alcotest prop_cons_hash_agrees;
+    QCheck_alcotest.to_alcotest prop_cons_roundtrip;
+    QCheck_alcotest.to_alcotest prop_pand_por_canonical;
+    Alcotest.test_case "pand/por unit and singleton collapse" `Quick test_pand_por_units;
   ]

@@ -18,6 +18,8 @@ let same a b =
   | E.Const x, E.Const y -> x = y
   | _ -> false
 
+let const = function E.Const n -> Some n | _ -> None
+
 let eval_atom env = function
   | E.Const n -> n
   | E.Value v -> env.(v)
@@ -43,7 +45,9 @@ let test_exhaustive_soundness () =
                         (fun qb ->
                           let fact = E.Cmp (fop, fa, fb) in
                           let query = E.Cmp (qop, qa, qb) in
-                          match I.decide ~same ~fact ~query with
+                          match
+                            I.decide ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb
+                          with
                           | I.Unknown -> ()
                           | verdict ->
                               (* check against every assignment *)
@@ -76,8 +80,11 @@ let test_exhaustive_soundness () =
 
 (* Completeness spot checks: the paper's motivating inferences must be
    decided, not Unknown. *)
+let destructure = function E.Cmp (op, a, b) -> (op, a, b) | _ -> assert false
+
 let check_verdict msg expected fact query =
-  let got = I.decide ~same ~fact ~query in
+  let fop, fa, fb = destructure fact and qop, qa, qb = destructure query in
+  let got = I.decide ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb in
   let to_s = function I.True -> "True" | I.False -> "False" | I.Unknown -> "Unknown" in
   Alcotest.(check string) msg (to_s expected) (to_s got)
 

@@ -15,8 +15,10 @@ let test_block_predicate_computed () =
     if Array.length (Ir.Func.block f b).Ir.Func.preds >= 2 then join := b
   done;
   (match st.Pgvn.State.pred_block.(!join) with
-  | Some (Pgvn.Expr.Por [ _; _ ]) -> ()
-  | Some e -> Alcotest.failf "expected a 2-way OR, got %s" (Pgvn.Expr.to_string e)
+  | Some p -> (
+      match Pgvn.Hexpr.node p with
+      | Pgvn.Hexpr.Por [ _; _ ] -> ()
+      | _ -> Alcotest.failf "expected a 2-way OR, got %s" (Pgvn.Hexpr.to_string p))
   | None -> Alcotest.fail "join block has no predicate");
   (* CANONICAL lists exactly the reachable incoming edges. *)
   Alcotest.(check int) "canonical arity" 2 (Array.length st.Pgvn.State.canonical.(!join))
@@ -105,18 +107,21 @@ let build_three_way ~c1 ~c2 ~c3 =
 let test_partial_predicate_shapes () =
   let f, _phi = build_three_way ~c1:1 ~c2:2 ~c3:3 in
   let st = Pgvn.Driver.run full f in
-  let rec has_and = function
-    | Pgvn.Expr.Pand _ -> true
-    | Pgvn.Expr.Por arms -> List.exists has_and arms
+  let rec has_and e =
+    match Pgvn.Hexpr.node e with
+    | Pgvn.Hexpr.Pand _ -> true
+    | Pgvn.Hexpr.Por arms -> List.exists has_and arms
     | _ -> false
   in
   (* the join's predicate must be an OR with AND arms for the two paths
      through the inner conditional *)
   (match st.Pgvn.State.pred_block.(3) with
-  | Some (Pgvn.Expr.Por arms) ->
-      Alcotest.(check bool) "AND arms present" true (List.exists has_and arms);
-      Alcotest.(check int) "three arms" 3 (List.length arms)
-  | Some e -> Alcotest.failf "expected OR, got %s" (Pgvn.Expr.to_string e)
+  | Some p -> (
+      match Pgvn.Hexpr.node p with
+      | Pgvn.Hexpr.Por arms ->
+          Alcotest.(check bool) "AND arms present" true (List.exists has_and arms);
+          Alcotest.(check int) "three arms" 3 (List.length arms)
+      | _ -> Alcotest.failf "expected OR, got %s" (Pgvn.Hexpr.to_string p))
   | None -> Alcotest.fail "join has no predicate");
   (* plain nested ifs stay flat thanks to the dominator shortcut *)
   let _, st2 = run "routine f(x) { p = 0; if (x >= 1) { if (x >= 9) { p = 1; } } return p; }" in
