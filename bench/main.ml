@@ -3,7 +3,7 @@
    the related-work experiments of Figures 13/14. Run with no arguments for
    everything, or name sections:
 
-     dune exec bench/main.exe -- table1 table2 fig9 fig10 fig11 fig12 fig13 scalars validate bechamel
+     dune exec bench/main.exe -- table1 table2 fig9 fig10 fig11 fig12 fig13 scalars absint validate bechamel
 
    Absolute times are this machine's, not a 440 MHz PA-8500's; the claims
    being reproduced are the *ratios* and *shapes* (see EXPERIMENTS.md). *)
@@ -369,6 +369,80 @@ let bechamel_section () =
         analyzed)
     tests
 
+(* Sparse abstract interpretation next to the GVN pass it cross-checks:
+   per-benchmark wall clock of the two client analyses and of the static
+   cross-checker (states precomputed, so its column is the replay alone),
+   with each domain's fact yield — constants proved, defs with at least
+   one finite interval bound, blocks proved never-executing, and the total
+   claims the cross-checker verified. *)
+let absint_section suite =
+  Fmt.pr "@\n=== Sparse abstract interpretation: cost and fact yield ===@\n";
+  let rows =
+    List.map
+      (fun ((b : Workload.Suite.benchmark), funcs) ->
+        let tg = gvn_time Pgvn.Config.full funcs in
+        let tc =
+          time_min ~repeats:3 (fun () ->
+              List.iter (fun f -> ignore (Absint.Consts.run f)) funcs)
+        in
+        let tr =
+          time_min ~repeats:3 (fun () ->
+              List.iter (fun f -> ignore (Absint.Ranges.run f)) funcs)
+        in
+        let sts = List.map (fun f -> Pgvn.Driver.run Pgvn.Config.full f) funcs in
+        let tx =
+          time_min ~repeats:3 (fun () ->
+              List.iter (fun st -> ignore (Absint.Crosscheck.run st)) sts)
+        in
+        let consts = ref 0 and bounded = ref 0 and dead = ref 0 and claims = ref 0 in
+        List.iter2
+          (fun f st ->
+            let kc = Absint.Consts.run f and rg = Absint.Ranges.run f in
+            Array.iteri
+              (fun i d ->
+                if Ir.Func.defines_value (Ir.Func.instr f i) then begin
+                  (match d with Absint.Konst.Cst _ -> incr consts | _ -> ());
+                  match rg.Absint.Ranges.facts.(i) with
+                  | Absint.Itv.Itv (lo, hi) when lo <> None || hi <> None -> incr bounded
+                  | _ -> ()
+                end)
+              kc.Absint.Consts.facts;
+            Array.iter (fun e -> if not e then incr dead) rg.Absint.Ranges.block_exec;
+            let r = Absint.Crosscheck.run st in
+            claims :=
+              !claims + r.Absint.Crosscheck.branches_checked
+              + r.Absint.Crosscheck.inferences_checked
+              + r.Absint.Crosscheck.phi_preds_checked
+              + r.Absint.Crosscheck.constants_checked)
+          funcs sts;
+        [
+          b.Workload.Suite.name;
+          Stats.Table.ms tg;
+          Stats.Table.ms tc;
+          Stats.Table.ms tr;
+          Stats.Table.ms tx;
+          string_of_int !consts;
+          string_of_int !bounded;
+          string_of_int !dead;
+          string_of_int !claims;
+        ])
+      suite
+  in
+  Stats.Table.render
+    ~columns:
+      [
+        ("Benchmark", Stats.Table.Left);
+        ("GVN ms", Stats.Table.Right);
+        ("const ms", Stats.Table.Right);
+        ("range ms", Stats.Table.Right);
+        ("xcheck ms", Stats.Table.Right);
+        ("consts", Stats.Table.Right);
+        ("bounded", Stats.Table.Right);
+        ("dead blks", Stats.Table.Right);
+        ("claims", Stats.Table.Right);
+      ]
+    ~rows Fmt.stdout
+
 (* Translation-validation overhead: run the pipeline under full validation
    and report, per pass kind, what the validator adds on top of the pass
    itself (witness audit against the oracle for GVN; interpreter diffing
@@ -587,6 +661,7 @@ let () =
   if want "fig9" then fig9 ();
   if want "fig13" then fig13 ();
   if want "ablation" then ablation (Lazy.force suite);
+  if want "absint" then absint_section (Lazy.force suite);
   if want "validate" then validate_section (Lazy.force suite);
   if want "bechamel" then bechamel_section ();
   match !json_file with

@@ -2,7 +2,9 @@
    a chosen configuration, and report — or rewrite and print — the routine.
 
      gvnopt file.mc                        optimize and print every routine
-     gvnopt --analyze file.mc              facts only (no rewriting)
+     gvnopt file.mc --analyze              GVN facts only (no rewriting)
+     gvnopt --analyze=all file.mc          + const/range facts + static
+                                           cross-check of the GVN claims
      gvnopt --preset click --stats file.mc
      gvnopt --run 1,2,3 file.mc            interpret (before and after)
      gvnopt --check file.mc                verify IR invariants before/after
@@ -23,7 +25,25 @@ let read_file path =
   close_in ic;
   s
 
-type action = Optimize | Analyze
+(* --analyze sub-modes: which analysis's per-def facts to dump. [Aall]
+   additionally runs the static cross-checker over the GVN run. *)
+type analyze_mode = Agvn | Aconst | Arange | Aall
+
+type action = Optimize | Analyze of analyze_mode
+
+let analyze_conv =
+  let parse = function
+    | "gvn" -> Ok Agvn
+    | "const" -> Ok Aconst
+    | "range" -> Ok Arange
+    | "all" -> Ok Aall
+    | s -> Error (`Msg (Printf.sprintf "unknown analysis %S (gvn, const, range, all)" s))
+  in
+  let print ppf m =
+    Fmt.string ppf
+      (match m with Agvn -> "gvn" | Aconst -> "const" | Arange -> "range" | Aall -> "all")
+  in
+  Arg.conv (parse, print)
 
 let preset_conv =
   let parse = function
@@ -56,10 +76,10 @@ let pruning_conv =
   in
   Arg.conv (parse, fun ppf p -> Fmt.string ppf (Ssa.Construct.pruning_to_string p))
 
-(* Render diagnostics for one routine under the --check/--lint flags;
-   returns true when the run should be considered failed. *)
-let report_diagnostics ~lint ~werror ~stage name f =
-  let ds = Check.sort (Check.run_all ~lint f) in
+(* Render a diagnostic list under the --check/--lint flags; returns true
+   when the run should be considered failed. *)
+let report_diag_list ~lint ~werror ~stage name ds =
+  let ds = Check.sort ds in
   let shown =
     if lint then ds
     else List.filter (fun d -> d.Check.Diagnostic.severity = Check.Diagnostic.Error) ds
@@ -68,6 +88,21 @@ let report_diagnostics ~lint ~werror ~stage name f =
   Check.has_errors ds
   || (werror
      && List.exists (fun d -> d.Check.Diagnostic.severity = Check.Diagnostic.Warning) ds)
+
+let report_diagnostics ~lint ~werror ~stage name f =
+  report_diag_list ~lint ~werror ~stage name (Check.run_all ~lint f)
+
+(* Dump one sparse analysis's per-definition facts through the printer,
+   prefixed by the blocks it proves unexecutable. *)
+let dump_facts (type t) f ~header ~(pp_fact : t Fmt.t) ~(fact : int -> t) ~block_exec =
+  Fmt.pr "--- %s facts ---@." header;
+  for b = 0 to Ir.Func.num_blocks f - 1 do
+    if not block_exec.(b) then Fmt.pr "  block %d: unreachable@." b
+  done;
+  for v = 0 to Ir.Func.num_instrs f - 1 do
+    if Ir.Func.defines_value (Ir.Func.instr f v) then
+      Fmt.pr "  @[<h>%a  ;; %a@]@." (Ir.Printer.pp_instr f) v pp_fact (fact v)
+  done
 
 let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~werror
     ~validate path =
@@ -80,9 +115,15 @@ let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~
   in
   List.iter
     (fun r ->
-      let f = Ssa.Construct.of_cir ~pruning (Ir.Lower.lower_routine r) in
+      let cir = Ir.Lower.lower_routine r in
+      let f = Ssa.Construct.of_cir ~pruning cir in
       Fmt.pr "=== %s ===@." r.Ir.Ast.name;
       if dump_input then Fmt.pr "--- input SSA ---@.%a@." Ir.Printer.pp f;
+      (* Pre-SSA lints must run on the Cir: SSA construction seeds
+         unassigned registers with a shared constant 0, hiding the read. *)
+      if lint && report_diag_list ~lint ~werror ~stage:"cir" r.Ir.Ast.name
+                   (Check.Lint.run_cir cir)
+      then failed := true;
       diagnose ~stage:"input" r.Ir.Ast.name f;
       let st = Pgvn.Driver.run config f in
       let s = Pgvn.Driver.summarize st in
@@ -93,19 +134,50 @@ let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~
         s.Pgvn.Driver.passes;
       if stats then Fmt.pr "stats: %a@." Pgvn.Run_stats.pp st.Pgvn.State.stats;
       (match action with
-      | Analyze ->
+      | Analyze mode ->
           (* Print the non-trivial congruence facts. *)
-          for v = 0 to Ir.Func.num_instrs f - 1 do
-            if Ir.Func.defines_value (Ir.Func.instr f v) then
-              if Pgvn.Driver.value_unreachable st v then Fmt.pr "  v%d: unreachable@." v
-              else
-                match Pgvn.Driver.value_constant st v with
-                | Some c -> Fmt.pr "  v%d = %d@." v c
-                | None -> (
-                    match (Pgvn.State.cls st st.Pgvn.State.class_of.(v)).Pgvn.State.leader with
-                    | Pgvn.State.Lvalue l when l <> v -> Fmt.pr "  v%d == v%d@." v l
-                    | _ -> ())
-          done
+          let dump_gvn () =
+            for v = 0 to Ir.Func.num_instrs f - 1 do
+              if Ir.Func.defines_value (Ir.Func.instr f v) then
+                if Pgvn.Driver.value_unreachable st v then Fmt.pr "  v%d: unreachable@." v
+                else
+                  match Pgvn.Driver.value_constant st v with
+                  | Some c -> Fmt.pr "  v%d = %d@." v c
+                  | None -> (
+                      match (Pgvn.State.cls st st.Pgvn.State.class_of.(v)).Pgvn.State.leader with
+                      | Pgvn.State.Lvalue l when l <> v -> Fmt.pr "  v%d == v%d@." v l
+                      | _ -> ())
+            done
+          in
+          let dump_const () =
+            let res = Absint.Consts.run f in
+            dump_facts f ~header:"const" ~pp_fact:Absint.Konst.pp
+              ~fact:(fun v -> res.Absint.Consts.facts.(v))
+              ~block_exec:res.Absint.Consts.block_exec
+          in
+          let dump_range () =
+            Absint.Ranges.run f
+          in
+          (match mode with
+          | Agvn -> dump_gvn ()
+          | Aconst -> dump_const ()
+          | Arange ->
+              let res = dump_range () in
+              dump_facts f ~header:"range" ~pp_fact:Absint.Itv.pp
+                ~fact:(fun v -> res.Absint.Ranges.facts.(v))
+                ~block_exec:res.Absint.Ranges.block_exec
+          | Aall ->
+              dump_gvn ();
+              dump_const ();
+              let ranges = dump_range () in
+              dump_facts f ~header:"range" ~pp_fact:Absint.Itv.pp
+                ~fact:(fun v -> ranges.Absint.Ranges.facts.(v))
+                ~block_exec:ranges.Absint.Ranges.block_exec;
+              (* Static cross-check: replay the GVN run's claims against
+                 the interval facts; a contradiction fails the run. *)
+              let report = Absint.Crosscheck.run ~ranges st in
+              Fmt.pr "%a@." Absint.Crosscheck.pp_report report;
+              if not (Absint.Crosscheck.ok report) then failed := true)
       | Optimize ->
           let rewritten, witnesses = Transform.Apply.rebuild_witnessed st f in
           let g = Transform.Simplify_cfg.fixpoint (Transform.Dce.run rewritten) in
@@ -153,7 +225,19 @@ let cmd =
   let pruning =
     Arg.(value & opt pruning_conv Ssa.Construct.Semi_pruned & info [ "pruning" ] ~doc:"SSA construction: minimal, semi, pruned.")
   in
-  let analyze = Arg.(value & flag & info [ "analyze"; "a" ] ~doc:"Report facts; do not rewrite.") in
+  let analyze =
+    Arg.(
+      value
+      & opt ~vopt:(Some Agvn) (some analyze_conv) None
+      & info [ "analyze"; "a" ]
+          ~doc:
+            "Report facts; do not rewrite. $(b,gvn) (the default when the flag \
+             is given bare) prints the engine's congruence facts; $(b,const) \
+             and $(b,range) print the sparse constant/interval analysis's \
+             per-definition facts; $(b,all) prints everything and statically \
+             cross-checks the GVN run's claims against the interval facts \
+             (a contradiction fails the run).")
+  in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics.") in
   let dump_input = Arg.(value & flag & info [ "dump-input" ] ~doc:"Print the input SSA form.") in
   let check_flag =
@@ -207,7 +291,7 @@ let cmd =
         sparse = preset.Pgvn.Config.sparse && not nsp;
       }
     in
-    let action = if analyze then Analyze else Optimize in
+    let action = match analyze with None -> Optimize | Some m -> Analyze m in
     try
       process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~werror
         ~validate path

@@ -1,0 +1,5 @@
+(* The constant/copy analysis. With [~refine:false] this is bit-for-bit
+   [Baselines.Sccp] on constants and executability (see {!Konst}); with
+   refinement it additionally learns constants from dominating guards. *)
+
+include Sparse.Make (Konst)

@@ -1,0 +1,72 @@
+(* The two functor interfaces of the sparse abstract-interpretation
+   framework. [LATTICE] is the bare join-semilattice contract the property
+   tests exercise; [TRANSFER] extends it with the IR's operations, and is
+   what {!Sparse.Make} consumes.
+
+   Conventions, chosen to match the paper's optimistic engines (and
+   [Baselines.Sccp], modulo that module's inverted Top/Bottom naming):
+
+   - [bottom] means "no evidence yet" — the optimistic initial fact of an
+     unvisited definition. It is the identity of [join] and must propagate
+     through transfer functions: an operation over a [bottom] operand is
+     still unevaluated, so the result stays [bottom] (the engine will
+     revisit once the operand rises). The one exception is [opaque], whose
+     result never depends on its arguments.
+   - [top] means "any value".
+   - [widen old next] is invoked at loop headers in place of [join]; it
+     must satisfy [widen old next ⊒ join old next] and guarantee that every
+     chain [w0, widen w0 w1, widen (widen w0 w1) w2, …] stabilizes. Domains
+     of finite height can simply alias [join].
+
+   Transfer functions receive operands as [(value, fact)] pairs: most
+   domains only look at the fact, but the value identity enables sparse
+   sharpenings such as reflexive comparisons ([x == x] is 1 no matter what
+   is known about [x]) and copy propagation ([x + 0] is [x] itself, not
+   merely something with [x]'s fact). *)
+
+module type LATTICE = sig
+  type t
+
+  val name : string
+  val bottom : t
+  val top : t
+  val is_bottom : t -> bool
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module type TRANSFER = sig
+  include LATTICE
+
+  val const : int -> t
+  (** Fact for [Const k]. *)
+
+  val param : int -> t
+  (** Fact for [Param i]: unconstrained input. *)
+
+  val opaque : int -> t list -> t
+  (** Fact for an uninterpreted call; does not wait on [bottom] operands. *)
+
+  val unop : Ir.Types.unop -> Ir.Func.value * t -> t
+  val binop : Ir.Types.binop -> Ir.Func.value * t -> Ir.Func.value * t -> t
+  val cmp : Ir.Types.cmp -> Ir.Func.value * t -> Ir.Func.value * t -> t
+
+  val phi_arg : Ir.Func.value -> t -> t
+  (** The contribution of one executable φ argument before joining. Most
+      domains return the fact unchanged; constant/copy lattices may demote
+      an unconstrained fact to a copy of the argument. Must preserve
+      [bottom] (an unevaluated argument contributes nothing). *)
+
+  val refine : t -> Ir.Types.cmp -> int -> t
+  (** [refine d op k]: the meet of [d] with the solution set of
+      [x op k] — the fact for a value known to satisfy the comparison,
+      e.g. on a guarded branch edge. Must be a lower bound of [d]. *)
+
+  val may_equal : t -> int -> bool
+  (** Whether the concretization contains [k]. [bottom] contains nothing. *)
+
+  val is_const : t -> int option
+  (** [Some k] iff the concretization is exactly [{k}]. *)
+end

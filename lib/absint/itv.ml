@@ -1,0 +1,320 @@
+(* Signed intervals over OCaml's native (63-bit) integers, the semantics
+   [Ir.Interp] executes. A missing bound ([None]) is the corresponding
+   infinity. Bound arithmetic is overflow-checked: a computation that might
+   wrap drops to unbounded rather than producing a wrapped — unsound —
+   bound. Division and remainder follow [Ir.Types.eval_binop]: they trap
+   when the divisor is 0, so a transfer over a divisor that *must* be 0
+   yields [Bot] (the instruction cannot complete normally). *)
+
+type t = Bot | Itv of int option * int option
+(* [Itv (lo, hi)]: invariant lo <= hi when both present; every [Itv] is
+   nonempty. Constructors go through [make] to maintain this. *)
+
+let name = "interval"
+let bottom = Bot
+let top = Itv (None, None)
+let is_bottom d = d = Bot
+
+let make lo hi =
+  match (lo, hi) with
+  | Some l, Some h when l > h -> Bot
+  | _ -> Itv (lo, hi)
+
+let const k = Itv (Some k, Some k)
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | Itv (la, ha), Itv (lb, hb) -> la = lb && ha = hb
+  | _ -> false
+
+(* Bound orderings treating [None] as -∞ (for lows) or +∞ (for highs). *)
+let lo_min a b =
+  match (a, b) with None, _ | _, None -> None | Some x, Some y -> Some (min x y)
+
+let hi_max a b =
+  match (a, b) with None, _ | _, None -> None | Some x, Some y -> Some (max x y)
+
+let lo_max a b =
+  match (a, b) with
+  | None, b -> b
+  | a, None -> a
+  | Some x, Some y -> Some (max x y)
+
+let hi_min a b =
+  match (a, b) with
+  | None, b -> b
+  | a, None -> a
+  | Some x, Some y -> Some (min x y)
+
+let join a b =
+  match (a, b) with
+  | Bot, d | d, Bot -> d
+  | Itv (la, ha), Itv (lb, hb) -> Itv (lo_min la lb, hi_max ha hb)
+
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (la, ha), Itv (lb, hb) -> make (lo_max la lb) (hi_min ha hb)
+
+(* Jump any bound the join moved to its infinity; bounds that held still
+   hold. Chains stabilize after at most two widenings per value. *)
+let widen old next =
+  match (old, next) with
+  | Bot, d -> d
+  | d, Bot -> d
+  | Itv (lo, ho), Itv (ln, hn) ->
+      let l = if lo_min lo ln = lo then lo else None in
+      let h = if hi_max ho hn = ho then ho else None in
+      Itv (l, h)
+
+let leq a b = equal (join a b) b
+let mem k = function Bot -> false | Itv (lo, hi) -> lo_max lo (Some k) = Some k && hi_min hi (Some k) = Some k
+
+let may_equal d k = mem k d
+let is_const = function Itv (Some a, Some b) when a = b -> Some a | _ -> None
+
+let pp ppf = function
+  | Bot -> Fmt.string ppf "bot"
+  | Itv (None, None) -> Fmt.string ppf "top"
+  | Itv (lo, hi) ->
+      let bound inf ppf = function
+        | None -> Fmt.string ppf inf
+        | Some k -> Fmt.int ppf k
+      in
+      Fmt.pf ppf "[%a, %a]" (bound "-inf") lo (bound "+inf") hi
+
+(* Overflow-checked bound arithmetic: [None] both as infinity and as
+   "wrapped, give up on this bound". *)
+let add_b a b =
+  match (a, b) with
+  | Some x, Some y ->
+      let s = x + y in
+      if (x >= 0) = (y >= 0) && (s >= 0) <> (x >= 0) then None else Some s
+  | _ -> None
+
+let neg_b = function Some x when x <> min_int -> Some (-x) | _ -> None
+let sub_b a b = add_b a (neg_b b)
+
+(* Products stay within 63 bits when both factors are below 2^31 in
+   magnitude; anything larger is conservatively unbounded. ([abs min_int]
+   is negative, so it fails the comparison and lands on [None] too.) *)
+let mul_b a b =
+  match (a, b) with
+  | Some x, Some y when abs x < 0x4000_0000 && abs y < 0x4000_0000 -> Some (x * y)
+  | _ -> None
+
+let of_bounds_checked lo hi =
+  (* For checked arithmetic results, [None] means "unknown", which is only
+     sound as -∞ on the low side and +∞ on the high side — which is
+     exactly how [make] reads it. *)
+  make lo hi
+
+let add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (la, ha), Itv (lb, hb) -> of_bounds_checked (add_b la lb) (add_b ha hb)
+
+let sub a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (la, ha), Itv (lb, hb) -> of_bounds_checked (sub_b la hb) (sub_b ha lb)
+
+let neg = function
+  | Bot -> Bot
+  | Itv (lo, hi) -> of_bounds_checked (neg_b hi) (neg_b lo)
+
+let mul a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (Some la, Some ha), Itv (Some lb, Some hb) -> (
+      let ps = [ mul_b (Some la) (Some lb); mul_b (Some la) (Some hb);
+                 mul_b (Some ha) (Some lb); mul_b (Some ha) (Some hb) ] in
+      match List.filter_map Fun.id ps with
+      | [ a; b; c; d ] ->
+          make (Some (min (min a b) (min c d))) (Some (max (max a b) (max c d)))
+      | _ -> top)
+  | Itv _, Itv _ ->
+      (* An unbounded factor leaves the product unbounded unless the other
+         side is exactly zero. *)
+      if is_const a = Some 0 || is_const b = Some 0 then const 0 else top
+
+(* Truncating division by a nonzero constant is monotone in the dividend
+   (nondecreasing for positive divisors, nonincreasing for negative). *)
+let div a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ when is_const b = Some 0 -> Bot (* traps unconditionally *)
+  | Itv (la, ha), Itv _ -> (
+      match is_const b with
+      | Some c ->
+          let q x = match x with Some x -> Some (x / c) | None -> None in
+          if c > 0 then make (q la) (q ha) else make (q ha) (q la)
+      | None -> (
+          (* |a / b| <= |a| for any nonzero b. *)
+          match (la, ha) with
+          | Some l, Some h ->
+              let m = max (abs l) (abs h) in
+              if m < 0 then top else make (Some (-m)) (Some m)
+          | _ -> top))
+
+let rem a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ when is_const b = Some 0 -> Bot
+  | Itv (la, _), Itv (lb, hb) ->
+      (* |a rem b| < |b|, and the result takes the dividend's sign. *)
+      let mag =
+        match (lb, hb) with
+        | Some l, Some h ->
+            let m = max (abs l) (abs h) in
+            if m <= 0 then None else Some (m - 1)
+        | _ -> None
+      in
+      let lo, hi =
+        match mag with
+        | Some m -> (Some (-m), Some m)
+        | None -> (None, None)
+      in
+      let lo = if lo_max la (Some 0) = la then lo_max lo (Some 0) else lo in
+      make lo hi
+
+let logand a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (la, ha), Itv (lb, hb) -> (
+      match (is_const a, is_const b) with
+      | Some x, Some y -> const (x land y)
+      | _ ->
+          (* Masking with a nonnegative value keeps the result within it. *)
+          let nonneg_hi l h = if lo_max l (Some 0) = l then h else None in
+          (match (nonneg_hi la ha, nonneg_hi lb hb) with
+          | Some h, Some h' -> make (Some 0) (Some (min h h'))
+          | Some h, None | None, Some h -> make (Some 0) (Some h)
+          | None, None -> top))
+
+let logor_like ~f a b =
+  (* For nonnegative operands, [a lor b] and [a lxor b] are both bounded by
+     [a + b] (no carries) and by 0 below. *)
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (la, ha), Itv (lb, hb) -> (
+      match (is_const a, is_const b) with
+      | Some x, Some y -> const (f x y)
+      | _ ->
+          if lo_max la (Some 0) = la && lo_max lb (Some 0) = lb then
+            make (Some 0) (add_b ha hb)
+          else top)
+
+let shl a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | _ -> (
+      (* [lsl] wraps silently; only constant-constant is evaluated, through
+         checked multiplication by 2^k. *)
+      match (is_const a, is_const b) with
+      | Some x, Some y -> (
+          let k = y land 62 in
+          match mul_b (Some x) (Some (1 lsl min k 61)) with
+          | Some _ -> const (x lsl k)
+          | None -> top)
+      | _ -> top)
+
+let shr a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (la, ha), Itv _ -> (
+      match is_const b with
+      | Some y ->
+          let k = y land 62 in
+          let q = function Some x -> Some (x asr k) | None -> None in
+          make (q la) (q ha)
+      | None ->
+          (* [a asr k] lies between [min a 0] and [max a 0]. *)
+          make (lo_min la (Some 0)) (hi_max ha (Some 0)))
+
+(* Three-valued comparison: [Some b] when every pair of concrete values
+   drawn from the two intervals agrees on [b]. *)
+let cmp_verdict (op : Ir.Types.cmp) a b : bool option =
+  match (a, b) with
+  | Bot, _ | _, Bot -> None
+  | Itv (la, ha), Itv (lb, hb) -> (
+      let lt_always = match (ha, lb) with Some h, Some l -> h < l | _ -> false in
+      let le_always = match (ha, lb) with Some h, Some l -> h <= l | _ -> false in
+      let gt_always = match (la, hb) with Some l, Some h -> l > h | _ -> false in
+      let ge_always = match (la, hb) with Some l, Some h -> l >= h | _ -> false in
+      let verdict t f = if t then Some true else if f then Some false else None in
+      match op with
+      | Lt -> verdict lt_always ge_always
+      | Le -> verdict le_always gt_always
+      | Gt -> verdict gt_always le_always
+      | Ge -> verdict ge_always lt_always
+      | Eq -> (
+          match (is_const a, is_const b) with
+          | Some x, Some y when x = y -> Some true
+          | _ -> if lt_always || gt_always then Some false else None)
+      | Ne -> (
+          match (is_const a, is_const b) with
+          | Some x, Some y when x = y -> Some false
+          | _ -> if lt_always || gt_always then Some true else None))
+
+let of_bool = function Some true -> const 1 | Some false -> const 0 | None -> Itv (Some 0, Some 1)
+
+(* Truthiness of a fact: branch conditions test against zero. *)
+let to_bool = function
+  | Bot -> None
+  | d when is_const d = Some 0 -> Some false
+  | d when not (mem 0 d) -> Some true
+  | _ -> None
+
+(* [x op k] as an interval constraint to meet with. [Ne] only bites at the
+   boundary of an existing bound. *)
+let refine d (op : Ir.Types.cmp) k =
+  match op with
+  | Eq -> meet d (const k)
+  | Lt -> meet d (Itv (None, sub_b (Some k) (Some 1)))
+  | Le -> meet d (Itv (None, Some k))
+  | Gt -> meet d (Itv (add_b (Some k) (Some 1), None))
+  | Ge -> meet d (Itv (Some k, None))
+  | Ne -> (
+      match d with
+      | Bot -> Bot
+      | Itv (lo, hi) ->
+          if lo = Some k && hi = Some k then Bot
+          else if lo = Some k then make (add_b lo (Some 1)) hi
+          else if hi = Some k then make lo (sub_b hi (Some 1))
+          else d)
+
+let param _ = top
+let opaque _ _ = top
+
+let unop (op : Ir.Types.unop) ((_, a) : Ir.Func.value * t) =
+  match op with
+  | Neg -> neg a
+  | Bnot -> sub (const (-1)) a (* lnot x = -x - 1 *)
+  | Lnot -> (
+      match a with
+      | Bot -> Bot
+      | d -> of_bool (Option.map not (to_bool d)))
+
+let binop (op : Ir.Types.binop) ((_, a) : Ir.Func.value * t) ((_, b) : Ir.Func.value * t) =
+  match op with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div -> div a b
+  | Rem -> rem a b
+  | And -> logand a b
+  | Or -> logor_like ~f:( lor ) a b
+  | Xor -> logor_like ~f:( lxor ) a b
+  | Shl -> shl a b
+  | Shr -> shr a b
+
+let cmp (op : Ir.Types.cmp) ((va, a) : Ir.Func.value * t) ((vb, b) : Ir.Func.value * t) =
+  if a = Bot || b = Bot then Bot
+  else if va = vb then
+    (* Reflexive comparison: both sides are the same SSA value. *)
+    of_bool (Some (Ir.Types.eval_cmp op 0 0 <> 0))
+  else of_bool (cmp_verdict op a b)
+
+let phi_arg (_ : Ir.Func.value) d = d

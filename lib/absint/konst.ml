@@ -1,0 +1,92 @@
+(* The constant/copy lattice: Wegman–Zadeck flat constants, extended with a
+   copy layer ([Copy v]: "this definition always equals value [v]").
+
+   Constant facts are derived exactly as [Baselines.Sccp] derives them —
+   fold only when every operand is a known constant, lower trapping
+   divisions to [Any] — so that, refinement disabled, {!Sparse.Make} over
+   this domain is bit-for-bit the SCCP baseline on constants and on
+   edge/block executability. (The differential suite pins this.) Copies are
+   the one addition: neutral-element identities like [x + 0] or [x lsl 0]
+   produce [Copy x] where SCCP merely gives up; a copy never decides a
+   branch, so executability is unaffected. *)
+
+type t = Bot | Cst of int | Copy of Ir.Func.value | Any
+
+let name = "const"
+let bottom = Bot
+let top = Any
+let is_bottom d = d = Bot
+let equal (a : t) (b : t) = a = b
+
+let join a b =
+  match (a, b) with
+  | Bot, d | d, Bot -> d
+  | Cst x, Cst y when x = y -> a
+  | Copy x, Copy y when x = y -> a
+  | _ -> Any
+
+let widen = join (* finite height: ⊥ < Cst/Copy < Any *)
+
+let pp ppf = function
+  | Bot -> Fmt.string ppf "bot"
+  | Cst k -> Fmt.pf ppf "const %d" k
+  | Copy v -> Fmt.pf ppf "copy v%d" v
+  | Any -> Fmt.string ppf "top"
+
+let const k = Cst k
+let param _ = Any
+let opaque _ _ = Any
+
+(* The fact standing for "equal to operand [v]": reuse what is known about
+   [v] when that is at least as strong as a copy. *)
+let copy_of v = function Bot -> Bot | Cst k -> Cst k | Copy w -> Copy w | Any -> Copy v
+
+let unop (op : Ir.Types.unop) ((_, a) : Ir.Func.value * t) =
+  match a with
+  | Bot -> Bot
+  | Cst x -> Cst (Ir.Types.eval_unop op x)
+  | Copy _ | Any -> Any
+
+let binop (op : Ir.Types.binop) ((va, a) : Ir.Func.value * t) ((vb, b) : Ir.Func.value * t) =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Cst x, Cst y ->
+      if Ir.Types.binop_can_trap op y then Any
+      else Cst (Ir.Types.eval_binop op x y)
+  | _ -> (
+      (* Neutral-element identities yield copies. Nothing stronger: a
+         constant here (e.g. [x * 0]) would outrun SCCP and break the
+         executability agreement the differential tests rely on. *)
+      let open Ir.Types in
+      match (op, a, b) with
+      | (Add | Or | Xor | Shl | Shr), _, Cst 0 -> copy_of va a
+      | (Add | Or | Xor), Cst 0, _ -> copy_of vb b
+      | Sub, _, Cst 0 -> copy_of va a
+      | (Mul | Div), _, Cst 1 -> copy_of va a
+      | Mul, Cst 1, _ -> copy_of vb b
+      | _ -> Any)
+
+let cmp (op : Ir.Types.cmp) ((_, a) : Ir.Func.value * t) ((_, b) : Ir.Func.value * t) =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Cst x, Cst y -> Cst (Ir.Types.eval_cmp op x y)
+  | _ -> Any
+
+(* An [Any] argument flowing through a φ is still a copy of that argument;
+   two agreeing copies keep the φ a copy. *)
+let phi_arg v = function Bot -> Bot | Cst k -> Cst k | Copy w -> Copy w | Any -> Copy v
+
+let refine d (op : Ir.Types.cmp) k =
+  match (d, op) with
+  | Bot, _ -> Bot
+  | _, Eq -> (
+      match d with
+      | Cst m when m <> k -> Bot
+      | _ -> Cst k)
+  | Cst m, _ -> if Ir.Types.eval_cmp op m k <> 0 then d else Bot
+  | _ -> d
+
+let may_equal d k =
+  match d with Bot -> false | Cst m -> m = k | Copy _ | Any -> true
+
+let is_const = function Cst k -> Some k | _ -> None

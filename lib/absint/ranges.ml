@@ -1,0 +1,5 @@
+(* The signed-interval analysis, as a concrete module so every consumer
+   (lints, cross-checker, CLI dump, tests) shares one functor application —
+   and therefore one [result] type. *)
+
+include Sparse.Make (Itv)

@@ -1,0 +1,103 @@
+(* Branch-predicate refinement: the static mirror of the paper's predicate
+   inference. Each CFG edge carries *structural* constraints of the shape
+   [value op constant], derived syntactically from the terminator that
+   creates it: the true edge of [branch c] asserts [c ≠ 0] (or [c = 1]
+   when [c] is a comparison), and when [c] is [a < k] it also asserts
+   [a < k] itself; [Lnot] chains flip polarity; switch edges pin (or
+   exclude) the scrutinee's cases.
+
+   A block with a single predecessor edge inherits that edge's constraints,
+   and — by induction along the dominator tree — the constraints of every
+   single-predecessor ancestor. The constraints are purely syntactic, so
+   they are computed once up front; the sparse engine's fixpoint stays
+   monotone because refinement never depends on evolving facts or on
+   executability. *)
+
+type constr = { cval : Ir.Func.value; cop : Ir.Types.cmp; ck : int }
+
+type t = {
+  edges : constr list array;  (** per edge: holds whenever the edge runs *)
+  blocks : constr list array;  (** per block: holds on entry *)
+}
+
+let pp_constr ppf { cval; cop; ck } =
+  Fmt.pf ppf "v%d %s %d" cval (Ir.Types.string_of_cmp cop) ck
+
+(* Constraints from "value [v] is truthy/zero". Comparisons and logical
+   negations produce exactly 0 or 1, pinning the value itself; other
+   truthy values are merely nonzero. *)
+let rec derive (f : Ir.Func.t) acc v truth =
+  match Ir.Func.instr f v with
+  | Ir.Func.Cmp (op, a, b) ->
+      let acc = { cval = v; cop = Ir.Types.Eq; ck = (if truth then 1 else 0) } :: acc in
+      let op = if truth then op else Ir.Types.negate_cmp op in
+      let acc =
+        match Ir.Func.instr f b with
+        | Ir.Func.Const k -> { cval = a; cop = op; ck = k } :: acc
+        | _ -> acc
+      in
+      let acc =
+        match Ir.Func.instr f a with
+        | Ir.Func.Const k -> { cval = b; cop = Ir.Types.swap_cmp op; ck = k } :: acc
+        | _ -> acc
+      in
+      acc
+  | Ir.Func.Unop (Ir.Types.Lnot, x) ->
+      let acc = { cval = v; cop = Ir.Types.Eq; ck = (if truth then 1 else 0) } :: acc in
+      derive f acc x (not truth)
+  | _ ->
+      if truth then { cval = v; cop = Ir.Types.Ne; ck = 0 } :: acc
+      else { cval = v; cop = Ir.Types.Eq; ck = 0 } :: acc
+
+let edge_constraints (f : Ir.Func.t) (e : int) : constr list =
+  let edge = f.Ir.Func.edges.(e) in
+  match Ir.Func.instr f (Ir.Func.terminator_of_block f edge.Ir.Func.src) with
+  | Ir.Func.Branch c -> derive f [] c (edge.Ir.Func.src_ix = 0)
+  | Ir.Func.Switch (c, cases) ->
+      if edge.Ir.Func.src_ix < Array.length cases then
+        [ { cval = c; cop = Ir.Types.Eq; ck = cases.(edge.Ir.Func.src_ix) } ]
+      else
+        (* The default edge excludes every case. *)
+        Array.to_list (Array.map (fun k -> { cval = c; cop = Ir.Types.Ne; ck = k }) cases)
+  | _ -> []
+
+let compute (f : Ir.Func.t) : t =
+  let nb = Array.length f.Ir.Func.blocks in
+  let edges = Array.init (Array.length f.Ir.Func.edges) (edge_constraints f) in
+  let g = Analysis.Graph.of_func f in
+  let dom = Analysis.Dom.compute g in
+  let blocks = Array.make nb [] in
+  let visited = Array.make nb false in
+  (* Entry constraints of a block: its sole incoming edge's constraints (if
+     it has exactly one), chained with the immediate dominator's. The idom
+     walk bottoms out at the entry block (or at unreachable blocks, which
+     keep no chain). *)
+  let rec at_block b =
+    if visited.(b) then blocks.(b)
+    else begin
+      visited.(b) <- true;
+      let own =
+        match f.Ir.Func.blocks.(b).Ir.Func.preds with
+        | [| e |] -> edges.(e)
+        | _ -> []
+      in
+      let inherited =
+        let d = dom.Analysis.Dom.idom.(b) in
+        if d >= 0 && d <> b then at_block d else []
+      in
+      blocks.(b) <- own @ inherited;
+      blocks.(b)
+    end
+  in
+  for b = 0 to nb - 1 do
+    ignore (at_block b)
+  done;
+  { edges; blocks }
+
+let at_block t b = t.blocks.(b)
+let at_edge (f : Ir.Func.t) t e = t.edges.(e) @ t.blocks.(f.Ir.Func.edges.(e).Ir.Func.src)
+
+(* Fold a constraint list over a domain's [refine] for one value. *)
+let apply (type d) (refine : d -> Ir.Types.cmp -> int -> d) (cs : constr list)
+    (v : Ir.Func.value) (d : d) : d =
+  List.fold_left (fun d c -> if c.cval = v then refine d c.cop c.ck else d) d cs

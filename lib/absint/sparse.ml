@@ -1,0 +1,159 @@
+(* The lattice-parameterized sparse engine: Wegman–Zadeck's two-worklist
+   fixpoint (SSA def-use edges plus CFG-edge executability) over any
+   {!Domain.TRANSFER}. Structure mirrors [Baselines.Sccp] — optimistic
+   start (everything [bottom], only the entry block executable), facts only
+   ever rise, φs join over executable incoming edges only, and a branch
+   marks an out-edge executable only while the condition's fact leaves it
+   feasible.
+
+   Two additions over plain SCCP:
+
+   - refinement (on by default): facts are read through the static edge
+     constraints of {!Refine}, so a use guarded by [x < 10] sees the
+     guarded fact even though the definition's stored fact is wider;
+   - widening: at natural-loop headers (from [Analysis.Loops]) φ joins go
+     through [D.widen], bounding climb height on infinite-height domains;
+     a per-value fuse forces [top] if a fact still somehow keeps rising. *)
+
+module Make (D : Domain.TRANSFER) = struct
+  type result = {
+    func : Ir.Func.t;
+    facts : D.t array;  (** per instruction id; unrefined fact of each def *)
+    block_exec : bool array;
+    edge_exec : bool array;
+    refinement : Refine.t option;  (** present when refinement was enabled *)
+  }
+
+  (* Updates a single fact may receive before being forced to [top]. The
+     interval domain widens at loop headers, so real chains are short;
+     this is a safety fuse, not a tuning knob. *)
+  let fuse = 64
+
+  let run ?(refine = true) (f : Ir.Func.t) : result =
+    let ni = Ir.Func.num_instrs f in
+    let facts = Array.make ni D.bottom in
+    let edge_exec = Array.make (Ir.Func.num_edges f) false in
+    let block_exec = Array.make (Ir.Func.num_blocks f) false in
+    let refinement = if refine then Some (Refine.compute f) else None in
+    let constrs_at_block b =
+      match refinement with Some r -> Refine.at_block r b | None -> []
+    in
+    let constrs_at_edge e =
+      match refinement with Some r -> Refine.at_edge f r e | None -> []
+    in
+    let widen_at = Array.make (Ir.Func.num_blocks f) false in
+    List.iter
+      (fun h -> widen_at.(h) <- true)
+      (Analysis.Loops.compute (Analysis.Graph.of_func f)).Analysis.Loops.headers;
+    let bumps = Array.make ni 0 in
+    let def_use = Ir.Func.def_use f in
+    let ssa_work = Queue.create () in
+    let flow_work = Queue.create () in
+    let raise_fact v d =
+      let next = D.join facts.(v) d in
+      if not (D.equal next facts.(v)) then begin
+        bumps.(v) <- bumps.(v) + 1;
+        facts.(v) <- (if bumps.(v) > fuse then D.top else next);
+        Array.iter (fun u -> Queue.add u ssa_work) def_use.(v)
+      end
+    in
+    let env cs v = Refine.apply D.refine cs v facts.(v) in
+    let eval_instr i =
+      let b = Ir.Func.block_of_instr f i in
+      if block_exec.(b) then
+        let cs = constrs_at_block b in
+        match Ir.Func.instr f i with
+        | Ir.Func.Const n -> raise_fact i (D.const n)
+        | Ir.Func.Param k -> raise_fact i (D.param k)
+        | Ir.Func.Opaque (tag, args) ->
+            raise_fact i (D.opaque tag (Array.to_list (Array.map (env cs) args)))
+        | Ir.Func.Unop (op, a) -> raise_fact i (D.unop op (a, env cs a))
+        | Ir.Func.Binop (op, a, b') ->
+            raise_fact i (D.binop op (a, env cs a) (b', env cs b'))
+        | Ir.Func.Cmp (op, a, b') ->
+            raise_fact i (D.cmp op (a, env cs a) (b', env cs b'))
+        | Ir.Func.Phi args ->
+            let preds = (Ir.Func.block f b).Ir.Func.preds in
+            let j = ref D.bottom in
+            Array.iteri
+              (fun ix e ->
+                if edge_exec.(e) then
+                  let a = args.(ix) in
+                  j := D.join !j (D.phi_arg a (env (constrs_at_edge e) a)))
+              preds;
+            let d = if widen_at.(b) then D.widen facts.(i) (D.join facts.(i) !j) else !j in
+            raise_fact i d
+        | Ir.Func.Jump | Ir.Func.Branch _ | Ir.Func.Switch _ | Ir.Func.Return _ -> ()
+    in
+    let eval_terminator b =
+      let blk = Ir.Func.block f b in
+      let cs = constrs_at_block b in
+      let feasible d = not (D.is_bottom d) in
+      match Ir.Func.instr f (Ir.Func.terminator_of_block f b) with
+      | Ir.Func.Jump -> Queue.add blk.Ir.Func.succs.(0) flow_work
+      | Ir.Func.Branch c ->
+          let d = env cs c in
+          if feasible d then begin
+            if feasible (D.refine d Ir.Types.Ne 0) then
+              Queue.add blk.Ir.Func.succs.(0) flow_work;
+            if feasible (D.refine d Ir.Types.Eq 0) then
+              Queue.add blk.Ir.Func.succs.(1) flow_work
+          end
+      | Ir.Func.Switch (c, cases) ->
+          let d = env cs c in
+          if feasible d then begin
+            Array.iteri
+              (fun ix case ->
+                if feasible (D.refine d Ir.Types.Eq case) then
+                  Queue.add blk.Ir.Func.succs.(ix) flow_work)
+              cases;
+            let dflt =
+              Array.fold_left (fun d case -> D.refine d Ir.Types.Ne case) d cases
+            in
+            if feasible dflt then
+              Queue.add blk.Ir.Func.succs.(Array.length cases) flow_work
+          end
+      | Ir.Func.Return _ -> ()
+      | _ -> ()
+    in
+    block_exec.(Ir.Func.entry) <- true;
+    Array.iter (fun i -> Queue.add i ssa_work) (Ir.Func.block f Ir.Func.entry).Ir.Func.instrs;
+    eval_terminator Ir.Func.entry;
+    while not (Queue.is_empty flow_work && Queue.is_empty ssa_work) do
+      while not (Queue.is_empty flow_work) do
+        let e = Queue.pop flow_work in
+        if not edge_exec.(e) then begin
+          edge_exec.(e) <- true;
+          let d = (Ir.Func.edge f e).Ir.Func.dst in
+          if not block_exec.(d) then begin
+            block_exec.(d) <- true;
+            Array.iter (fun i -> Queue.add i ssa_work) (Ir.Func.block f d).Ir.Func.instrs;
+            eval_terminator d
+          end
+          else Array.iter (fun i -> Queue.add i ssa_work) (Ir.Func.phis_of_block f d)
+        end
+      done;
+      while not (Queue.is_empty ssa_work) do
+        let i = Queue.pop ssa_work in
+        let b = Ir.Func.block_of_instr f i in
+        if Ir.Func.defines_value (Ir.Func.instr f i) then eval_instr i
+        else if block_exec.(b) then eval_terminator b
+      done
+    done;
+    { func = f; facts; block_exec; edge_exec; refinement }
+
+  let fact res v = res.facts.(v)
+
+  (* The fact for value [v] as seen from block [b]: the stored fact meeting
+     every refinement constraint holding on entry to [b]. *)
+  let env_at res b v =
+    match res.refinement with
+    | None -> res.facts.(v)
+    | Some r -> Refine.apply D.refine (Refine.at_block r b) v res.facts.(v)
+
+  (* Same, as seen while traversing edge [e]. *)
+  let env_on_edge res e v =
+    match res.refinement with
+    | None -> res.facts.(v)
+    | Some r -> Refine.apply D.refine (Refine.at_edge res.func r e) v res.facts.(v)
+end

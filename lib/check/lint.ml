@@ -1,7 +1,21 @@
-(* The lint tier: findings that are semantically harmless but indicate work
-   a transformation pipeline should have done — unreachable blocks, values
-   no terminator depends on, φs that merge nothing, forwarder blocks, and
-   branches on constants. All warnings; none of these make the IR invalid. *)
+(* The lint tier. Two severities, deliberately:
+
+   - {b Warning} — the program is probably wrong: a division that traps on
+     every execution, a read of a register no path ever assigns. These are
+     statements about the *source*, and [--Werror] should fail on them.
+   - {b Info} — the program is fine but an optimization pipeline left money
+     on the table: unreachable or never-executing blocks, dead values,
+     trivial φs, forwarder blocks, compile-time-decidable branches. These
+     fire routinely on *input* IR (that is what the optimizer is for), so
+     they must not fail [--Werror]; they were downgraded from Warning when
+     the semantic lints joined, because every nontrivial example program
+     legitimately trips several of them before optimization.
+
+   The structural sub-tier works from the CFG alone; the semantic sub-tier
+   consults the sparse interval analysis ([Absint.Ranges]) and so sees
+   through guards: a branch decided by dominating conditions, a divisor
+   that is provably zero, code only reachable through contradictory
+   predicates. *)
 
 open Ir.Func
 
@@ -16,7 +30,7 @@ let run (f : Ir.Func.t) : Diagnostic.t list =
     (fun b r ->
       if not r then
         add
-          (Diagnostic.warning ~check:"lint-unreachable-block" ~loc:(Diagnostic.Block b)
+          (Diagnostic.info ~check:"lint-unreachable-block" ~loc:(Diagnostic.Block b)
              "b%d is unreachable from the entry" b))
     reach;
   (* Dead pure instructions: nothing in this IR has side effects, so a value
@@ -36,7 +50,7 @@ let run (f : Ir.Func.t) : Diagnostic.t list =
     (fun i ins ->
       if defines_value ins && not live.(i) then
         add
-          (Diagnostic.warning ~check:"lint-dead-instr" ~loc:(Diagnostic.Instr i)
+          (Diagnostic.info ~check:"lint-dead-instr" ~loc:(Diagnostic.Instr i)
              "v%d is pure and unused (DCE fodder)" i))
     f.instrs;
   (* Trivial φs: all arguments equal, ignoring self-references. *)
@@ -49,7 +63,7 @@ let run (f : Ir.Func.t) : Diagnostic.t list =
           in
           if List.length distinct <= 1 then
             add
-              (Diagnostic.warning ~check:"lint-trivial-phi" ~loc:(Diagnostic.Instr i)
+              (Diagnostic.info ~check:"lint-trivial-phi" ~loc:(Diagnostic.Instr i)
                  "φ v%d merges only %s" i
                  (match distinct with [ v ] -> Printf.sprintf "v%d" v | _ -> "itself"))
       | _ -> ())
@@ -64,7 +78,7 @@ let run (f : Ir.Func.t) : Diagnostic.t list =
         && (match instr f blk.instrs.(0) with Jump -> true | _ -> false)
       then
         add
-          (Diagnostic.warning ~check:"lint-empty-block" ~loc:(Diagnostic.Block b)
+          (Diagnostic.info ~check:"lint-empty-block" ~loc:(Diagnostic.Block b)
              "b%d contains only a jump" b))
     f.blocks;
   (* Critical edges: src has several successors and dst several
@@ -92,9 +106,145 @@ let run (f : Ir.Func.t) : Diagnostic.t list =
             match instr f c with
             | Const n ->
                 add
-                  (Diagnostic.warning ~check:"lint-const-branch" ~loc:(Diagnostic.Instr i)
+                  (Diagnostic.info ~check:"lint-const-branch" ~loc:(Diagnostic.Instr i)
                      "v%d branches on the constant %d" i n)
             | _ -> ())
       | _ -> ())
     f.instrs;
+  (* ------------------------------------------------------------------ *)
+  (* Semantic sub-tier: one sparse interval analysis (with branch
+     refinement and loop widening) feeds the remaining lints.            *)
+  let res = Absint.Ranges.run f in
+  let exec b = res.Absint.Ranges.block_exec.(b) in
+  let env b v = Absint.Ranges.env_at res b v in
+  (* Guaranteed division or remainder by zero: executing the instruction
+     always traps. *)
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Binop (((Ir.Types.Div | Ir.Types.Rem) as op), _, d) ->
+          let b = block_of_instr f i in
+          if exec b && Absint.Itv.is_const (env b d) = Some 0 then
+            add
+              (Diagnostic.warning ~check:"lint-div-by-zero" ~loc:(Diagnostic.Instr i)
+                 "v%d always %s by zero: it traps on every execution reaching it" i
+                 (match op with Ir.Types.Div -> "divides" | _ -> "takes a remainder"))
+      | _ -> ())
+    f.instrs;
+  (* Branches decided by dominating guards rather than a literal constant
+     condition (those are lint-const-branch's). *)
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Branch c when (match instr f c with Const _ -> false | _ -> true) -> (
+          let b = block_of_instr f i in
+          if exec b then
+            match Absint.Itv.to_bool (env b c) with
+            | Some true ->
+                add
+                  (Diagnostic.info ~check:"lint-branch-decided" ~loc:(Diagnostic.Instr i)
+                     "branch v%d is always taken (dominating guards decide v%d ≠ 0)" i c)
+            | Some false ->
+                add
+                  (Diagnostic.info ~check:"lint-branch-decided" ~loc:(Diagnostic.Instr i)
+                     "branch v%d is never taken (dominating guards decide v%d = 0)" i c)
+            | None -> ())
+      | _ -> ())
+    f.instrs;
+  (* Blocks the interval semantics proves can never execute, though the
+     bare CFG reaches them (the structural lint covers those). *)
+  Array.iteri
+    (fun b r ->
+      if r && not (exec b) then
+        add
+          (Diagnostic.info ~check:"lint-absint-unreachable" ~loc:(Diagnostic.Block b)
+             "b%d is structurally reachable but can never execute" b))
+    reach;
+  (* Dead stores, sparsely: liveness restricted to the executable sub-CFG.
+     A value whose uses all sit in never-executing blocks is computed for
+     nothing — invisible to the purely syntactic dead-instr lint above. *)
+  let du = def_use f in
+  Array.iteri
+    (fun i ins ->
+      if defines_value ins && exec (block_of_instr f i) && live.(i) then
+        let users = du.(i) in
+        if
+          Array.length users > 0
+          && Array.for_all (fun u -> not (exec (block_of_instr f u))) users
+        then
+          add
+            (Diagnostic.info ~check:"lint-dead-store" ~loc:(Diagnostic.Instr i)
+               "v%d is only used by code that can never execute" i))
+    f.instrs;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Pre-SSA lints. SSA construction seeds every never-assigned register
+   with a shared constant 0, after which a provably-uninitialized read is
+   indistinguishable from a deliberate zero — so this lint must run on
+   [Cir], before construction. *)
+
+let run_cir (c : Ir.Cir.t) : Diagnostic.t list =
+  let diags = ref [] in
+  let nb = Ir.Cir.num_blocks c in
+  let nr = c.Ir.Cir.nregs in
+  let succ = Ir.Cir.succ_blocks c in
+  let reach = Array.make nb false in
+  let rec dfs b =
+    if not reach.(b) then begin
+      reach.(b) <- true;
+      Array.iter dfs succ.(b)
+    end
+  in
+  if nb > 0 then dfs Ir.Cir.entry;
+  (* Forward may-assigned sets: [r] ∈ in(b) iff some path from entry to [b]
+     assigns [r] (parameters count as assigned on entry). A read of a
+     register outside the set is *provably* uninitialized: no execution
+     reaching it has ever assigned the register, so it always yields the
+     implicit 0. *)
+  let inb = Array.make_matrix nb nr false in
+  for p = 0 to min c.Ir.Cir.nparams nr - 1 do
+    inb.(Ir.Cir.entry).(p) <- true
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to nb - 1 do
+      if reach.(b) then begin
+        let out = Array.copy inb.(b) in
+        Array.iter (fun i -> out.(Ir.Cir.def_of_rinstr i) <- true) c.Ir.Cir.blocks.(b).Ir.Cir.body;
+        Array.iter
+          (fun s ->
+            for r = 0 to nr - 1 do
+              if out.(r) && not inb.(s).(r) then begin
+                inb.(s).(r) <- true;
+                changed := true
+              end
+            done)
+          succ.(b)
+      end
+    done
+  done;
+  let reported = Array.make nr false in
+  let check_use b assigned r =
+    if not assigned.(r) && not reported.(r) then begin
+      reported.(r) <- true;
+      diags :=
+        Diagnostic.warning ~check:"lint-use-uninit" ~loc:(Diagnostic.Block b)
+          "r%d is read in b%d but no path from the entry assigns it (always the implicit 0)"
+          r b
+        :: !diags
+    end
+  in
+  for b = 0 to nb - 1 do
+    if reach.(b) then begin
+      let assigned = Array.copy inb.(b) in
+      Array.iter
+        (fun i ->
+          Ir.Cir.iter_uses_rinstr (check_use b assigned) i;
+          assigned.(Ir.Cir.def_of_rinstr i) <- true)
+        c.Ir.Cir.blocks.(b).Ir.Cir.body;
+      Ir.Cir.iter_uses_term (check_use b assigned) c.Ir.Cir.blocks.(b).Ir.Cir.term
+    end
+  done;
   List.rev !diags

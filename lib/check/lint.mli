@@ -1,9 +1,21 @@
-(** Lint tier: warnings for IR that is valid but that a clean pipeline
-    should not produce — unreachable blocks, dead pure instructions,
-    trivial φs, forwarder (jump-only) blocks, branches on constants — plus
-    an Info report of critical edges (["lint-critical-edge"]), where
-    mis-associated φ arguments would hide.
+(** Lint tier, in two severities:
+
+    - {b Warning} (probable source bug): guaranteed division/remainder by
+      zero (["lint-div-by-zero"]), reads of provably-uninitialized
+      registers (["lint-use-uninit"], pre-SSA — see {!run_cir});
+    - {b Info} (optimization opportunity, routine on input IR):
+      unreachable or never-executing blocks, dead pure instructions,
+      stores only dead code reads, trivial φs, forwarder blocks, branches
+      on constants or decided by dominating guards, critical edges.
+
+    The semantic lints consult a sparse interval analysis
+    ([Absint.Ranges]) with branch refinement, so they see through guards.
 
     Assumes {!Cfg_check} reported no errors. *)
 
 val run : Ir.Func.t -> Diagnostic.t list
+
+val run_cir : Ir.Cir.t -> Diagnostic.t list
+(** Pre-SSA lints ([lint-use-uninit]): SSA construction seeds unassigned
+    registers with a shared constant 0, so provably-uninitialized reads
+    must be detected before construction. *)

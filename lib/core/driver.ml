@@ -180,11 +180,28 @@ let infer_predicate st b0 p =
           | Some fact -> (
               match Hexpr.node fact with
               | Hexpr.Cmp (fop, fa, fb) -> (
+                  (* Record decided claims (when both query operands are
+                     atoms) for the static cross-checker's replay. *)
+                  let record verdict =
+                    let atom x =
+                      match Hexpr.node x with
+                      | Hexpr.Const k -> Some (Run_stats.Aconst k)
+                      | Hexpr.Value v -> Some (Run_stats.Avalue v)
+                      | _ -> None
+                    in
+                    match (atom qa, atom qb) with
+                    | Some a, Some b ->
+                        Run_stats.record_inference st.stats ~block:b0 ~edge:e
+                          ~op:qop ~a ~b ~verdict
+                    | _ -> ()
+                  in
                   match Infer.decide ~same ~const:const_atom ~fop ~fa ~fb ~qop ~qa ~qb with
                   | Infer.True ->
+                      record true;
                       result := Hexpr.const st.arena 1;
                       continue_walk := false
                   | Infer.False ->
+                      record false;
                       result := Hexpr.const st.arena 0;
                       continue_walk := false
                   | Infer.Unknown -> b := origin)
@@ -765,6 +782,37 @@ let value_constant st v =
   match (cls st st.class_of.(v)).leader with Lconst n -> Some n | Lundef | Lvalue _ -> None
 
 let congruent st v w = st.class_of.(v) = st.class_of.(w) && st.class_of.(v) <> st.initial
+
+(* A conditional terminator the run decided (at least partially): the block
+   is reachable yet one or more of its out-edges is not. Reconstructed from
+   the final state rather than logged during the run — reachability only
+   grows during the optimistic fixpoint, so a pruning decision is exactly a
+   still-unreachable out-edge of a reachable block once the run settles. *)
+type decided_branch = {
+  db_block : int;
+  db_cond : Ir.Func.value;  (** the branch/switch condition or scrutinee *)
+  db_const : int option;  (** the condition class's constant leader, if any *)
+  db_pruned : int list;  (** out-edge ids left unreachable *)
+}
+
+let decided_branches (st : State.t) : decided_branch list =
+  let f = st.f in
+  let out = ref [] in
+  for b = Ir.Func.num_blocks f - 1 downto 0 do
+    if st.reach_block.(b) then
+      match Ir.Func.instr f (Ir.Func.terminator_of_block f b) with
+      | Ir.Func.Branch c | Ir.Func.Switch (c, _) ->
+          let pruned =
+            Array.to_list (Ir.Func.block f b).Ir.Func.succs
+            |> List.filter (fun e -> not st.reach_edge.(e))
+          in
+          if pruned <> [] then
+            out :=
+              { db_block = b; db_cond = c; db_const = value_constant st c; db_pruned = pruned }
+              :: !out
+      | _ -> ()
+  done;
+  !out
 
 type summary = {
   values : int;

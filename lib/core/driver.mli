@@ -25,6 +25,20 @@ val congruent : State.t -> Ir.Func.value -> Ir.Func.value -> bool
 (** Same (non-INITIAL) congruence class: guaranteed equal on every
     execution that computes both. *)
 
+type decided_branch = {
+  db_block : int;
+  db_cond : Ir.Func.value;  (** the branch/switch condition or scrutinee *)
+  db_const : int option;  (** the condition class's constant leader, if any *)
+  db_pruned : int list;  (** out-edge ids left unreachable *)
+}
+(** A conditional terminator of a reachable block with at least one
+    unreachable out-edge: a branch the run (partially) decided. *)
+
+val decided_branches : State.t -> decided_branch list
+(** Every decided branch of the final state, reconstructed post-hoc (sound
+    because reachability only grows during the run). Input to
+    [Absint.Crosscheck]. *)
+
 type summary = {
   values : int;
   unreachable_values : int;

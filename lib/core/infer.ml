@@ -93,7 +93,18 @@ let value_vs_const ~const (op, x, y) =
    edge visited during predicate inference; the engine can pass structural
    {!Expr} atoms or hash-consed {!Hexpr} atoms alike. [same] is atom
    congruence, [const] recognises constant atoms. *)
-let decide ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb : verdict =
+(* Test-only fault injection: when set, every verdict [decide] returns is
+   passed through this function. The mutant tests use it to ship an
+   intentionally wrong implication table and assert the static
+   cross-checker catches the engine's resulting bogus claims. *)
+let fault : (verdict -> verdict) option ref = ref None
+
+let with_fault f k =
+  let saved = !fault in
+  fault := Some f;
+  Fun.protect ~finally:(fun () -> fault := saved) k
+
+let decide_sound ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb : verdict =
   if same fa qa && same fb qb then same_operands_table fop qop
   else if same fa qb && same fb qa then same_operands_table fop (Ir.Types.swap_cmp qop)
   else
@@ -116,3 +127,7 @@ let decide ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb : verdict =
     | Some fc -> decide_vc fb (Ir.Types.swap_cmp fop) fc
     | None -> (
         match const fb with Some fc -> decide_vc fa fop fc | None -> Unknown)
+
+let decide ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb : verdict =
+  let v = decide_sound ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb in
+  match !fault with None -> v | Some f -> f v

@@ -6,6 +6,16 @@
 
 type verdict = True | False | Unknown
 
+val fault : (verdict -> verdict) option ref
+(** Test-only fault injection: when set, every {!decide} verdict passes
+    through the function, letting the mutant tests simulate a wrong
+    implication table. [None] (the default) is the identity. Use
+    {!with_fault} for scoped installation. *)
+
+val with_fault : (verdict -> verdict) -> (unit -> 'a) -> 'a
+(** [with_fault f k] runs [k] with [fault] set to [f], restoring the
+    previous hook afterwards (also on exceptions). *)
+
 val same_operands_table : Ir.Types.cmp -> Ir.Types.cmp -> verdict
 (** Given [a OP b], decide [a OP' b]. *)
 

@@ -3,6 +3,26 @@
    per processed instruction during value inference, predicate inference and
    φ-predication. *)
 
+(* One operand of a recorded predicate-inference claim. Queries reaching
+   [Infer.decide] compare atoms: constants or congruence-class leader
+   values (SSA value ids). *)
+type atom = Aconst of int | Avalue of int
+
+(* A decided predicate-inference query: while computing at block
+   [inf_block], the engine asked whether [inf_a inf_op inf_b] holds given
+   the predicate on dominating edge [inf_edge], and [Infer.decide]
+   answered [inf_verdict]. Recorded so a static checker
+   ([Absint.Crosscheck]) can replay every claim against independently
+   computed interval facts. *)
+type inference = {
+  inf_block : int;
+  inf_edge : int;
+  inf_op : Ir.Types.cmp;
+  inf_a : atom;
+  inf_b : atom;
+  inf_verdict : bool;
+}
+
 type t = {
   mutable passes : int;
   mutable instrs_processed : int;
@@ -14,6 +34,7 @@ type t = {
   mutable class_moves : int;
   mutable table_probes : int; (* TABLE lookups during congruence finding *)
   mutable table_hits : int; (* probes answered by an existing class *)
+  mutable inferences : inference list; (* most recent first *)
 }
 
 let create () =
@@ -28,7 +49,14 @@ let create () =
     class_moves = 0;
     table_probes = 0;
     table_hits = 0;
+    inferences = [];
   }
+
+let record_inference t ~block ~edge ~op ~a ~b ~verdict =
+  t.inferences <-
+    { inf_block = block; inf_edge = edge; inf_op = op; inf_a = a; inf_b = b;
+      inf_verdict = verdict }
+    :: t.inferences
 
 let per_instr count t =
   if t.instrs_processed = 0 then 0.0 else float_of_int count /. float_of_int t.instrs_processed

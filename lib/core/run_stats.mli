@@ -2,6 +2,21 @@
     pass counts, touches, and the blocks visited per processed instruction
     in value inference, predicate inference and φ-predication. *)
 
+type atom = Aconst of int | Avalue of int
+(** Operand of a recorded predicate-inference claim: a constant, or a
+    congruence-class leader's SSA value id. *)
+
+type inference = {
+  inf_block : int;  (** block being computed when the query was asked *)
+  inf_edge : int;  (** dominating edge whose predicate decided it *)
+  inf_op : Ir.Types.cmp;
+  inf_a : atom;
+  inf_b : atom;
+  inf_verdict : bool;  (** the decided truth of [inf_a inf_op inf_b] *)
+}
+(** A decided predicate-inference query, recorded so [Absint.Crosscheck]
+    can statically replay the engine's claims against interval facts. *)
+
 type t = {
   mutable passes : int;
   mutable instrs_processed : int;
@@ -13,9 +28,20 @@ type t = {
   mutable class_moves : int;
   mutable table_probes : int;  (** TABLE lookups during congruence finding *)
   mutable table_hits : int;  (** probes answered by an existing class *)
+  mutable inferences : inference list;  (** most recent first *)
 }
 
 val create : unit -> t
+
+val record_inference :
+  t ->
+  block:int ->
+  edge:int ->
+  op:Ir.Types.cmp ->
+  a:atom ->
+  b:atom ->
+  verdict:bool ->
+  unit
 val value_inference_per_instr : t -> float
 val predicate_inference_per_instr : t -> float
 val phi_predication_per_instr : t -> float

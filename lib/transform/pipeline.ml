@@ -25,6 +25,7 @@ type result = {
   total_seconds : float;
   gvn_state : Pgvn.State.t option; (* the last GVN run's state *)
   validation : Validate.Report.t option; (* under [~validate] *)
+  crosschecks : (string * Absint.Crosscheck.report) list; (* under [~crosscheck] *)
 }
 
 exception
@@ -32,6 +33,9 @@ exception
 
 exception
   Validation_failed of { pass : string; diagnostics : Check.Diagnostic.t list }
+
+exception
+  Crosscheck_failed of { pass : string; report : Absint.Crosscheck.report }
 
 let () =
   Printexc.register_printer (function
@@ -48,6 +52,10 @@ let () =
              (List.length diagnostics)
              Fmt.(option Check.Diagnostic.pp)
              (List.nth_opt diagnostics 0))
+    | Crosscheck_failed { pass; report } ->
+        Some
+          (Fmt.str "pipeline pass %s contradicted by the interval semantics: %a" pass
+             Absint.Crosscheck.pp_report report)
     | _ -> None)
 
 (* The analysis bookkeeping a real pipeline recomputes between passes:
@@ -72,10 +80,11 @@ let guard ~check ~pass f =
   else f
 
 let run ?(config = Pgvn.Config.full) ?(rounds = 2) ?(check = false) ?validate
-    (f : Ir.Func.t) : result =
+    ?(crosscheck = false) (f : Ir.Func.t) : result =
   let timings = ref [] in
   let gvn_state = ref None in
   let vreport = ref Validate.Report.empty in
+  let xreports = ref [] in
   (* Certify one pass instance under the requested validation mode. The
      analyses pass is the identity and is skipped; witness audits only ever
      apply to the GVN pass (the only pass that emits witnesses). *)
@@ -114,6 +123,15 @@ let run ?(config = Pgvn.Config.full) ?(rounds = 2) ?(check = false) ?validate
     pass_w Gvn (fun fn ->
         let st = Pgvn.Driver.run config fn in
         gvn_state := Some st;
+        if crosscheck then begin
+          (* Static replay of the run's claims against interval facts,
+             before the rewrite is even applied. *)
+          let name = Printf.sprintf "gvn#%d" round in
+          let report = Absint.Crosscheck.run st in
+          xreports := (name, report) :: !xreports;
+          if not (Absint.Crosscheck.ok report) then
+            raise (Crosscheck_failed { pass = name; report })
+        end;
         Apply.rebuild_witnessed st fn);
     pass Dce Dce.run;
     pass Analyses analysis_pass;
@@ -134,4 +152,5 @@ let run ?(config = Pgvn.Config.full) ?(rounds = 2) ?(check = false) ?validate
     total_seconds = total;
     gvn_state = !gvn_state;
     validation = (match validate with None -> None | Some _ -> Some !vreport);
+    crosschecks = List.rev !xreports;
   }

@@ -21,6 +21,8 @@ type result = {
   gvn_state : Pgvn.State.t option;  (** state of the last GVN run *)
   validation : Validate.Report.t option;
       (** per-pass validation results and overhead, under [~validate] *)
+  crosschecks : (string * Absint.Crosscheck.report) list;
+      (** per-GVN-pass static cross-check reports, under [~crosscheck] *)
 }
 
 exception
@@ -36,6 +38,10 @@ exception
     to the pass instance ([pass] is e.g. "gvn#1") with Error-severity
     findings carrying the precise location and evidence. *)
 
+exception Crosscheck_failed of { pass : string; report : Absint.Crosscheck.report }
+(** Raised under [~crosscheck:true] when the static cross-checker finds a
+    GVN claim the interval semantics contradicts. *)
+
 val analysis_pass : Ir.Func.t -> Ir.Func.t
 (** Recompute the standard analyses (identity on the function). *)
 
@@ -44,6 +50,7 @@ val run :
   ?rounds:int ->
   ?check:bool ->
   ?validate:Validate.mode ->
+  ?crosscheck:bool ->
   Ir.Func.t ->
   result
 (** Default: {!Pgvn.Config.full}, 2 rounds, [check] off, no validation.
@@ -54,4 +61,8 @@ val run :
     ({!Validate.certify}): the GVN pass's witnesses are audited against the
     independent oracle (modes [Witness]/[All]) and every pass's observable
     behavior is diffed through the interpreter (modes [Diff]/[All]); a
-    refuted pass raises {!Validation_failed}. *)
+    refuted pass raises {!Validation_failed}. With [~crosscheck:true] each
+    GVN run's decided branches, predicate inferences, φ block predicates
+    and constants are statically replayed against interval facts
+    ({!Absint.Crosscheck}) before the rewrite; a contradicted claim raises
+    {!Crosscheck_failed}. *)

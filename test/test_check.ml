@@ -282,6 +282,95 @@ let test_lint_critical_edge () =
   let g, _, _ = diamond () in
   Alcotest.(check bool) "diamond has no critical edge" false (fires "lint-critical-edge" g)
 
+(* --- the semantic lint sub-tier (interval-analysis-backed) --- *)
+
+let severity_of id f =
+  List.find_map
+    (fun d -> if check_id d = id then Some d.Check.Diagnostic.severity else None)
+    (Check.run_all ~lint:true f)
+
+let cir_of_src src = Ir.Lower.lower_routine (List.hd (Ir.Parser.parse_program src))
+let fires_cir id c = List.exists (fun d -> check_id d = id) (Check.Lint.run_cir c)
+
+let test_lint_div_by_zero () =
+  let f = Helpers.func_of_src "routine f(a) { x = 0; return a / x; }" in
+  assert_fires "lint-div-by-zero" f;
+  Alcotest.(check bool) "bug tier: Warning severity" true
+    (severity_of "lint-div-by-zero" f = Some Check.Diagnostic.Warning);
+  let g = Helpers.func_of_src "routine g(a) { r = 0; if (a > 0) { r = 10 / a; } return r; }" in
+  Alcotest.(check bool) "guarded divide is clean" false (fires "lint-div-by-zero" g)
+
+let test_lint_use_uninit () =
+  let pos = cir_of_src "routine f(a) { return x + a; }" in
+  Alcotest.(check bool) "never-assigned read fires" true (fires_cir "lint-use-uninit" pos);
+  (* Assigned on *some* path: a may-analysis must stay silent (the read is
+     only conditionally uninitialized, which the lint does not claim). *)
+  let neg = cir_of_src "routine g(a) { if (a > 0) { x = 1; } return x; }" in
+  Alcotest.(check bool) "may-assigned read is clean" false (fires_cir "lint-use-uninit" neg);
+  let neg2 = cir_of_src "routine h(a) { x = 0; return x + a; }" in
+  Alcotest.(check bool) "assigned read is clean" false (fires_cir "lint-use-uninit" neg2)
+
+let test_lint_branch_decided () =
+  (* The inner guard is implied by the dominating one: always taken. *)
+  let f =
+    Helpers.func_of_src
+      "routine f(a) { r = 0; if (a > 5) { if (a > 2) { r = 1; } } return r; }"
+  in
+  assert_fires "lint-branch-decided" f;
+  let g = Helpers.func_of_src "routine g(a) { r = 0; if (a > 5) { r = 1; } return r; }" in
+  Alcotest.(check bool) "an open guard is clean" false (fires "lint-branch-decided" g)
+
+let test_lint_absint_unreachable () =
+  (* Contradictory nested guards: the inner body is structurally reachable
+     but the interval semantics proves it never executes. *)
+  let f =
+    Helpers.func_of_src
+      "routine f(a) { r = 0; if (a > 5) { if (a < 3) { r = 9; } } return r; }"
+  in
+  assert_fires "lint-absint-unreachable" f;
+  let g, _, _ = diamond () in
+  Alcotest.(check bool) "a live diamond is clean" false (fires "lint-absint-unreachable" g)
+
+let test_lint_dead_store () =
+  (* y's only user sits behind a self-contradictory comparison: structural
+     liveness keeps it (so lint-dead-instr stays silent), the sparse
+     executable-sub-CFG liveness does not. *)
+  let f =
+    Helpers.func_of_src "routine f(a) { y = a + 1; if (a != a) { return y; } return 0; }"
+  in
+  let y = ref (-1) in
+  Array.iteri
+    (fun i ins ->
+      match ins with Ir.Func.Binop (Ir.Types.Add, _, _) -> y := i | _ -> ())
+    f.Ir.Func.instrs;
+  assert_fires ~loc:(Check.Diagnostic.Instr !y) "lint-dead-store" f;
+  Alcotest.(check bool) "dead-instr does not fire on the store" false
+    (fires ~loc:(Check.Diagnostic.Instr !y) "lint-dead-instr" f);
+  let g = Helpers.func_of_src "routine g(a) { y = a + 1; if (a > 0) { return y; } return 0; }" in
+  Alcotest.(check bool) "a reachable use is clean" false (fires "lint-dead-store" g)
+
+let test_lint_werror_clean_everywhere () =
+  (* The --Werror contract: nothing above Info anywhere in the hand-written
+     corpus (both lint tiers) or the ten-benchmark suite. *)
+  let no_warnings name ds =
+    match
+      List.filter (fun d -> d.Check.Diagnostic.severity <> Check.Diagnostic.Info) ds
+    with
+    | [] -> ()
+    | d :: _ -> Alcotest.failf "%s: %s" name (Check.Diagnostic.to_string d)
+  in
+  List.iter
+    (fun (name, src) ->
+      List.iter
+        (fun r -> no_warnings name (Check.Lint.run_cir (Ir.Lower.lower_routine r)))
+        (Ir.Parser.parse_program src);
+      no_warnings name (Check.Lint.run (Helpers.func_of_src src)))
+    Workload.Corpus.all_named;
+  List.iter
+    (fun ((b : Workload.Suite.benchmark), funcs) ->
+      List.iter (fun f -> no_warnings b.Workload.Suite.name (Check.Lint.run f)) funcs)
+    (Workload.Suite.all ~scale:0.1 ())
+
 (* --- corpus sweeps: zero Error diagnostics anywhere --- *)
 
 let test_corpus_clean_all_presets () =
@@ -366,6 +455,14 @@ let suite =
     Alcotest.test_case "lint: constant branch" `Quick test_lint_const_branch_and_unreachable;
     Alcotest.test_case "lint: forwarder block" `Quick test_lint_empty_block;
     Alcotest.test_case "lint: critical edge" `Quick test_lint_critical_edge;
+    Alcotest.test_case "lint: guaranteed division by zero" `Quick test_lint_div_by_zero;
+    Alcotest.test_case "lint: provably-uninitialized read" `Quick test_lint_use_uninit;
+    Alcotest.test_case "lint: branch decided by guards" `Quick test_lint_branch_decided;
+    Alcotest.test_case "lint: semantically unreachable block" `Quick
+      test_lint_absint_unreachable;
+    Alcotest.test_case "lint: dead store (sparse liveness)" `Quick test_lint_dead_store;
+    Alcotest.test_case "lints stay below --Werror on corpus and benchmarks" `Quick
+      test_lint_werror_clean_everywhere;
     Alcotest.test_case "corpus clean under every preset" `Quick test_corpus_clean_all_presets;
     Alcotest.test_case "benchmark suite clean (full, pessimistic)" `Quick
       test_benchmark_suite_clean;

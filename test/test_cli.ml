@@ -15,13 +15,51 @@ let write_tmp name contents =
 let run args =
   Sys.command (Filename.quote_command gvnopt ~stdout:Filename.null ~stderr:Filename.null args)
 
+(* Like [run], but capture stdout for output-format checks. *)
+let run_capture args =
+  let out = Filename.temp_file "gvnopt_cli" ".out" in
+  let code = Sys.command (Filename.quote_command gvnopt ~stdout:out ~stderr:Filename.null args) in
+  let ic = open_in_bin out in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, s)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let clean_mc () = write_tmp "clean.mc" "routine f(a) { return a + 1; }\n"
 
 let test_exit_clean () =
   let p = clean_mc () in
   Alcotest.(check int) "plain run" 0 (run [ p ]);
   Alcotest.(check int) "--check" 0 (run [ "--check"; p ]);
-  Alcotest.(check int) "--analyze" 0 (run [ "--analyze"; p ])
+  (* Like --validate, the bare flag takes its default mode; trailing
+     position keeps the file from being parsed as the mode. *)
+  Alcotest.(check int) "bare --analyze" 0 (run [ p; "--analyze" ])
+
+let test_exit_analyze () =
+  let p = clean_mc () in
+  Alcotest.(check int) "--analyze=gvn" 0 (run [ "--analyze=gvn"; p ]);
+  Alcotest.(check int) "--analyze=const" 0 (run [ "--analyze=const"; p ]);
+  Alcotest.(check int) "--analyze=range" 0 (run [ "--analyze=range"; p ]);
+  Alcotest.(check int) "--analyze=all" 0 (run [ "--analyze=all"; p ]);
+  Alcotest.(check int) "bad analyze mode" 2 (run [ "--analyze=bogus"; p ])
+
+let test_analyze_output () =
+  let p = write_tmp "facts.mc" "routine f(a) { x = 3; y = x + 4; return y; }\n" in
+  let code, out = run_capture [ "--analyze=all"; p ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  (* The output-format contract: per-analysis fact sections, per-definition
+     facts rendered through the printer, and the cross-check summary. *)
+  Alcotest.(check bool) "const section" true (contains out "--- const facts ---");
+  Alcotest.(check bool) "range section" true (contains out "--- range facts ---");
+  Alcotest.(check bool) "const fact" true (contains out ";; const 7");
+  Alcotest.(check bool) "range fact" true (contains out ";; [7, 7]");
+  Alcotest.(check bool) "crosscheck line" true (contains out "crosscheck:");
+  Alcotest.(check bool) "no contradictions" true (contains out "0 contradiction(s)")
 
 let test_exit_validate_clean () =
   let p = clean_mc () in
@@ -33,11 +71,14 @@ let test_exit_validate_clean () =
   Alcotest.(check int) "bare --validate" 0 (run [ p; "--validate" ])
 
 let test_exit_werror () =
-  let p = write_tmp "dead.mc" "routine f(a) { dead = a * 37; return a; }\n" in
-  (* The dead instruction is a Warning-severity lint: reported but clean
-     without --Werror, a failure with it. *)
+  let p = write_tmp "divzero.mc" "routine f(a) { x = 0; return a / x; }\n" in
+  (* The guaranteed division by zero is a Warning-severity lint: reported
+     but clean without --Werror, a failure with it. (Opportunity-tier lints
+     like dead code are Info and never trip --Werror.) *)
   Alcotest.(check int) "--lint alone stays clean" 0 (run [ "--lint"; p ]);
-  Alcotest.(check int) "--lint --Werror fails" 1 (run [ "--lint"; "--Werror"; p ])
+  Alcotest.(check int) "--lint --Werror fails" 1 (run [ "--lint"; "--Werror"; p ]);
+  let dead = write_tmp "dead.mc" "routine f(a) { dead = a * 37; return a; }\n" in
+  Alcotest.(check int) "Info lints pass --Werror" 0 (run [ "--lint"; "--Werror"; dead ])
 
 let test_exit_parse_error () =
   let p = write_tmp "broken.mc" "routine f( { this is not mini-C" in
@@ -52,6 +93,8 @@ let test_exit_usage_error () =
 let suite =
   [
     Alcotest.test_case "exit 0 on clean runs" `Quick test_exit_clean;
+    Alcotest.test_case "--analyze mode exit codes" `Quick test_exit_analyze;
+    Alcotest.test_case "--analyze=all output format" `Quick test_analyze_output;
     Alcotest.test_case "exit 0 under --validate" `Quick test_exit_validate_clean;
     Alcotest.test_case "exit 1 under --lint --Werror" `Quick test_exit_werror;
     Alcotest.test_case "exit 2 on parse errors" `Quick test_exit_parse_error;

@@ -93,12 +93,40 @@ let prop_corpus_all_configs =
             Helpers.all_configs)
         Workload.Corpus.all_named)
 
+let prop_sparse_consts_agreed_by_gvn =
+  (* The abstract-interpretation side of the house against the engine: every
+     constant the sparse constant domain proves must appear in the GVN run's
+     final table — as that constant, or as unreachable (the engine's
+     predication can prove strictly more blocks dead). *)
+  QCheck.Test.make ~name:"every sparse-const proof is agreed to by the GVN table"
+    ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let f = Workload.Generator.func ~seed ~name:"ka" () in
+      let st = Pgvn.Driver.run Pgvn.Config.full f in
+      let k = Absint.Consts.run ~refine:false f in
+      let ok = ref true in
+      Array.iteri
+        (fun i d ->
+          if Ir.Func.defines_value (Ir.Func.instr f i) then
+            match d with
+            | Absint.Konst.Cst c ->
+                if
+                  not
+                    (Pgvn.Driver.value_unreachable st i
+                    || Pgvn.Driver.value_constant st i = Some c)
+                then ok := false
+            | _ -> ())
+        k.Absint.Consts.facts;
+      !ok)
+
 let suite =
   List.map prop_for profiles
   |> List.map QCheck_alcotest.to_alcotest
   |> fun l ->
   l
   @ [
+      QCheck_alcotest.to_alcotest prop_sparse_consts_agreed_by_gvn;
       QCheck_alcotest.to_alcotest prop_optimized_not_weaker;
       QCheck_alcotest.to_alcotest prop_extended_at_least_as_strong;
       QCheck_alcotest.to_alcotest prop_corpus_all_configs;

@@ -6,6 +6,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("ssa", Test_ssa.suite);
       ("check", Test_check.suite);
+      ("absint", Test_absint.suite);
       ("expr", Test_expr.suite);
       ("infer", Test_infer.suite);
       ("gvn", Test_gvn.suite);
