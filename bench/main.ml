@@ -6,9 +6,17 @@
      dune exec bench/main.exe -- table1 table2 fig9 fig10 fig11 fig12 fig13 scalars absint validate bechamel
 
    Absolute times are this machine's, not a 440 MHz PA-8500's; the claims
-   being reproduced are the *ratios* and *shapes* (see EXPERIMENTS.md). *)
+   being reproduced are the *ratios* and *shapes* (see EXPERIMENTS.md).
+
+   The harness keeps no stopwatch of its own: every measurement is an
+   [Obs] span, GVN engine statistics are read back from the [Obs.Metrics]
+   registry, and --trace=FILE / --metrics export the shared context. *)
 
 let scale = ref 1.0
+
+(* The harness-wide observability context. Its clock is the only timer in
+   this file, and --trace/--metrics dump it on exit. *)
+let obs = Obs.create ()
 
 (* --json FILE: machine-readable per-benchmark timings plus arena/TABLE
    statistics and a ladder scaling check, for the perf-regression record
@@ -18,28 +26,32 @@ let json_table2 : (string * float * float * float) list ref = ref []
 
 (* ------------------------------------------------------------------ *)
 
-let time_min ~repeats f =
+(* Best-of-[repeats] wall time of [f], measured as an [Obs] span per
+   repetition (the span's duration is the stopwatch). *)
+let time_min ~name ~repeats f =
   let best = ref infinity in
   for _ = 1 to repeats do
-    let t0 = Unix.gettimeofday () in
-    f ();
-    best := min !best (Unix.gettimeofday () -. t0)
+    let (), dt = Obs.timed obs ~cat:"bench" name (fun () -> f ()) in
+    best := min !best dt
   done;
   !best
 
-(* HLO-analog and GVN time for one benchmark under one GVN config. *)
+(* HLO-analog and GVN time for one benchmark under one GVN config. Both
+   numbers are views over the pipeline's trace: [total_seconds] is the
+   "pipeline" span, [gvn_seconds] the kind-matched GVN pass spans. *)
 let pipeline_times config funcs =
+  let opts = Transform.Pipeline.Options.(default |> with_config config |> with_obs obs) in
   let hlo = ref 0.0 and gvn = ref 0.0 in
   List.iter
     (fun f ->
-      let r = Transform.Pipeline.run ~config f in
+      let r = Transform.Pipeline.run_with opts f in
       hlo := !hlo +. r.Transform.Pipeline.total_seconds;
       gvn := !gvn +. r.Transform.Pipeline.gvn_seconds)
     funcs;
   (!hlo, !gvn)
 
 let gvn_time config funcs =
-  time_min ~repeats:3 (fun () ->
+  time_min ~name:"bench.gvn" ~repeats:3 (fun () ->
       List.iter (fun f -> ignore (Pgvn.Driver.run config f)) funcs)
 
 (* ------------------------------------------------------------------ *)
@@ -221,7 +233,10 @@ let fig9 () =
     List.map
       (fun n ->
         let f = Workload.Pathological.ladder_func n in
-        let t = time_min ~repeats:5 (fun () -> ignore (Pgvn.Driver.run Pgvn.Config.full f)) in
+        let t =
+          time_min ~name:"bench.ladder" ~repeats:5 (fun () ->
+              ignore (Pgvn.Driver.run Pgvn.Config.full f))
+        in
         let st = Pgvn.Driver.run Pgvn.Config.full f in
         (n, t, st.Pgvn.State.stats.Pgvn.Run_stats.value_inference_visits))
       sizes
@@ -382,16 +397,16 @@ let absint_section suite =
       (fun ((b : Workload.Suite.benchmark), funcs) ->
         let tg = gvn_time Pgvn.Config.full funcs in
         let tc =
-          time_min ~repeats:3 (fun () ->
+          time_min ~name:"bench.const" ~repeats:3 (fun () ->
               List.iter (fun f -> ignore (Absint.Consts.run f)) funcs)
         in
         let tr =
-          time_min ~repeats:3 (fun () ->
+          time_min ~name:"bench.range" ~repeats:3 (fun () ->
               List.iter (fun f -> ignore (Absint.Ranges.run f)) funcs)
         in
         let sts = List.map (fun f -> Pgvn.Driver.run Pgvn.Config.full f) funcs in
         let tx =
-          time_min ~repeats:3 (fun () ->
+          time_min ~name:"bench.crosscheck" ~repeats:3 (fun () ->
               List.iter (fun st -> ignore (Absint.Crosscheck.run st)) sts)
         in
         let consts = ref 0 and bounded = ref 0 and dead = ref 0 and claims = ref 0 in
@@ -450,31 +465,40 @@ let absint_section suite =
 let validate_section suite =
   Fmt.pr "@\n=== Translation validation: per-pass overhead (whole suite) ===@\n";
   let funcs = all_funcs suite in
-  let pass_s = Hashtbl.create 8 and val_s = Hashtbl.create 8 in
+  (* Both tables are keyed by the structural [pass_kind] — never by
+     splitting display names (a pass called "gvn-lite#1" must not be
+     charged to GVN). Validation records carry only the display name, so
+     they are mapped back to a kind through the run's own timing list,
+     which pairs each exact display name with its kind. *)
+  let pass_s : (Transform.Pipeline.pass_kind, float) Hashtbl.t = Hashtbl.create 8 in
+  let val_s : (Transform.Pipeline.pass_kind, float) Hashtbl.t = Hashtbl.create 8 in
   let bump h k dt =
     Hashtbl.replace h k (dt +. try Hashtbl.find h k with Not_found -> 0.0)
   in
-  let kind_of_name name =
-    match String.index_opt name '#' with
-    | Some i -> String.sub name 0 i
-    | None -> name
-  in
+  let opts = Transform.Pipeline.Options.(default |> with_validate Validate.All |> with_obs obs) in
   let combined = ref Validate.Report.empty in
   List.iter
     (fun f ->
-      let r = Transform.Pipeline.run ~validate:Validate.All f in
+      let r = Transform.Pipeline.run_with opts f in
       List.iter
-        (fun t ->
-          bump pass_s
-            (Transform.Pipeline.pass_kind_name t.Transform.Pipeline.kind)
-            t.Transform.Pipeline.seconds)
+        (fun t -> bump pass_s t.Transform.Pipeline.kind t.Transform.Pipeline.seconds)
         r.Transform.Pipeline.timings;
+      let kind_of_pass name =
+        List.find_map
+          (fun t ->
+            if String.equal t.Transform.Pipeline.pass name then
+              Some t.Transform.Pipeline.kind
+            else None)
+          r.Transform.Pipeline.timings
+      in
       match r.Transform.Pipeline.validation with
       | None -> ()
       | Some v ->
           List.iter
             (fun p ->
-              bump val_s (kind_of_name p.Validate.Report.pass) p.Validate.Report.seconds;
+              (match kind_of_pass p.Validate.Report.pass with
+              | Some kind -> bump val_s kind p.Validate.Report.seconds
+              | None -> ());
               combined := Validate.Report.add !combined p)
             v.Validate.Report.passes)
     funcs;
@@ -483,7 +507,12 @@ let validate_section suite =
     |> List.sort (fun (_, a) (_, b) -> compare b a)
     |> List.map (fun (kind, ps) ->
            let vs = try Hashtbl.find val_s kind with Not_found -> 0.0 in
-           [ kind; Stats.Table.ms ps; Stats.Table.ms vs; Stats.Table.ratio vs ps ])
+           [
+             Transform.Pipeline.pass_kind_name kind;
+             Stats.Table.ms ps;
+             Stats.Table.ms vs;
+             Stats.Table.ratio vs ps;
+           ])
   in
   Stats.Table.render
     ~columns:
@@ -514,46 +543,30 @@ type gvn_stat = {
   g_max_chain : int;
 }
 
-(* One full-config run per routine, summing the driver's hash-table probe
-   counters and the expression arena's occupancy statistics. *)
+(* One full-config run per routine under a per-benchmark [Obs] context;
+   the driver publishes its worklist/table/arena statistics into the
+   metrics registry, and the JSON record is read back from one snapshot
+   (counters sum across routines; [pgvn.arena.max_chain] is a max gauge). *)
 let gvn_stats_pass suite =
   List.map
     (fun (b, funcs) ->
-      let acc =
-        ref
-          {
-            g_name = b.Workload.Suite.name;
-            g_routines = List.length funcs;
-            g_passes = 0;
-            g_instrs = 0;
-            g_probes = 0;
-            g_hits = 0;
-            g_live = 0;
-            g_interned = 0;
-            g_arena_hits = 0;
-            g_max_chain = 0;
-          }
-      in
-      List.iter
-        (fun f ->
-          let st = Pgvn.Driver.run Pgvn.Config.full f in
-          let s = st.Pgvn.State.stats in
-          let a = Pgvn.Hexpr.stats st.Pgvn.State.arena in
-          let g = !acc in
-          acc :=
-            {
-              g with
-              g_passes = g.g_passes + s.Pgvn.Run_stats.passes;
-              g_instrs = g.g_instrs + s.Pgvn.Run_stats.instrs_processed;
-              g_probes = g.g_probes + s.Pgvn.Run_stats.table_probes;
-              g_hits = g.g_hits + s.Pgvn.Run_stats.table_hits;
-              g_live = g.g_live + a.Util.Hashcons.live;
-              g_interned = g.g_interned + a.Util.Hashcons.interned;
-              g_arena_hits = g.g_arena_hits + a.Util.Hashcons.hits;
-              g_max_chain = max g.g_max_chain a.Util.Hashcons.max_chain;
-            })
-        funcs;
-      !acc)
+      let o = Obs.create () in
+      List.iter (fun f -> ignore (Pgvn.Driver.run ~obs:o Pgvn.Config.full f)) funcs;
+      let snap = Obs.Metrics.snapshot o.Obs.metrics in
+      let c name = try List.assoc name snap.Obs.Metrics.counters with Not_found -> 0 in
+      let g name = try List.assoc name snap.Obs.Metrics.gauges with Not_found -> 0.0 in
+      {
+        g_name = b.Workload.Suite.name;
+        g_routines = List.length funcs;
+        g_passes = c "pgvn.passes";
+        g_instrs = c "pgvn.instrs";
+        g_probes = c "pgvn.table_probes";
+        g_hits = c "pgvn.table_hits";
+        g_live = c "pgvn.arena.live";
+        g_interned = c "pgvn.arena.interned";
+        g_arena_hits = c "pgvn.arena.hits";
+        g_max_chain = int_of_float (g "pgvn.arena.max_chain");
+      })
     suite
 
 (* Figure-9-style complexity guard: value-inference visits on the ladder
@@ -566,7 +579,10 @@ let scaling_check () =
     List.map
       (fun n ->
         let f = Workload.Pathological.ladder_func n in
-        let t = time_min ~repeats:3 (fun () -> ignore (Pgvn.Driver.run Pgvn.Config.full f)) in
+        let t =
+          time_min ~name:"bench.ladder" ~repeats:3 (fun () ->
+              ignore (Pgvn.Driver.run Pgvn.Config.full f))
+        in
         let st = Pgvn.Driver.run Pgvn.Config.full f in
         (n, t, st.Pgvn.State.stats.Pgvn.Run_stats.value_inference_visits))
       sizes
@@ -627,6 +643,7 @@ let emit_json path suite =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let obs_opts, args = Cli.Cli_options.parse_obs_args args in
   let rec strip_json = function
     | [] -> []
     | "--json" :: file :: rest ->
@@ -664,6 +681,7 @@ let () =
   if want "absint" then absint_section (Lazy.force suite);
   if want "validate" then validate_section (Lazy.force suite);
   if want "bechamel" then bechamel_section ();
-  match !json_file with
+  (match !json_file with
   | None -> ()
-  | Some path -> emit_json path (Lazy.force suite)
+  | Some path -> emit_json path (Lazy.force suite));
+  Cli.Cli_options.finish obs_opts (Some obs)

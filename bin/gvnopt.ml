@@ -11,6 +11,9 @@
      gvnopt --lint --Werror file.mc        + lint tier, warnings fail the run
      gvnopt --validate=all file.mc         certify every rewrite (translation
                                            validation: witness audit + diff)
+     gvnopt --trace=out.json file.mc       write a Chrome-trace JSON profile
+                                           (chrome://tracing, Perfetto)
+     gvnopt --metrics file.mc              print the engine metrics snapshot
 
    Exit codes: 0 clean; 1 diagnostics at or above the failure threshold
    (verifier errors, --Werror'd warnings, rejected rewrites, --run
@@ -45,18 +48,10 @@ let analyze_conv =
   in
   Arg.conv (parse, print)
 
+(* The preset and pruning vocabularies live in the shared [Cli_options]
+   module (bench/main.ml resolves through the same tables). *)
 let preset_conv =
-  let parse = function
-    | "full" -> Ok Pgvn.Config.full
-    | "balanced" -> Ok Pgvn.Config.balanced
-    | "pessimistic" -> Ok Pgvn.Config.pessimistic
-    | "basic" -> Ok Pgvn.Config.basic
-    | "dense" -> Ok Pgvn.Config.dense
-    | "click" -> Ok Pgvn.Config.emulate_click
-    | "sccp" -> Ok Pgvn.Config.emulate_sccp
-    | "awz" -> Ok Pgvn.Config.emulate_awz
-    | s -> Error (`Msg (Printf.sprintf "unknown preset %S" s))
-  in
+  let parse s = Result.map_error (fun m -> `Msg m) (Cli.Cli_options.preset_of_string s) in
   Arg.conv (parse, fun ppf _ -> Fmt.string ppf "<preset>")
 
 let validate_conv =
@@ -68,12 +63,7 @@ let validate_conv =
   Arg.conv (parse, fun ppf m -> Fmt.string ppf (Validate.mode_to_string m))
 
 let pruning_conv =
-  let parse = function
-    | "minimal" -> Ok Ssa.Construct.Minimal
-    | "semi" | "semi-pruned" -> Ok Ssa.Construct.Semi_pruned
-    | "pruned" -> Ok Ssa.Construct.Pruned
-    | s -> Error (`Msg (Printf.sprintf "unknown pruning %S" s))
-  in
+  let parse s = Result.map_error (fun m -> `Msg m) (Cli.Cli_options.pruning_of_string s) in
   Arg.conv (parse, fun ppf p -> Fmt.string ppf (Ssa.Construct.pruning_to_string p))
 
 (* Render a diagnostic list under the --check/--lint flags; returns true
@@ -105,18 +95,24 @@ let dump_facts (type t) f ~header ~(pp_fact : t Fmt.t) ~(fact : int -> t) ~block
   done
 
 let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~werror
-    ~validate path =
+    ~validate ~obs path =
   let src = read_file path in
-  let routines = Ir.Parser.parse_program src in
+  let routines =
+    Obs.span_o obs ~cat:"pipeline" "parse" @@ fun () -> Ir.Parser.parse_program src
+  in
   let failed = ref false in
   let checking = check || lint || werror in
   let diagnose ~stage name f =
-    if checking && report_diagnostics ~lint ~werror ~stage name f then failed := true
+    if checking then
+      Obs.span_o obs ~cat:"verify" "check" @@ fun () ->
+      if report_diagnostics ~lint ~werror ~stage name f then failed := true
   in
   List.iter
     (fun r ->
       let cir = Ir.Lower.lower_routine r in
-      let f = Ssa.Construct.of_cir ~pruning cir in
+      let f =
+        Obs.span_o obs ~cat:"pass" "ssa" @@ fun () -> Ssa.Construct.of_cir ~pruning cir
+      in
       Fmt.pr "=== %s ===@." r.Ir.Ast.name;
       if dump_input then Fmt.pr "--- input SSA ---@.%a@." Ir.Printer.pp f;
       (* Pre-SSA lints must run on the Cir: SSA construction seeds
@@ -125,7 +121,9 @@ let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~
                    (Check.Lint.run_cir cir)
       then failed := true;
       diagnose ~stage:"input" r.Ir.Ast.name f;
-      let st = Pgvn.Driver.run config f in
+      let st =
+        Obs.span_o obs ~cat:"pass" "gvn" @@ fun () -> Pgvn.Driver.run ?obs config f
+      in
       let s = Pgvn.Driver.summarize st in
       Fmt.pr
         "values: %d | unreachable: %d | constant: %d | classes: %d | reachable blocks: %d/%d | passes: %d@."
@@ -150,14 +148,12 @@ let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~
             done
           in
           let dump_const () =
-            let res = Absint.Consts.run f in
+            let res = Absint.Consts.run ?obs f in
             dump_facts f ~header:"const" ~pp_fact:Absint.Konst.pp
               ~fact:(fun v -> res.Absint.Consts.facts.(v))
               ~block_exec:res.Absint.Consts.block_exec
           in
-          let dump_range () =
-            Absint.Ranges.run f
-          in
+          let dump_range () = Absint.Ranges.run ?obs f in
           (match mode with
           | Agvn -> dump_gvn ()
           | Aconst -> dump_const ()
@@ -179,8 +175,15 @@ let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~
               Fmt.pr "%a@." Absint.Crosscheck.pp_report report;
               if not (Absint.Crosscheck.ok report) then failed := true)
       | Optimize ->
-          let rewritten, witnesses = Transform.Apply.rebuild_witnessed st f in
-          let g = Transform.Simplify_cfg.fixpoint (Transform.Dce.run rewritten) in
+          let rewritten, witnesses =
+            Obs.span_o obs ~cat:"pass" "rewrite" @@ fun () ->
+            Transform.Apply.rebuild_witnessed st f
+          in
+          let dced = Obs.span_o obs ~cat:"pass" "dce" @@ fun () -> Transform.Dce.run rewritten in
+          let g =
+            Obs.span_o obs ~cat:"pass" "simplify-cfg" @@ fun () ->
+            Transform.Simplify_cfg.fixpoint dced
+          in
           Fmt.pr "--- optimized (%d -> %d instrs, %d -> %d blocks) ---@.%a@."
             (Ir.Func.num_instrs f) (Ir.Func.num_instrs g) (Ir.Func.num_blocks f)
             (Ir.Func.num_blocks g) Ir.Printer.pp g;
@@ -191,9 +194,7 @@ let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~
               (* Engine 1 audits the GVN rewrite's witnesses against [f];
                  Engine 2 diffs observable behavior across the whole
                  rewrite + cleanup. *)
-              let p =
-                Validate.certify ~mode ~pass:"gvn+cleanup" ~witnesses f g
-              in
+              let p = Validate.certify ?obs ~mode ~pass:"gvn+cleanup" ~witnesses f g in
               let report = Validate.Report.add Validate.Report.empty p in
               Fmt.pr "validate: %a@." Validate.Report.pp_summary report;
               let errors = Validate.Report.errors report in
@@ -279,22 +280,48 @@ let cmd =
   let no_vi = disable "value-inference" in
   let no_pp = disable "phi-predication" in
   let no_sparse = disable "sparse" in
-  let main preset complete pruning analyze stats dump_input run_args check lint werror validate nr npi nvi npp nsp path =
-    let config =
+  let trace_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome-trace JSON profile of the run to $(docv) (open in \
+             chrome://tracing or Perfetto). Spans cover parsing, SSA \
+             construction, each optimization pass, and the GVN engine's \
+             internal sweeps.")
+  in
+  let metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print the engine metrics snapshot (worklist touches, table \
+             probes/hits, arena occupancy, latency histograms) after \
+             processing.")
+  in
+  let main preset complete pruning analyze stats dump_input run_args check lint werror validate nr npi nvi npp nsp trace_file metrics path =
+    let toggles =
       {
-        preset with
-        Pgvn.Config.variant = (if complete then Pgvn.Config.Complete else preset.Pgvn.Config.variant);
-        reassociation = preset.Pgvn.Config.reassociation && not nr;
-        predicate_inference = preset.Pgvn.Config.predicate_inference && not npi;
-        value_inference = preset.Pgvn.Config.value_inference && not nvi;
-        phi_predication = preset.Pgvn.Config.phi_predication && not npp;
-        sparse = preset.Pgvn.Config.sparse && not nsp;
+        Cli.Cli_options.complete;
+        no_reassociation = nr;
+        no_predicate_inference = npi;
+        no_value_inference = nvi;
+        no_phi_predication = npp;
+        no_sparse = nsp;
       }
     in
+    let config = Cli.Cli_options.apply_toggles toggles preset in
     let action = match analyze with None -> Optimize | Some m -> Analyze m in
+    let obs_opts = { Cli.Cli_options.trace_file; metrics } in
+    let obs = Cli.Cli_options.obs_of obs_opts in
     try
-      process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~werror
-        ~validate path
+      let code =
+        process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~werror
+          ~validate ~obs path
+      in
+      Cli.Cli_options.finish obs_opts obs;
+      code
     with
     | Ir.Parser.Error (msg, line) ->
         Fmt.epr "%s:%d: parse error: %s@." path line msg;
@@ -307,7 +334,7 @@ let cmd =
     Term.(
       const main $ preset $ complete $ pruning $ analyze $ stats $ dump_input $ run_args
       $ check_flag $ lint_flag $ werror_flag $ validate_flag
-      $ no_reassoc $ no_pi $ no_vi $ no_pp $ no_sparse $ path)
+      $ no_reassoc $ no_pi $ no_vi $ no_pp $ no_sparse $ trace_flag $ metrics_flag $ path)
   in
   let exits =
     [

@@ -44,7 +44,11 @@ let () =
   List.iter
     (fun r ->
       let f = Ssa.Construct.of_cir (Ir.Lower.lower_routine r) in
-      let result = Transform.Pipeline.run ~config:Pgvn.Config.full f in
+      let result =
+        Transform.Pipeline.run_with
+          Transform.Pipeline.Options.(default |> with_config Pgvn.Config.full)
+          f
+      in
       let g = result.Transform.Pipeline.func in
       Fmt.pr "=== %s: %d -> %d instructions, %d -> %d blocks ===@." r.Ir.Ast.name
         (Ir.Func.num_instrs f) (Ir.Func.num_instrs g) (Ir.Func.num_blocks f)

@@ -29,7 +29,11 @@ module Make (D : Domain.TRANSFER) = struct
      this is a safety fuse, not a tuning knob. *)
   let fuse = 64
 
-  let run ?(refine = true) (f : Ir.Func.t) : result =
+  let run ?obs ?(refine = true) (f : Ir.Func.t) : result =
+    Obs.span_o obs ~cat:"absint" ("absint." ^ D.name ^ ".fixpoint")
+    @@ fun () ->
+    let t_begin = match obs with Some o -> Obs.clock o | None -> 0.0 in
+    let rounds = ref 0 and ssa_steps = ref 0 and flow_steps = ref 0 in
     let ni = Ir.Func.num_instrs f in
     let facts = Array.make ni D.bottom in
     let edge_exec = Array.make (Ir.Func.num_edges f) false in
@@ -120,7 +124,9 @@ module Make (D : Domain.TRANSFER) = struct
     Array.iter (fun i -> Queue.add i ssa_work) (Ir.Func.block f Ir.Func.entry).Ir.Func.instrs;
     eval_terminator Ir.Func.entry;
     while not (Queue.is_empty flow_work && Queue.is_empty ssa_work) do
+      incr rounds;
       while not (Queue.is_empty flow_work) do
+        incr flow_steps;
         let e = Queue.pop flow_work in
         if not edge_exec.(e) then begin
           edge_exec.(e) <- true;
@@ -134,12 +140,22 @@ module Make (D : Domain.TRANSFER) = struct
         end
       done;
       while not (Queue.is_empty ssa_work) do
+        incr ssa_steps;
         let i = Queue.pop ssa_work in
         let b = Ir.Func.block_of_instr f i in
         if Ir.Func.defines_value (Ir.Func.instr f i) then eval_instr i
         else if block_exec.(b) then eval_terminator b
       done
     done;
+    (match obs with
+    | None -> ()
+    | Some o ->
+        let prefix = "absint." ^ D.name in
+        Obs.add o (prefix ^ ".runs") 1;
+        Obs.add o (prefix ^ ".rounds") !rounds;
+        Obs.add o (prefix ^ ".ssa_steps") !ssa_steps;
+        Obs.add o (prefix ^ ".flow_steps") !flow_steps;
+        Obs.observe_seconds o (prefix ^ ".run_ns") (Obs.clock o -. t_begin));
     { func = f; facts; block_exec; edge_exec; refinement }
 
   let fact res v = res.facts.(v)

@@ -709,7 +709,29 @@ let touch_everything st =
 
 exception Diverged of string
 
-let run (config : Config.t) (f : Ir.Func.t) : State.t =
+(* Publish the run's engine counters through the observability layer, under
+   the stable metric names of DESIGN.md §4d. *)
+let record_metrics obs (st : State.t) =
+  let s = st.stats in
+  Obs.add obs "pgvn.runs" 1;
+  Obs.add obs "pgvn.passes" s.Run_stats.passes;
+  Obs.add obs "pgvn.instrs" s.Run_stats.instrs_processed;
+  Obs.add obs "pgvn.worklist.instr_touches" s.Run_stats.instr_touches;
+  Obs.add obs "pgvn.worklist.block_touches" s.Run_stats.block_touches;
+  Obs.add obs "pgvn.vi_visits" s.Run_stats.value_inference_visits;
+  Obs.add obs "pgvn.pi_visits" s.Run_stats.predicate_inference_visits;
+  Obs.add obs "pgvn.pp_visits" s.Run_stats.phi_predication_visits;
+  Obs.add obs "pgvn.class_moves" s.Run_stats.class_moves;
+  Obs.add obs "pgvn.table_probes" s.Run_stats.table_probes;
+  Obs.add obs "pgvn.table_hits" s.Run_stats.table_hits;
+  let a = Hexpr.stats st.arena in
+  Obs.add obs "pgvn.arena.live" a.Util.Hashcons.live;
+  Obs.add obs "pgvn.arena.interned" a.Util.Hashcons.interned;
+  Obs.add obs "pgvn.arena.hits" a.Util.Hashcons.hits;
+  Obs.max_gauge obs "pgvn.arena.max_chain" (float_of_int a.Util.Hashcons.max_chain)
+
+let run ?obs (config : Config.t) (f : Ir.Func.t) : State.t =
+  let run_span = match obs with Some o -> Some (Obs.Trace.begin_span o.Obs.trace ~cat:"gvn" "pgvn.run") | None -> None in
   let st = State.create config f in
   let everything_reachable =
     config.Config.mode = Config.Pessimistic || not config.Config.unreachable_code
@@ -724,10 +746,23 @@ let run (config : Config.t) (f : Ir.Func.t) : State.t =
   end;
   let max_passes = 40 + (4 * Ir.Func.num_blocks f) in
   let continue_loop = ref true in
+  Fun.protect ~finally:(fun () ->
+      match (obs, run_span) with
+      | Some o, Some sp ->
+          Obs.Trace.end_span o.Obs.trace sp;
+          Obs.observe_seconds o "pgvn.run_ns" (Obs.Trace.duration sp);
+          record_metrics o st
+      | _ -> ())
+  @@ fun () ->
   while !continue_loop && st.touched_count > 0 do
     st.stats.Run_stats.passes <- st.stats.Run_stats.passes + 1;
     if st.stats.Run_stats.passes > max_passes then
       raise (Diverged (Printf.sprintf "gvn: %s did not converge" f.Ir.Func.name));
+    let sweep_span =
+      match obs with
+      | Some o -> Some (Obs.Trace.begin_span o.Obs.trace ~cat:"gvn" "pgvn.sweep")
+      | None -> None
+    in
     let pass_changed = ref false in
     let order = st.rpo.Analysis.Rpo.order in
     let nb = Array.length order in
@@ -764,6 +799,9 @@ let run (config : Config.t) (f : Ir.Func.t) : State.t =
           end)
         instrs
     done;
+    (match (obs, sweep_span) with
+    | Some o, Some sp -> Obs.Trace.end_span o.Obs.trace sp
+    | _ -> ());
     if config.Config.mode <> Config.Optimistic then continue_loop := false
     else if (not config.Config.sparse) && !pass_changed then
       (* Dense formulation: a refined assumption is reapplied to the whole

@@ -8,10 +8,15 @@ exception Diverged of string
 (** Raised when a run exceeds the pass safety cap (indicates an engine bug;
     never expected on well-formed input). *)
 
-val run : Config.t -> Ir.Func.t -> State.t
+val run : ?obs:Obs.t -> Config.t -> Ir.Func.t -> State.t
 (** Run global value numbering to its fixed point and return the final
     state. The input function is not modified; use [Transform.Apply] to
-    rewrite with the results. *)
+    rewrite with the results. With [~obs], the run is wrapped in a
+    [pgvn.run] span with one [pgvn.sweep] span per worklist sweep, its
+    latency is observed into the [pgvn.run_ns] histogram, and the engine's
+    counters (passes, worklist touches, TABLE probes/hits, inference
+    visits, arena occupancy) are published under the [pgvn.*] metric names
+    documented in DESIGN.md §4d. *)
 
 (** {1 Result queries} *)
 

@@ -1,0 +1,57 @@
+type t = (int, int) Hashtbl.t (* bucket -> count *)
+
+let create () : t = Hashtbl.create 16
+
+let add (t : t) bucket =
+  Hashtbl.replace t bucket (1 + Option.value ~default:0 (Hashtbl.find_opt t bucket))
+
+let count (t : t) bucket = Option.value ~default:0 (Hashtbl.find_opt t bucket)
+let total (t : t) = Hashtbl.fold (fun _ c acc -> acc + c) t 0
+
+let sorted_entries (t : t) =
+  Hashtbl.fold (fun b c acc -> (b, c) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let fold f (t : t) init = Hashtbl.fold f t init
+
+let merge_into ~dst (src : t) =
+  Hashtbl.iter
+    (fun b c -> Hashtbl.replace dst b (c + Option.value ~default:0 (Hashtbl.find_opt dst b)))
+    src
+
+(* ------------------------------------------------------------------ *)
+(* The log-scale latency view.                                         *)
+
+let bucket_of_ns ns =
+  if ns <= 1 then 0
+  else begin
+    let b = ref 0 and v = ref ns in
+    while !v > 1 do
+      v := !v lsr 1;
+      incr b
+    done;
+    !b
+  end
+
+let bucket_hi_ns b = (1 lsl (b + 1)) - 1
+let observe_ns t ns = add t (bucket_of_ns ns)
+
+let percentile_ns t q =
+  let n = total t in
+  if n = 0 then 0
+  else begin
+    let target = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+    let target = min target n in
+    let cum = ref 0 and answer = ref 0 in
+    (try
+       List.iter
+         (fun (b, c) ->
+           cum := !cum + c;
+           if !cum >= target then begin
+             answer := bucket_hi_ns b;
+             raise Exit
+           end)
+         (sorted_entries t)
+     with Exit -> ());
+    !answer
+  end

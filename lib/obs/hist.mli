@@ -1,0 +1,38 @@
+(** The shared bucket-count histogram core: an [int] bucket key mapped to a
+    routine/sample count. Two clients build on it — {!Metrics}'s log-scale
+    latency histograms (bucket = ⌊log₂ ns⌋, below) and the paper-figure
+    improvement distributions of [Stats.Histogram], which keys buckets by
+    the improvement delta directly. *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+(** Bump the count of one bucket. *)
+
+val count : t -> int -> int
+(** The count in one bucket (0 when never bumped). *)
+
+val total : t -> int
+val sorted_entries : t -> (int * int) list
+(** (bucket, count) pairs, bucket-ascending. *)
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+val merge_into : dst:t -> t -> unit
+
+(** {1 The log-scale latency view}
+
+    Latencies are recorded in nanoseconds into power-of-two buckets:
+    bucket [b] covers [2^b, 2^(b+1))ns, with everything at or below 1ns in
+    bucket 0. Percentiles answer with the covering bucket's inclusive
+    upper bound — log-scale precision, constant space. *)
+
+val bucket_of_ns : int -> int
+val bucket_hi_ns : int -> int
+(** The inclusive upper bound of a bucket: [2^(b+1) - 1]. *)
+
+val observe_ns : t -> int -> unit
+val percentile_ns : t -> float -> int
+(** [percentile_ns t q] (with [0 <= q <= 1]): the upper bound of the
+    smallest bucket such that at least [q] of the samples fall at or below
+    it; 0 when the histogram is empty. *)

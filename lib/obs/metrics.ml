@@ -1,0 +1,94 @@
+type t = {
+  clock : unit -> float;
+  sink : Sink.t;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, Hist.t) Hashtbl.t;
+}
+
+let create ?(clock = Unix.gettimeofday) ?(sink = Sink.null) () =
+  { clock; sink; counters = Hashtbl.create 32; gauges = Hashtbl.create 8; hists = Hashtbl.create 8 }
+
+let add t name n =
+  let r =
+    match Hashtbl.find_opt t.counters name with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t.counters name r;
+        r
+  in
+  r := !r + n;
+  t.sink.Sink.emit (Sink.Count { name; incr = n; total = !r; ts = t.clock () })
+
+let incr t name = add t name 1
+let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let set_gauge t name v =
+  (match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.add t.gauges name (ref v));
+  t.sink.Sink.emit (Sink.Gauge { name; value = v; ts = t.clock () })
+
+let max_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> if v > !r then set_gauge t name v
+  | None -> set_gauge t name v
+
+let gauge t name = Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+let observe_ns t name ns =
+  let h =
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> h
+    | None ->
+        let h = Hist.create () in
+        Hashtbl.add t.hists name h;
+        h
+  in
+  Hist.observe_ns h ns;
+  t.sink.Sink.emit (Sink.Observe { name; ns; ts = t.clock () })
+
+let hist t name = Hashtbl.find_opt t.hists name
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  hists : (string * (int * int) list) list;
+}
+
+let by_name (a, _) (b, _) = compare a b
+
+let snapshot (t : t) =
+  {
+    counters =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [] |> List.sort by_name;
+    gauges = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.gauges [] |> List.sort by_name;
+    hists =
+      Hashtbl.fold (fun k h acc -> (k, Hist.sorted_entries h) :: acc) t.hists []
+      |> List.sort by_name;
+  }
+
+let merge_into ~dst (src : t) =
+  Hashtbl.iter (fun name r -> add dst name !r) src.counters;
+  Hashtbl.iter (fun name r -> max_gauge dst name !r) src.gauges;
+  Hashtbl.iter
+    (fun name h ->
+      match Hashtbl.find_opt dst.hists name with
+      | Some d -> Hist.merge_into ~dst:d h
+      | None ->
+          let d = Hist.create () in
+          Hashtbl.add dst.hists name d;
+          Hist.merge_into ~dst:d h)
+    src.hists
+
+let pp ppf t =
+  let s = snapshot t in
+  List.iter (fun (name, v) -> Fmt.pf ppf "%s %d@\n" name v) s.counters;
+  List.iter (fun (name, v) -> Fmt.pf ppf "%s %g@\n" name v) s.gauges;
+  List.iter
+    (fun (name, _) ->
+      let h = Option.get (hist t name) in
+      Fmt.pf ppf "%s total=%d p50<=%dns p99<=%dns@\n" name (Hist.total h)
+        (Hist.percentile_ns h 0.5) (Hist.percentile_ns h 0.99))
+    s.hists

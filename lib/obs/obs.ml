@@ -1,0 +1,41 @@
+(* The observability layer's front door: one context bundling a span trace
+   and a metrics registry over a shared clock and sink. Zero external
+   dependencies; instrumented subsystems take [?obs:Obs.t] and the [_o]
+   helpers make absent contexts free. *)
+
+module Sink = Sink
+module Hist = Hist
+module Trace = Trace
+module Metrics = Metrics
+
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+let create ?capacity ?clock ?sink () =
+  { trace = Trace.create ?capacity ?clock ?sink (); metrics = Metrics.create ?clock ?sink () }
+
+let clock t = Trace.clock t.trace
+
+(* Trace conveniences. *)
+let span t ?cat name f = Trace.with_span t.trace ?cat name f
+let timed t ?cat name f = Trace.timed t.trace ?cat name f
+
+(* Metrics conveniences. *)
+let add t name n = Metrics.add t.metrics name n
+let set_gauge t name v = Metrics.set_gauge t.metrics name v
+let max_gauge t name v = Metrics.max_gauge t.metrics name v
+let observe_ns t name ns = Metrics.observe_ns t.metrics name ns
+let ns_of_seconds s = int_of_float (s *. 1e9)
+let observe_seconds t name s = observe_ns t name (ns_of_seconds s)
+
+(* [?obs] threading: instrumentation sites call these with the optional
+   context; [None] is a no-op (no closure allocation beyond the call). *)
+let span_o obs ?cat name f =
+  match obs with None -> f () | Some t -> span t ?cat name f
+
+let add_o obs name n = match obs with None -> () | Some t -> add t name n
+let max_gauge_o obs name v = match obs with None -> () | Some t -> max_gauge t name v
+let observe_seconds_o obs name s =
+  match obs with None -> () | Some t -> observe_seconds t name s
+
+let write_chrome t path = Trace.write_chrome t.trace path
+let pp_metrics ppf t = Metrics.pp ppf t.metrics

@@ -1,0 +1,60 @@
+(** Nestable spans over a monotonic-by-convention clock, recorded into an
+    in-memory ring buffer of {!Sink.event}s (oldest dropped first) and
+    optionally streamed to an installed {!Sink}. The ring can be replayed
+    as Chrome-trace-format JSON ([chrome://tracing], Perfetto). *)
+
+type span
+(** An open (or finished) span handle. *)
+
+type t
+
+val create : ?capacity:int -> ?clock:(unit -> float) -> ?sink:Sink.t -> unit -> t
+(** [capacity] bounds the event ring (default 65536 events; one span costs
+    two). [clock] reads absolute seconds and must be non-decreasing — the
+    default is the process wall clock; tests install a fake. Every event
+    is also pushed to [sink] as it happens. *)
+
+val clock : t -> float
+(** One reading of the trace's clock. *)
+
+val begin_span : t -> ?cat:string -> string -> span
+(** Open a span ([cat] defaults to ["span"]). Spans must be closed in LIFO
+    order — [with_span] enforces this structurally. *)
+
+val end_span : t -> span -> unit
+(** Close the innermost open span, which must be [span] (out-of-order
+    closes close everything nested inside first, keeping the stream
+    balanced). Closing an already-closed span is a no-op. *)
+
+val with_span : t -> ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [begin_span]/[end_span] around a thunk, exception-safe. *)
+
+val timed : t -> ?cat:string -> string -> (unit -> 'a) -> 'a * float
+(** [with_span] that also returns the span's duration in seconds — the
+    only stopwatch harness code needs. *)
+
+val duration : span -> float
+(** Seconds between begin and end (0 while still open). *)
+
+val depth : t -> int
+(** Number of currently open spans. *)
+
+val balanced : t -> bool
+(** No span still open, and no event was dropped from the ring: every
+    recorded begin has its matching end. *)
+
+val dropped : t -> int
+val spans_recorded : t -> int
+(** Spans closed so far (independent of ring capacity). *)
+
+val events : t -> Sink.event list
+(** The ring's contents, oldest first. *)
+
+(** {1 Chrome trace format} *)
+
+val pp_chrome : Format.formatter -> t -> unit
+(** The ring as a Chrome-trace JSON document: one ["B"]/["E"] event per
+    span boundary, timestamps in microseconds relative to trace creation. *)
+
+val write_chrome : t -> string -> unit
+(** [pp_chrome] to a file. *)

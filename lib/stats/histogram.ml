@@ -1,14 +1,16 @@
 (* Improvement-distribution figures (paper Figures 10–12): for each routine,
    the difference in a strength metric between two configurations; the
    figure is the map from improvement value to number of routines, plotted
-   on log-log axes in the paper and rendered here as a table. *)
+   on log-log axes in the paper and rendered here as a table.
 
-type t = (int, int) Hashtbl.t (* improvement -> routine count *)
+   The bucket-count core is {!Obs.Hist} — the same structure backing the
+   observability layer's latency histograms — keyed here directly by the
+   improvement delta. *)
 
-let create () : t = Hashtbl.create 16
+type t = Obs.Hist.t (* improvement -> routine count *)
 
-let add (t : t) improvement =
-  Hashtbl.replace t improvement (1 + Option.value ~default:0 (Hashtbl.find_opt t improvement))
+let create () : t = Obs.Hist.create ()
+let add (t : t) improvement = Obs.Hist.add t improvement
 
 let of_list deltas =
   let t = create () in
@@ -16,14 +18,11 @@ let of_list deltas =
   t
 
 (* Routines with no improvement (delta 0). *)
-let zero_count (t : t) = Option.value ~default:0 (Hashtbl.find_opt t 0)
-let improved_count (t : t) = Hashtbl.fold (fun d c acc -> if d > 0 then acc + c else acc) t 0
-let regressed_count (t : t) = Hashtbl.fold (fun d c acc -> if d < 0 then acc + c else acc) t 0
-let total (t : t) = Hashtbl.fold (fun _ c acc -> acc + c) t 0
-
-let sorted_entries (t : t) =
-  Hashtbl.fold (fun d c acc -> (d, c) :: acc) t []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+let zero_count (t : t) = Obs.Hist.count t 0
+let improved_count (t : t) = Obs.Hist.fold (fun d c acc -> if d > 0 then acc + c else acc) t 0
+let regressed_count (t : t) = Obs.Hist.fold (fun d c acc -> if d < 0 then acc + c else acc) t 0
+let total (t : t) = Obs.Hist.total t
+let sorted_entries (t : t) = Obs.Hist.sorted_entries t
 
 (* Render in the paper's figure style: the legend gives the count of
    routines with no change; each row is (improvement, #routines). *)

@@ -1,6 +1,7 @@
 (** Improvement-distribution figures (Figures 10–12): per-routine deltas of
     a strength metric between two configurations, as a map from improvement
-    value to routine count. *)
+    value to routine count. Backed by the shared {!Obs.Hist} bucket-count
+    core (buckets keyed by the delta itself). *)
 
 type t
 

@@ -4,8 +4,13 @@
    denominator. The pass mix is the usual early-scalar lineup: CFG cleanup,
    local value numbering, dead code elimination, GVN + rewrite, cleanup.
 
-   With [~check:true] the {!Check} verifier runs after every pass and the
-   first broken invariant is attributed to the pass that introduced it. *)
+   With [Options.check] the {!Check} verifier runs after every pass and the
+   first broken invariant is attributed to the pass that introduced it.
+
+   Every pass instance is an [Obs] span (cat "pass"); the [timings] list is
+   a view over those spans, not a separate stopwatch, and all time
+   accounting matches on the structural [pass_kind] — never the display
+   name. *)
 
 type pass_kind = Simplify_cfg | Analyses | Lvn | Dce | Gvn
 
@@ -18,15 +23,48 @@ let pass_kind_name = function
 
 type timing = { pass : string; kind : pass_kind; seconds : float }
 
+let kind_seconds kind timings =
+  List.fold_left (fun acc t -> if t.kind = kind then acc +. t.seconds else acc) 0.0 timings
+
+let total_seconds_of timings = List.fold_left (fun acc t -> acc +. t.seconds) 0.0 timings
+
 type result = {
   func : Ir.Func.t;
   timings : timing list;
   gvn_seconds : float;
   total_seconds : float;
   gvn_state : Pgvn.State.t option; (* the last GVN run's state *)
-  validation : Validate.Report.t option; (* under [~validate] *)
-  crosschecks : (string * Absint.Crosscheck.report) list; (* under [~crosscheck] *)
+  validation : Validate.Report.t option; (* under [Options.validate] *)
+  crosschecks : (string * Absint.Crosscheck.report) list; (* under [Options.crosscheck] *)
 }
+
+module Options = struct
+  type t = {
+    config : Pgvn.Config.t;
+    rounds : int;
+    check : bool;
+    validate : Validate.mode option;
+    crosscheck : bool;
+    obs : Obs.t option;
+  }
+
+  let default =
+    {
+      config = Pgvn.Config.full;
+      rounds = 2;
+      check = false;
+      validate = None;
+      crosscheck = false;
+      obs = None;
+    }
+
+  let with_config config t = { t with config }
+  let with_rounds rounds t = { t with rounds }
+  let with_check check t = { t with check }
+  let with_validate validate t = { t with validate = Some validate }
+  let with_crosscheck crosscheck t = { t with crosscheck }
+  let with_obs obs t = { t with obs = Some obs }
+end
 
 exception
   Broken_invariant of { pass : string; diagnostics : Check.Diagnostic.t list }
@@ -71,16 +109,20 @@ let analysis_pass (f : Ir.Func.t) : Ir.Func.t =
   let (_ : Analysis.Liveness.t) = Analysis.Liveness.compute f in
   f
 
-let guard ~check ~pass f =
-  if check then begin
+let guard ~obs ~check ~pass f =
+  if check then
+    Obs.span obs ~cat:"verify" "check" @@ fun () ->
     match Check.errors (Check.run_all f) with
     | [] -> f
     | diagnostics -> raise (Broken_invariant { pass; diagnostics })
-  end
   else f
 
-let run ?(config = Pgvn.Config.full) ?(rounds = 2) ?(check = false) ?validate
-    ?(crosscheck = false) (f : Ir.Func.t) : result =
+let run_with (opts : Options.t) (f : Ir.Func.t) : result =
+  let { Options.config; rounds; check; validate; crosscheck; obs } = opts in
+  (* The pipeline always runs under an observability context — a private
+     one when the caller installs none — so the trace is the single source
+     of truth for time accounting. *)
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   let timings = ref [] in
   let gvn_state = ref None in
   let vreport = ref Validate.Report.empty in
@@ -93,7 +135,7 @@ let run ?(config = Pgvn.Config.full) ?(rounds = 2) ?(check = false) ?validate
     | None -> ()
     | Some mode ->
         if Validate.diffs mode || witnesses <> [] then begin
-          let p = Validate.certify ~mode ~pass:name ~witnesses before after in
+          let p = Validate.certify ~obs ~mode ~pass:name ~witnesses before after in
           vreport := Validate.Report.add !vreport p;
           match List.filter Check.Diagnostic.is_error (Validate.Report.pass_diagnostics p) with
           | [] -> ()
@@ -102,16 +144,20 @@ let run ?(config = Pgvn.Config.full) ?(rounds = 2) ?(check = false) ?validate
   in
   let time_pass kind round pass x =
     let name = Printf.sprintf "%s#%d" (pass_kind_name kind) round in
-    let t0 = Unix.gettimeofday () in
+    let sp = Obs.Trace.begin_span obs.Obs.trace ~cat:"pass" name in
     let y, witnesses = pass x in
-    let dt = Unix.gettimeofday () -. t0 in
-    timings := { pass = name; kind; seconds = dt } :: !timings;
-    let y = guard ~check ~pass:name y in
+    Obs.Trace.end_span obs.Obs.trace sp;
+    timings := { pass = name; kind; seconds = Obs.Trace.duration sp } :: !timings;
+    Obs.observe_seconds obs "pipeline.pass_ns" (Obs.Trace.duration sp);
+    let y = guard ~obs ~check ~pass:name y in
     if kind <> Analyses then validate_pass ~name ~before:x ~after:y ~witnesses;
     y
   in
-  let t0 = Unix.gettimeofday () in
-  let current = ref (guard ~check ~pass:"input" f) in
+  let pipeline_span = Obs.Trace.begin_span obs.Obs.trace ~cat:"pipeline" "pipeline" in
+  Fun.protect ~finally:(fun () -> Obs.Trace.end_span obs.Obs.trace pipeline_span)
+  @@ fun () ->
+  Obs.add obs "pipeline.runs" 1;
+  let current = ref (guard ~obs ~check ~pass:"input" f) in
   for round = 1 to rounds do
     let pass_w kind p = current := time_pass kind round p !current in
     let pass kind p = pass_w kind (fun x -> (p x, [])) in
@@ -121,13 +167,15 @@ let run ?(config = Pgvn.Config.full) ?(rounds = 2) ?(check = false) ?validate
     pass Dce Dce.run;
     pass Analyses analysis_pass;
     pass_w Gvn (fun fn ->
-        let st = Pgvn.Driver.run config fn in
+        let st = Pgvn.Driver.run ~obs config fn in
         gvn_state := Some st;
         if crosscheck then begin
           (* Static replay of the run's claims against interval facts,
              before the rewrite is even applied. *)
           let name = Printf.sprintf "gvn#%d" round in
-          let report = Absint.Crosscheck.run st in
+          let report =
+            Obs.span obs ~cat:"verify" "crosscheck" (fun () -> Absint.Crosscheck.run st)
+          in
           xreports := (name, report) :: !xreports;
           if not (Absint.Crosscheck.ok report) then
             raise (Crosscheck_failed { pass = name; report })
@@ -139,18 +187,22 @@ let run ?(config = Pgvn.Config.full) ?(rounds = 2) ?(check = false) ?validate
     pass Lvn Lvn.run;
     pass Dce Dce.run
   done;
-  let total = Unix.gettimeofday () -. t0 in
-  let gvn_seconds =
-    List.fold_left
-      (fun acc t -> if t.kind = Gvn then acc +. t.seconds else acc)
-      0.0 !timings
-  in
+  Obs.Trace.end_span obs.Obs.trace pipeline_span;
+  let timings = List.rev !timings in
   {
     func = !current;
-    timings = List.rev !timings;
-    gvn_seconds;
-    total_seconds = total;
+    timings;
+    (* Accounting matches on [kind] only: a display name may collide (a
+       future pass could be called "gvn-lite#1") without skewing Table 1. *)
+    gvn_seconds = kind_seconds Gvn timings;
+    total_seconds = Obs.Trace.duration pipeline_span;
     gvn_state = !gvn_state;
     validation = (match validate with None -> None | Some _ -> Some !vreport);
     crosschecks = List.rev !xreports;
   }
+
+(* Deprecated keyword-argument front: one release of compatibility for
+   callers that predate {!Options}. *)
+let run ?(config = Pgvn.Config.full) ?(rounds = 2) ?(check = false) ?validate
+    ?(crosscheck = false) (f : Ir.Func.t) : result =
+  run_with { Options.config; rounds; check; validate; crosscheck; obs = None } f

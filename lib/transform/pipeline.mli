@@ -3,7 +3,12 @@
     which measures GVN's share of total optimization time. Each round runs
     CFG cleanup, analyses (dominators, postdominators, frontiers, loops,
     def-use, liveness), local value numbering, DCE, GVN + rewrite, and
-    cleanup again. *)
+    cleanup again.
+
+    Every pass instance is an {!Obs} span (category ["pass"]); the
+    [timings] list is a view over those spans — there is no second
+    stopwatch — and all time accounting matches on the structural
+    {!pass_kind}, never on the display name. *)
 
 type pass_kind = Simplify_cfg | Analyses | Lvn | Dce | Gvn
 
@@ -13,37 +18,93 @@ type timing = { pass : string; kind : pass_kind; seconds : float }
 (** [pass] is the display name ("gvn#2"); [kind] identifies the pass
     structurally — time accounting matches on it, not on the name. *)
 
+val kind_seconds : pass_kind -> timing list -> float
+(** Total seconds of the passes of one kind, matching on [kind] only: a
+    display name containing "gvn" never counts toward the GVN total. *)
+
+val total_seconds_of : timing list -> float
+(** Sum over all passes. *)
+
 type result = {
   func : Ir.Func.t;
   timings : timing list;  (** per-pass wall-clock times, in order *)
-  gvn_seconds : float;  (** total time in the GVN passes *)
-  total_seconds : float;
+  gvn_seconds : float;  (** [kind_seconds Gvn timings] *)
+  total_seconds : float;  (** duration of the whole pipeline span *)
   gvn_state : Pgvn.State.t option;  (** state of the last GVN run *)
   validation : Validate.Report.t option;
-      (** per-pass validation results and overhead, under [~validate] *)
+      (** per-pass validation results and overhead, under [Options.validate] *)
   crosschecks : (string * Absint.Crosscheck.report) list;
-      (** per-GVN-pass static cross-check reports, under [~crosscheck] *)
+      (** per-GVN-pass static cross-check reports, under [Options.crosscheck] *)
 }
+
+(** How to run the pipeline: one value subsuming the former
+    [?config ?rounds ?check ?validate ?crosscheck] keyword arguments, plus
+    the observability context. Build from {!Options.default} with the
+    [with_*] builders:
+
+    {[
+      Pipeline.Options.(default |> with_rounds 1 |> with_check true)
+      |> fun opts -> Pipeline.run_with opts f
+    ]} *)
+module Options : sig
+  type t = {
+    config : Pgvn.Config.t;
+    rounds : int;
+    check : bool;  (** verify invariants after every pass *)
+    validate : Validate.mode option;  (** translation-validate every pass *)
+    crosscheck : bool;  (** statically cross-check each GVN run *)
+    obs : Obs.t option;
+        (** observability context the run's spans and metrics land in; when
+            absent the pipeline uses a private one (timings still work) *)
+  }
+
+  val default : t
+  (** {!Pgvn.Config.full}, 2 rounds, no checking, no validation, no
+      cross-checking, private observability. *)
+
+  val with_config : Pgvn.Config.t -> t -> t
+  val with_rounds : int -> t -> t
+  val with_check : bool -> t -> t
+  val with_validate : Validate.mode -> t -> t
+  val with_crosscheck : bool -> t -> t
+  val with_obs : Obs.t -> t -> t
+end
 
 exception
   Broken_invariant of { pass : string; diagnostics : Check.Diagnostic.t list }
-(** Raised under [~check:true] when a pass's output fails the verifier:
+(** Raised under [Options.check] when a pass's output fails the verifier:
     [pass] names the offending pass and round ("lvn#1"; "input" for the
     function as given), [diagnostics] the Error-severity findings. *)
 
 exception
   Validation_failed of { pass : string; diagnostics : Check.Diagnostic.t list }
-(** Raised under [~validate] when the translation validator refutes a pass:
-    a rejected rewrite witness or an observable behavior change, attributed
-    to the pass instance ([pass] is e.g. "gvn#1") with Error-severity
-    findings carrying the precise location and evidence. *)
+(** Raised under [Options.validate] when the translation validator refutes
+    a pass: a rejected rewrite witness or an observable behavior change,
+    attributed to the pass instance ([pass] is e.g. "gvn#1") with
+    Error-severity findings carrying the precise location and evidence. *)
 
 exception Crosscheck_failed of { pass : string; report : Absint.Crosscheck.report }
-(** Raised under [~crosscheck:true] when the static cross-checker finds a
+(** Raised under [Options.crosscheck] when the static cross-checker finds a
     GVN claim the interval semantics contradicts. *)
 
 val analysis_pass : Ir.Func.t -> Ir.Func.t
 (** Recompute the standard analyses (identity on the function). *)
+
+val run_with : Options.t -> Ir.Func.t -> result
+(** Run the pipeline under the given {!Options}. With [Options.check],
+    {!Check.run_all} runs on the input and after every pass; the first
+    Error-severity diagnostic raises {!Broken_invariant} attributed to the
+    pass that introduced it. With [Options.validate] every rewriting pass
+    is certified by the translation validator ({!Validate.certify}): the
+    GVN pass's witnesses are audited against the independent oracle (modes
+    [Witness]/[All]) and every pass's observable behavior is diffed through
+    the interpreter (modes [Diff]/[All]); a refuted pass raises
+    {!Validation_failed}. With [Options.crosscheck] each GVN run's decided
+    branches, predicate inferences, φ block predicates and constants are
+    statically replayed against interval facts ({!Absint.Crosscheck})
+    before the rewrite; a contradicted claim raises {!Crosscheck_failed}.
+    With [Options.obs] all spans, counters and histograms of the run land
+    in the caller's context (pass spans, [pgvn.*], [validate.*]). *)
 
 val run :
   ?config:Pgvn.Config.t ->
@@ -53,16 +114,8 @@ val run :
   ?crosscheck:bool ->
   Ir.Func.t ->
   result
-(** Default: {!Pgvn.Config.full}, 2 rounds, [check] off, no validation.
-    With [~check:true], {!Check.run_all} runs on the input and after every
-    pass; the first Error-severity diagnostic raises {!Broken_invariant}
-    attributed to the pass that introduced it. With [~validate:mode] every
-    rewriting pass is certified by the translation validator
-    ({!Validate.certify}): the GVN pass's witnesses are audited against the
-    independent oracle (modes [Witness]/[All]) and every pass's observable
-    behavior is diffed through the interpreter (modes [Diff]/[All]); a
-    refuted pass raises {!Validation_failed}. With [~crosscheck:true] each
-    GVN run's decided branches, predicate inferences, φ block predicates
-    and constants are statically replayed against interval facts
-    ({!Absint.Crosscheck}) before the rewrite; a contradicted claim raises
-    {!Crosscheck_failed}. *)
+[@@ocaml.deprecated
+  "use Pipeline.run_with with Pipeline.Options (this keyword-argument \
+   wrapper will be removed next release)"]
+(** Deprecated compatibility wrapper over {!run_with}: behaviorally
+    identical (pinned by a test), kept for one release. *)

@@ -38,14 +38,41 @@ let diffs = function Diff | All -> true | Witness -> false
 
 (* Validate one pass instance: audit its witnesses (when the mode asks and
    the pass emitted any) and diff its observable behavior. Timed, so the
-   harness can report validation overhead next to pass time. *)
-let certify ?runs ?seed ~mode ~pass ?(witnesses = []) (before : Ir.Func.t)
+   harness can report validation overhead next to pass time. With [~obs]
+   the certification is a [validate.certify] span with one sub-span per
+   engine, its latency lands in the [validate.certify_ns] histogram, and
+   the per-engine invocation counters are bumped. *)
+let certify ?obs ?runs ?seed ~mode ~pass ?(witnesses = []) (before : Ir.Func.t)
     (after : Ir.Func.t) : Report.pass =
-  let t0 = Unix.gettimeofday () in
-  let audit =
-    if audits mode && witnesses <> [] then
-      Some (Audit.run ?runs ?seed ~pass before witnesses)
-    else None
+  let (audit, equiv), seconds =
+    let span_or_time name f =
+      match obs with
+      | Some o -> Obs.timed o ~cat:"validate" name f
+      | None ->
+          let t0 = Unix.gettimeofday () in
+          let x = f () in
+          (x, Unix.gettimeofday () -. t0)
+    in
+    span_or_time "validate.certify" @@ fun () ->
+    let audit =
+      if audits mode && witnesses <> [] then begin
+        Obs.add_o obs "validate.audits" 1;
+        Some
+          (Obs.span_o obs ~cat:"validate" "validate.audit" (fun () ->
+               Audit.run ?runs ?seed ~pass before witnesses))
+      end
+      else None
+    in
+    let equiv =
+      if diffs mode then begin
+        Obs.add_o obs "validate.diffs" 1;
+        Some
+          (Obs.span_o obs ~cat:"validate" "validate.diff" (fun () ->
+               Equiv.check ?runs ?seed ~pass before after))
+      end
+      else None
+    in
+    (audit, equiv)
   in
-  let equiv = if diffs mode then Some (Equiv.check ?runs ?seed ~pass before after) else None in
-  { Report.pass; seconds = Unix.gettimeofday () -. t0; audit; equiv }
+  Obs.observe_seconds_o obs "validate.certify_ns" seconds;
+  { Report.pass; seconds; audit; equiv }

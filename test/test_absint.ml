@@ -342,7 +342,11 @@ let test_pipeline_crosscheck_hook () =
   List.iter
     (fun (name, src) ->
       let f = Helpers.func_of_src src in
-      let r = Transform.Pipeline.run ~crosscheck:true f in
+      let r =
+        Transform.Pipeline.run_with
+          Transform.Pipeline.Options.(default |> with_crosscheck true)
+          f
+      in
       Alcotest.(check bool)
         (name ^ ": one report per GVN pass")
         true

@@ -2,7 +2,8 @@
    corrupted function with the right check id and location, stay silent on
    well-formed IR, and find zero Error-severity diagnostics anywhere in the
    corpus — before optimization, after every pipeline pass (via
-   [Pipeline.run ~check:true]), under every configuration preset. *)
+   [Pipeline.run_with] with [Options.check]), under every configuration
+   preset. *)
 
 let check_id d = d.Check.Diagnostic.check
 
@@ -380,7 +381,11 @@ let test_corpus_clean_all_presets () =
       assert_clean f;
       List.iter
         (fun (cname, config) ->
-          match Transform.Pipeline.run ~config ~check:true f with
+          match
+            Transform.Pipeline.run_with
+              Transform.Pipeline.Options.(default |> with_config config |> with_check true)
+              f
+          with
           | r -> assert_clean r.Transform.Pipeline.func
           | exception Transform.Pipeline.Broken_invariant { pass; diagnostics } ->
               Alcotest.failf "%s under %s: pass %s broke %s" name cname pass
@@ -400,7 +405,12 @@ let test_benchmark_suite_clean () =
           assert_clean f;
           List.iter
             (fun config ->
-              match Transform.Pipeline.run ~config ~rounds:1 ~check:true f with
+              match
+                Transform.Pipeline.run_with
+                  Transform.Pipeline.Options.(
+                    default |> with_config config |> with_rounds 1 |> with_check true)
+                  f
+              with
               | r -> assert_clean r.Transform.Pipeline.func
               | exception Transform.Pipeline.Broken_invariant { pass; diagnostics } ->
                   Alcotest.failf "%s: pass %s broke %s" b.Workload.Suite.name pass
@@ -417,7 +427,11 @@ let prop_generated_pipeline_checked =
     QCheck.(int_bound 100_000)
     (fun seed ->
       let f = Workload.Generator.func ~seed ~name:"c" () in
-      let r = Transform.Pipeline.run ~check:true f in
+      let r =
+        Transform.Pipeline.run_with
+          Transform.Pipeline.Options.(default |> with_check true)
+          f
+      in
       not (Check.has_errors (Check.run_all r.Transform.Pipeline.func)))
 
 let test_report_order () =

@@ -80,6 +80,46 @@ let test_exit_werror () =
   let dead = write_tmp "dead.mc" "routine f(a) { dead = a * 37; return a; }\n" in
   Alcotest.(check int) "Info lints pass --Werror" 0 (run [ "--lint"; "--Werror"; dead ])
 
+let count_occurrences hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go acc i =
+    if i + nn > nh then acc
+    else if String.sub hay i nn = needle then go (acc + 1) (i + nn)
+    else go acc (i + 1)
+  in
+  go 0 0
+
+let test_trace_output () =
+  let p = write_tmp "traced.mc" "routine f(a) { x = a + 1; y = a + 1; return x + y; }\n" in
+  let trace = Filename.temp_file "gvnopt_cli" ".trace.json" in
+  Alcotest.(check int) "--trace exits clean" 0 (run [ "--trace=" ^ trace; p ]);
+  let ic = open_in_bin trace in
+  let doc = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove trace;
+  Alcotest.(check bool) "traceEvents array" true (contains doc "\"traceEvents\": [");
+  Alcotest.(check bool) "nothing dropped" true
+    (contains doc "\"otherData\": {\"dropped\": \"0\"}");
+  (* Balanced stream: as many begins as ends, and at least the pass spans
+     the CLI promises (ssa construction, the GVN engine, cleanup). *)
+  let b = count_occurrences doc "\"ph\": \"B\"" and e = count_occurrences doc "\"ph\": \"E\"" in
+  Alcotest.(check bool) "some spans recorded" true (b > 0);
+  Alcotest.(check int) "begins match ends" b e;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " span present") true
+        (contains doc (Printf.sprintf "\"name\": \"%s\"" name)))
+    [ "parse"; "ssa"; "gvn"; "pgvn.run"; "rewrite"; "dce"; "simplify-cfg" ]
+
+let test_metrics_output () =
+  let p = clean_mc () in
+  let code, out = run_capture [ "--metrics"; p ] in
+  Alcotest.(check int) "--metrics exits clean" 0 code;
+  Alcotest.(check bool) "metrics section" true (contains out "--- metrics ---");
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " reported") true (contains out name))
+    [ "pgvn.passes"; "pgvn.instrs"; "pgvn.table_probes"; "pgvn.arena.live"; "pgvn.run_ns" ]
+
 let test_exit_parse_error () =
   let p = write_tmp "broken.mc" "routine f( { this is not mini-C" in
   Alcotest.(check int) "parse error" 2 (run [ p ])
@@ -97,6 +137,8 @@ let suite =
     Alcotest.test_case "--analyze=all output format" `Quick test_analyze_output;
     Alcotest.test_case "exit 0 under --validate" `Quick test_exit_validate_clean;
     Alcotest.test_case "exit 1 under --lint --Werror" `Quick test_exit_werror;
+    Alcotest.test_case "--trace writes balanced Chrome JSON" `Quick test_trace_output;
+    Alcotest.test_case "--metrics prints the engine snapshot" `Quick test_metrics_output;
     Alcotest.test_case "exit 2 on parse errors" `Quick test_exit_parse_error;
     Alcotest.test_case "exit 2 on usage errors" `Quick test_exit_usage_error;
   ]

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "pgvn"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("ir", Test_ir.suite);
       ("analysis", Test_analysis.suite);
       ("ssa", Test_ssa.suite);

@@ -84,7 +84,7 @@ let prop_pipeline =
     QCheck.(int_bound 100000)
     (fun seed ->
       let f = gen_func seed in
-      let r = Transform.Pipeline.run f in
+      let r = Transform.Pipeline.run_with Transform.Pipeline.Options.default f in
       ignore (Ssa.Verify.check r.Transform.Pipeline.func);
       Helpers.equivalent ~seed:(seed + 4) f r.Transform.Pipeline.func)
 
@@ -93,7 +93,7 @@ let prop_pipeline_monotone_size =
     QCheck.(int_bound 100000)
     (fun seed ->
       let f = gen_func seed in
-      let r = Transform.Pipeline.run f in
+      let r = Transform.Pipeline.run_with Transform.Pipeline.Options.default f in
       Ir.Func.num_instrs r.Transform.Pipeline.func <= Ir.Func.num_instrs f)
 
 let test_dce_removes_dead () =
@@ -162,12 +162,64 @@ let test_apply_redundancy_elimination () =
 
 let test_pipeline_timings_present () =
   let f = gen_func 123 in
-  let r = Transform.Pipeline.run f in
+  let r = Transform.Pipeline.run_with Transform.Pipeline.Options.default f in
   Alcotest.(check bool) "gvn timing recorded" true (r.Transform.Pipeline.gvn_seconds > 0.0);
   Alcotest.(check bool) "gvn < total" true
     (r.Transform.Pipeline.gvn_seconds <= r.Transform.Pipeline.total_seconds);
   Alcotest.(check bool) "several passes timed" true
     (List.length r.Transform.Pipeline.timings > 10)
+
+(* Time accounting must match on the structural [kind] only: a timing
+   whose display name merely *starts with* "gvn" (a hypothetical
+   "gvn-lite#1" pass) must not be charged to GVN, and a GVN instance under
+   any display name must be. *)
+let test_kind_seconds_ignores_display_names () =
+  let open Transform.Pipeline in
+  let timings =
+    [
+      { pass = "gvn-lite#1"; kind = Dce; seconds = 100.0 };
+      { pass = "gvn#1"; kind = Gvn; seconds = 1.0 };
+      { pass = "renamed-engine#2"; kind = Gvn; seconds = 2.0 };
+      { pass = "dce#1"; kind = Dce; seconds = 40.0 };
+    ]
+  in
+  Alcotest.(check (float 1e-9)) "only kind=Gvn counts" 3.0 (kind_seconds Gvn timings);
+  Alcotest.(check (float 1e-9))
+    "the '#'-prefix collision lands on its true kind" 140.0 (kind_seconds Dce timings);
+  Alcotest.(check (float 1e-9)) "total sums everything" 143.0 (total_seconds_of timings)
+
+(* The deprecated keyword wrapper must stay behaviorally identical to
+   [run_with] for its one release of compatibility. *)
+let test_legacy_run_equivalent () =
+  let f = gen_func 2024 in
+  let legacy =
+    (Transform.Pipeline.run [@warning "-3"]) ~config:Pgvn.Config.balanced ~rounds:1
+      ~check:true ~crosscheck:true f
+  in
+  let modern =
+    Transform.Pipeline.run_with
+      Transform.Pipeline.Options.(
+        default
+        |> with_config Pgvn.Config.balanced
+        |> with_rounds 1 |> with_check true |> with_crosscheck true)
+      f
+  in
+  Alcotest.(check bool)
+    "same optimized routine" true
+    (Ir.Printer.to_string legacy.Transform.Pipeline.func
+    = Ir.Printer.to_string modern.Transform.Pipeline.func);
+  Alcotest.(check (list string))
+    "same pass schedule"
+    (List.map (fun t -> t.Transform.Pipeline.pass) legacy.Transform.Pipeline.timings)
+    (List.map (fun t -> t.Transform.Pipeline.pass) modern.Transform.Pipeline.timings);
+  Alcotest.(check int)
+    "same crosscheck reports"
+    (List.length legacy.Transform.Pipeline.crosschecks)
+    (List.length modern.Transform.Pipeline.crosschecks);
+  Alcotest.(check bool)
+    "same validation presence"
+    (legacy.Transform.Pipeline.validation = None)
+    (modern.Transform.Pipeline.validation = None)
 
 let suite =
   [
@@ -187,4 +239,8 @@ let suite =
     Alcotest.test_case "dominance-based redundancy elimination" `Quick
       test_apply_redundancy_elimination;
     Alcotest.test_case "pipeline reports timings" `Quick test_pipeline_timings_present;
+    Alcotest.test_case "kind_seconds matches on kind, not display name" `Quick
+      test_kind_seconds_ignores_display_names;
+    Alcotest.test_case "deprecated run wrapper equals run_with" `Quick
+      test_legacy_run_equivalent;
   ]

@@ -286,7 +286,12 @@ let test_pipeline_validates_corpus () =
       let f = Helpers.func_of_src src in
       List.iter
         (fun (cname, config) ->
-          let r = Transform.Pipeline.run ~config ~rounds:1 ~validate:Validate.All f in
+          let r =
+            Transform.Pipeline.run_with
+              Transform.Pipeline.Options.(
+                default |> with_config config |> with_rounds 1 |> with_validate Validate.All)
+              f
+          in
           match r.Transform.Pipeline.validation with
           | None -> Alcotest.failf "%s under %s: no validation report" name cname
           | Some v ->
@@ -303,7 +308,13 @@ let test_pipeline_validates_suite () =
         (fun f ->
           List.iter
             (fun (cname, config) ->
-              let r = Transform.Pipeline.run ~config ~rounds:1 ~validate:Validate.All f in
+              let r =
+                Transform.Pipeline.run_with
+                  Transform.Pipeline.Options.(
+                    default |> with_config config |> with_rounds 1
+                    |> with_validate Validate.All)
+                  f
+              in
               match r.Transform.Pipeline.validation with
               | Some v when Validate.Report.clean v -> ()
               | _ -> Alcotest.failf "%s/%s under %s: validation failed" b.Workload.Suite.name
@@ -314,7 +325,11 @@ let test_pipeline_validates_suite () =
 
 let test_validation_report_shape () =
   let f = Workload.Generator.func ~seed:4242 ~name:"w" () in
-  let r = Transform.Pipeline.run ~validate:Validate.All f in
+  let r =
+    Transform.Pipeline.run_with
+      Transform.Pipeline.Options.(default |> with_validate Validate.All)
+      f
+  in
   match r.Transform.Pipeline.validation with
   | None -> Alcotest.fail "expected a validation report"
   | Some v ->

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Validate the schema of the bench harness's --json output (BENCH_gvn.json).
+
+The key sets below are the perf-regression record's interface: downstream
+tooling (EXPERIMENTS.md workflows, the seeded BENCH_gvn.json diffing) keys
+on them, so a key silently disappearing from the emitter must fail CI.
+Extra keys are allowed (the schema may grow); missing keys are not.
+
+Usage: check_bench_schema.py BENCH_gvn.json
+"""
+import json
+import sys
+
+TOP_KEYS = {"schema", "scale", "table2", "gvn_stats", "scaling"}
+TABLE2_KEYS = {"benchmark", "dense_ms", "sparse_ms", "basic_ms"}
+GVN_STATS_KEYS = {
+    "benchmark", "routines", "passes", "instrs", "table_probes", "table_hits",
+    "arena_live", "arena_interned", "arena_hits", "arena_max_chain",
+}
+SCALING_KEYS = {"ladder", "worst_visit_ratio_per_doubling", "quadratic_ok"}
+LADDER_KEYS = {"n", "gvn_ms", "vi_visits"}
+
+
+def fail(msg):
+    print(f"check_bench_schema: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def need(obj, keys, where):
+    missing = keys - obj.keys()
+    if missing:
+        fail(f"{where}: missing keys {sorted(missing)} (has {sorted(obj.keys())})")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_schema.py BENCH_gvn.json")
+    path = sys.argv[1]
+    try:
+        with open(path) as fp:
+            doc = json.load(fp)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+
+    need(doc, TOP_KEYS, "top level")
+    if doc["schema"] != "pgvn-bench/1":
+        fail(f"unexpected schema tag {doc['schema']!r}")
+
+    for i, rec in enumerate(doc["table2"]):
+        need(rec, TABLE2_KEYS, f"table2[{i}]")
+    for i, rec in enumerate(doc["gvn_stats"]):
+        need(rec, GVN_STATS_KEYS, f"gvn_stats[{i}]")
+        if not (rec["table_probes"] >= rec["table_hits"] >= 0):
+            fail(f"gvn_stats[{i}]: probes < hits: {rec}")
+        if not (rec["arena_interned"] >= rec["arena_live"] >= 0):
+            fail(f"gvn_stats[{i}]: interned < live: {rec}")
+    need(doc["scaling"], SCALING_KEYS, "scaling")
+    for i, rec in enumerate(doc["scaling"]["ladder"]):
+        need(rec, LADDER_KEYS, f"scaling.ladder[{i}]")
+
+    t2 = {r["benchmark"] for r in doc["table2"]}
+    gs = {r["benchmark"] for r in doc["gvn_stats"]}
+    if len(t2) != 10:
+        fail(f"expected 10 benchmarks in table2, got {sorted(t2)}")
+    if gs != t2:
+        fail(f"table2/gvn_stats benchmark sets differ: {sorted(t2 ^ gs)}")
+    if doc["scaling"]["quadratic_ok"] is not True:
+        fail(f"ladder scaling regressed: {doc['scaling']}")
+
+    print(f"check_bench_schema: ok: {path}: {sorted(t2)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validate a gvnopt --trace=FILE Chrome-trace JSON document.
+
+Checks, in order:
+  1. the file is well-formed JSON with a `traceEvents` array;
+  2. every event carries the Chrome-trace fields (name/cat/ph/ts/pid/tid);
+  3. the B/E stream is balanced as a stack: every end closes the
+     innermost open begin of the same name, and nothing stays open;
+  4. nothing was dropped from the ring (`otherData.dropped` is "0");
+  5. every span name given as an extra argument occurs at least once.
+
+Usage: check_trace.py trace.json [required-span-name ...]
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_trace.py trace.json [required-span-name ...]")
+    path, required = sys.argv[1], sys.argv[2:]
+
+    try:
+        with open(path) as fp:
+            doc = json.load(fp)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents array")
+
+    stack, seen = [], set()
+    for i, ev in enumerate(events):
+        for field in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if field not in ev:
+                fail(f"{path}: event {i} is missing {field!r}: {ev}")
+        seen.add(ev["name"])
+        if ev["ph"] == "B":
+            stack.append(ev["name"])
+        elif ev["ph"] == "E":
+            if not stack:
+                fail(f"{path}: event {i}: E {ev['name']!r} with no open span")
+            top = stack.pop()
+            if top != ev["name"]:
+                fail(f"{path}: event {i}: E {ev['name']!r} closes open {top!r}")
+        else:
+            fail(f"{path}: event {i}: unexpected phase {ev['ph']!r}")
+    if stack:
+        fail(f"{path}: spans left open at end of stream: {stack}")
+
+    dropped = doc.get("otherData", {}).get("dropped")
+    if dropped != "0":
+        fail(f"{path}: ring dropped events (dropped={dropped!r})")
+
+    missing = [name for name in required if name not in seen]
+    if missing:
+        fail(f"{path}: required spans never recorded: {missing} (saw {sorted(seen)})")
+
+    print(f"check_trace: ok: {path}: {len(events)} events, "
+          f"{len(events) // 2} spans, {len(seen)} distinct names")
+
+
+if __name__ == "__main__":
+    main()
