@@ -541,6 +541,7 @@ type gvn_stat = {
   g_interned : int;
   g_arena_hits : int;
   g_max_chain : int;
+  g_fired : (string * int) list;  (* rewrite-rule fire counts, by rule name *)
 }
 
 (* One full-config run per routine under a per-benchmark [Obs] context;
@@ -555,6 +556,17 @@ let gvn_stats_pass suite =
       let snap = Obs.Metrics.snapshot o.Obs.metrics in
       let c name = try List.assoc name snap.Obs.Metrics.counters with Not_found -> 0 in
       let g name = try List.assoc name snap.Obs.Metrics.gauges with Not_found -> 0.0 in
+      let fired =
+        let pfx = "rules.fired." in
+        let n = String.length pfx in
+        List.filter_map
+          (fun (k, v) ->
+            if String.length k > n && String.sub k 0 n = pfx && v > 0 then
+              Some (String.sub k n (String.length k - n), v)
+            else None)
+          snap.Obs.Metrics.counters
+        |> List.sort compare
+      in
       {
         g_name = b.Workload.Suite.name;
         g_routines = List.length funcs;
@@ -566,6 +578,7 @@ let gvn_stats_pass suite =
         g_interned = c "pgvn.arena.interned";
         g_arena_hits = c "pgvn.arena.hits";
         g_max_chain = int_of_float (g "pgvn.arena.max_chain");
+        g_fired = fired;
       })
     suite
 
@@ -623,6 +636,26 @@ let emit_json path suite =
         g.g_name g.g_routines g.g_passes g.g_instrs g.g_probes g.g_hits g.g_live g.g_interned
         g.g_arena_hits g.g_max_chain
         (sep i (List.length stats)))
+    stats;
+  pr "  ],\n";
+  (* Per-benchmark rewrite-rule activity: which catalog rules fire and how
+     often, under the full configuration. [const-fold] counts the engine's
+     built-in constant folding, not a catalog rule, so it is excluded from
+     the total. *)
+  pr "  \"rules\": [\n";
+  List.iteri
+    (fun i g ->
+      let total =
+        List.fold_left
+          (fun acc (name, n) -> if name = "const-fold" then acc else acc + n)
+          0 g.g_fired
+      in
+      pr "    {\"benchmark\": \"%s\", \"total_fired\": %d, \"fired\": {" g.g_name total;
+      List.iteri
+        (fun j (name, n) ->
+          pr "\"%s\": %d%s" name n (sep j (List.length g.g_fired)))
+        g.g_fired;
+      pr "}}%s\n" (sep i (List.length stats)))
     stats;
   pr "  ],\n";
   pr "  \"scaling\": {\n";

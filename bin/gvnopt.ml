@@ -14,10 +14,14 @@
      gvnopt --trace=out.json file.mc       write a Chrome-trace JSON profile
                                            (chrome://tracing, Perfetto)
      gvnopt --metrics file.mc              print the engine metrics snapshot
+     gvnopt --rules=dump                   print the rewrite-rule catalog
+     gvnopt --rules=verify                 run the rule-soundness verifier
+     gvnopt --rules=off file.mc            optimize without the rule catalog
 
    Exit codes: 0 clean; 1 diagnostics at or above the failure threshold
    (verifier errors, --Werror'd warnings, rejected rewrites, --run
-   disagreement); 2 usage or parse error. *)
+   disagreement, a refuted rule under --rules=verify); 2 usage or parse
+   error. *)
 
 open Cmdliner
 
@@ -33,6 +37,33 @@ let read_file path =
 type analyze_mode = Agvn | Aconst | Arange | Aall
 
 type action = Optimize | Analyze of analyze_mode
+
+(* --rules sub-modes: dump and verify are standalone (no input file);
+   off runs the pipeline with the declarative catalog disabled. *)
+type rules_mode = Rdump | Rverify | Roff
+
+let rules_conv =
+  let parse = function
+    | "dump" -> Ok Rdump
+    | "verify" -> Ok Rverify
+    | "off" -> Ok Roff
+    | s -> Error (`Msg (Printf.sprintf "unknown rules mode %S (dump, verify, off)" s))
+  in
+  let print ppf m =
+    Fmt.string ppf (match m with Rdump -> "dump" | Rverify -> "verify" | Roff -> "off")
+  in
+  Arg.conv (parse, print)
+
+let dump_rules () =
+  List.iter (fun r -> Fmt.pr "%a@." Rules.Pattern.pp_rule r) Rules.catalog;
+  Fmt.pr "%d rules@." (List.length Rules.catalog);
+  0
+
+(* Deterministic seed: the CI gate must fail reproducibly. *)
+let verify_rules () =
+  let report = Rules.Verify.verify_all ~seed:0x5eed Rules.catalog in
+  Fmt.pr "%a@." Rules.Verify.pp_report report;
+  if Rules.Verify.ok report then 0 else 1
 
 let analyze_conv =
   let parse = function
@@ -216,7 +247,10 @@ let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~
   if !failed then 1 else 0
 
 let cmd =
-  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mc") in
+  (* Optional at the cmdliner layer only: --rules=dump|verify run without
+     an input file; every other mode errors out (exit 2) when it is
+     missing, preserving the old required-positional contract. *)
+  let path = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.mc") in
   let preset =
     Arg.(value & opt preset_conv Pgvn.Config.full & info [ "preset"; "p" ] ~doc:"GVN preset: full, balanced, pessimistic, basic, dense, click, sccp, awz.")
   in
@@ -300,7 +334,20 @@ let cmd =
              probes/hits, arena occupancy, latency histograms) after \
              processing.")
   in
-  let main preset complete pruning analyze stats dump_input run_args check lint werror validate nr npi nvi npp nsp trace_file metrics path =
+  let rules_flag =
+    Arg.(
+      value
+      & opt (some rules_conv) None
+      & info [ "rules" ]
+          ~doc:
+            "Rewrite-rule catalog control: $(b,dump) prints every rule of the \
+             declarative catalog and exits; $(b,verify) runs the static \
+             rule-soundness verifier (exhaustive small-width check, full-width \
+             fuzzing, catalog lints) and exits non-zero on any refuted rule or \
+             fatal lint; $(b,off) optimizes $(i,FILE.mc) with the catalog \
+             disabled (trap-refusing constant folding only).")
+  in
+  let main preset complete pruning analyze stats dump_input run_args check lint werror validate nr npi nvi npp nsp trace_file metrics rules path =
     let toggles =
       {
         Cli.Cli_options.complete;
@@ -312,29 +359,42 @@ let cmd =
       }
     in
     let config = Cli.Cli_options.apply_toggles toggles preset in
-    let action = match analyze with None -> Optimize | Some m -> Analyze m in
-    let obs_opts = { Cli.Cli_options.trace_file; metrics } in
-    let obs = Cli.Cli_options.obs_of obs_opts in
-    try
-      let code =
-        process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~werror
-          ~validate ~obs path
-      in
-      Cli.Cli_options.finish obs_opts obs;
-      code
-    with
-    | Ir.Parser.Error (msg, line) ->
-        Fmt.epr "%s:%d: parse error: %s@." path line msg;
+    let config =
+      match rules with
+      | Some Roff -> { config with Pgvn.Config.rules = false }
+      | _ -> config
+    in
+    match (rules, path) with
+    | Some Rdump, _ -> dump_rules ()
+    | Some Rverify, _ -> verify_rules ()
+    | _, None ->
+        Fmt.epr "gvnopt: required argument FILE.mc is missing@.";
         2
-    | Ir.Lexer.Error (msg, line) ->
-        Fmt.epr "%s:%d: lex error: %s@." path line msg;
-        2
+    | _, Some path -> (
+        let action = match analyze with None -> Optimize | Some m -> Analyze m in
+        let obs_opts = { Cli.Cli_options.trace_file; metrics } in
+        let obs = Cli.Cli_options.obs_of obs_opts in
+        try
+          let code =
+            process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint
+              ~werror ~validate ~obs path
+          in
+          Cli.Cli_options.finish obs_opts obs;
+          code
+        with
+        | Ir.Parser.Error (msg, line) ->
+            Fmt.epr "%s:%d: parse error: %s@." path line msg;
+            2
+        | Ir.Lexer.Error (msg, line) ->
+            Fmt.epr "%s:%d: lex error: %s@." path line msg;
+            2)
   in
   let term =
     Term.(
       const main $ preset $ complete $ pruning $ analyze $ stats $ dump_input $ run_args
       $ check_flag $ lint_flag $ werror_flag $ validate_flag
-      $ no_reassoc $ no_pi $ no_vi $ no_pp $ no_sparse $ trace_flag $ metrics_flag $ path)
+      $ no_reassoc $ no_pi $ no_vi $ no_pp $ no_sparse $ trace_flag $ metrics_flag
+      $ rules_flag $ path)
   in
   let exits =
     [

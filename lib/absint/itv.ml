@@ -148,7 +148,14 @@ let div a b =
   | Itv (la, ha), Itv _ -> (
       match is_const b with
       | Some c ->
-          let q x = match x with Some x -> Some (x / c) | None -> None in
+          (* [min_int / -1] overflows the machine divide (and the trap is
+             not this instruction's: the bound is just one point of the
+             dividend interval); leave that bound open. *)
+          let q x =
+            match x with
+            | Some x when not (Ir.Types.div_rem_faults x c) -> Some (x / c)
+            | _ -> None
+          in
           if c > 0 then make (q la) (q ha) else make (q ha) (q la)
       | None -> (
           (* |a / b| <= |a| for any nonzero b. *)

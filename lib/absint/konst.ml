@@ -51,7 +51,7 @@ let binop (op : Ir.Types.binop) ((va, a) : Ir.Func.value * t) ((vb, b) : Ir.Func
   match (a, b) with
   | Bot, _ | _, Bot -> Bot
   | Cst x, Cst y ->
-      if Ir.Types.binop_can_trap op y then Any
+      if Ir.Types.binop_can_trap op x y then Any
       else Cst (Ir.Types.eval_binop op x y)
   | _ -> (
       (* Neutral-element identities yield copies. Nothing stronger: a

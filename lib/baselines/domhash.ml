@@ -13,6 +13,23 @@ let rep_equal a b =
   | Rconst x, Rconst y -> x = y
   | (Rval _ | Rconst _), _ -> false
 
+(* Folding and simplification consult the shared rule table (lib/rules)
+   through a shallow adapter: an operand is a value number or a known
+   constant, and rules whose right-hand side would need a fresh compound
+   expression are declined. The engine consults the same catalog through a
+   deeper adapter, so everything this baseline simplifies, the engine does
+   too (the refinement property the tests pin). *)
+let rules_subject : rep Rules.Engine.subject =
+  {
+    Rules.Engine.view =
+      (function Rconst c -> Rules.Engine.Sconst c | Rval _ -> Rules.Engine.Satom);
+    equal = rep_equal;
+    bconst = (fun c -> Rconst c);
+    bunop = (fun _ _ -> None);
+    bbinop = (fun _ _ _ -> None);
+    reduce = (fun _ -> None);
+  }
+
 type key =
   | Kconst of int
   | Kparam of int
@@ -46,18 +63,16 @@ let run (f : Ir.Func.t) : result =
     HK.Tbl.add table ck r;
     undo := ck :: !undo
   in
-  let fold_key v = function
-    | Kunop (op, Rconst a) -> Some (Rconst (Ir.Types.eval_unop op a))
-    | Kbinop (op, Rconst a, Rconst b) when not (Ir.Types.binop_can_trap op b) ->
-        Some (Rconst (Ir.Types.eval_binop op a b))
+  let fold_key = function
+    | Kunop (op, a) -> Rules.Engine.rewrite_unop (Rules.Engine.shared ()) rules_subject op a
+    | Kbinop (op, a, b) ->
+        Rules.Engine.rewrite_binop (Rules.Engine.shared ()) rules_subject op a b
     | Kcmp (op, Rconst a, Rconst b) -> Some (Rconst (Ir.Types.eval_cmp op a b))
     | Kconst n -> Some (Rconst n)
-    | _ ->
-        ignore v;
-        None
+    | _ -> None
   in
   let number v k =
-    match fold_key v k with
+    match fold_key k with
     | Some r -> r
     | None -> (
         let ck = HK.hashcons arena k in

@@ -52,7 +52,7 @@ let run (f : Ir.Func.t) : result =
           | Bottom -> lower i Bottom)
       | Ir.Func.Binop (op, a, b') -> (
           match (value.(a), value.(b')) with
-          | Const x, Const y when not (Ir.Types.binop_can_trap op y) ->
+          | Const x, Const y when not (Ir.Types.binop_can_trap op x y) ->
               lower i (Const (Ir.Types.eval_binop op x y))
           | Const x, Const y ->
               ignore (x, y);

@@ -117,18 +117,31 @@ let run (f : Ir.Func.t) : Diagnostic.t list =
   let res = Absint.Ranges.run f in
   let exec b = res.Absint.Ranges.block_exec.(b) in
   let env b v = Absint.Ranges.env_at res b v in
-  (* Guaranteed division or remainder by zero: executing the instruction
-     always traps. *)
+  (* Guaranteed division/remainder faults: executing the instruction always
+     traps — either the divisor is zero, or the quotient min_int / -1
+     overflows the machine word (the one other case [Ir.Types.fold_binop]
+     refuses to fold). *)
   Array.iteri
     (fun i ins ->
       match ins with
-      | Binop (((Ir.Types.Div | Ir.Types.Rem) as op), _, d) ->
+      | Binop (((Ir.Types.Div | Ir.Types.Rem) as op), n, d) ->
           let b = block_of_instr f i in
-          if exec b && Absint.Itv.is_const (env b d) = Some 0 then
-            add
-              (Diagnostic.warning ~check:"lint-div-by-zero" ~loc:(Diagnostic.Instr i)
-                 "v%d always %s by zero: it traps on every execution reaching it" i
-                 (match op with Ir.Types.Div -> "divides" | _ -> "takes a remainder"))
+          if exec b then begin
+            let verb = match op with Ir.Types.Div -> "divides" | _ -> "takes a remainder" in
+            if Absint.Itv.is_const (env b d) = Some 0 then
+              add
+                (Diagnostic.warning ~check:"lint-div-by-zero" ~loc:(Diagnostic.Instr i)
+                   "v%d always %s by zero: it traps on every execution reaching it" i verb)
+            else if
+              Absint.Itv.is_const (env b d) = Some (-1)
+              && Absint.Itv.is_const (env b n) = Some min_int
+            then
+              add
+                (Diagnostic.warning ~check:"lint-div-by-zero" ~loc:(Diagnostic.Instr i)
+                   "v%d always overflows: it %s min_int by -1, which traps on every \
+                    execution reaching it"
+                   i verb)
+          end
       | _ -> ())
     f.instrs;
   (* Branches decided by dominating guards rather than a literal constant

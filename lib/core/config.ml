@@ -21,6 +21,10 @@ type t = {
   sparse : bool; (* false = brute-force retouching of the whole routine *)
   constant_folding : bool;
   algebraic_simplification : bool;
+  rules : bool;
+      (* consult the declarative rule catalog (lib/rules) during algebraic
+         simplification; off restricts simplification to constant folding
+         and commutative canonicalization *)
   unreachable_code : bool; (* conditional reachability of edges *)
   reassociation : bool; (* global reassociation / forward propagation *)
   predicate_inference : bool;
@@ -42,6 +46,7 @@ let full =
     sparse = true;
     constant_folding = true;
     algebraic_simplification = true;
+    rules = true;
     unreachable_code = true;
     reassociation = true;
     predicate_inference = true;

@@ -17,6 +17,10 @@ type t = {
   sparse : bool;  (** false: brute-force retouching of the whole routine *)
   constant_folding : bool;
   algebraic_simplification : bool;
+  rules : bool;
+      (** consult the declarative rule catalog (lib/rules) during algebraic
+          simplification; with it off, simplification is constant folding
+          and commutative canonicalization only *)
   unreachable_code : bool;  (** conditional reachability of edges *)
   reassociation : bool;  (** global reassociation / forward propagation *)
   predicate_inference : bool;

@@ -268,7 +268,7 @@ let eval_arith st (kind : [ `Add | `Sub | `Mul | `Neg ]) atoms =
     in
     match (cfg.Config.constant_folding, op, List.map Hexpr.node atoms) with
     | true, Expr.Ubop bop, [ Hexpr.Const a; Hexpr.Const b ]
-      when not (Ir.Types.binop_can_trap bop b) ->
+      when not (Ir.Types.binop_can_trap bop a b) ->
         Hexpr.const st.arena (Ir.Types.eval_binop bop a b)
     | true, Expr.Uuop uop, [ Hexpr.Const a ] ->
         Hexpr.const st.arena (Ir.Types.eval_unop uop a)
@@ -276,18 +276,16 @@ let eval_arith st (kind : [ `Add | `Sub | `Mul | `Neg ]) atoms =
 
 let eval_nonassoc_binop st op x y =
   let cfg = st.config in
-  let rank = rank_fn st in
-  if cfg.Config.algebraic_simplification then Hexpr.binop_atoms st.arena rank op x y
+  if cfg.Config.algebraic_simplification then Rewrite.binop_atoms st op x y
   else
     match (cfg.Config.constant_folding, Hexpr.node x, Hexpr.node y) with
-    | true, Hexpr.Const a, Hexpr.Const b when not (Ir.Types.binop_can_trap op b) ->
+    | true, Hexpr.Const a, Hexpr.Const b when not (Ir.Types.binop_can_trap op a b) ->
         Hexpr.const st.arena (Ir.Types.eval_binop op a b)
     | _ -> Hexpr.op_ st.arena (Expr.Ubop op) [ x; y ] (* syntactic *)
 
 let eval_unop st op x =
   let cfg = st.config in
-  let rank = rank_fn st in
-  if cfg.Config.algebraic_simplification then Hexpr.unop_atom st.arena rank op x
+  if cfg.Config.algebraic_simplification then Rewrite.unop_atom st op x
   else
     match (cfg.Config.constant_folding, Hexpr.node x) with
     | true, Hexpr.Const a -> Hexpr.const st.arena (Ir.Types.eval_unop op a)
@@ -319,30 +317,10 @@ let phi_expr_of_atom st atom =
       | None -> None)
   | _ -> None
 
-(* A TABLE probe: the class id lives in the consed cell's scratch slot, so
-   a probe is a single field read, counted for the bench harness. *)
-let table_find st (e : Hexpr.t) =
-  st.stats.Run_stats.table_probes <- st.stats.Run_stats.table_probes + 1;
-  let cid = Util.Hashcons.slot e in
-  if cid >= 0 then begin
-    st.stats.Run_stats.table_hits <- st.stats.Run_stats.table_hits + 1;
-    Some cid
-  end
-  else None
-
-(* Reduce a combined expression back to an atom: directly, or through the
-   congruence class already holding that expression. *)
-let atom_of_expr st (e : Hexpr.t) : Hexpr.t option =
-  match Hexpr.node e with
-  | Hexpr.Const _ | Hexpr.Value _ -> Some e
-  | _ -> (
-      match table_find st e with
-      | Some cid -> (
-          match (cls st cid).leader with
-          | Lconst n -> Some (Hexpr.const st.arena n)
-          | Lvalue l -> Some (Hexpr.value st.arena l)
-          | Lundef -> None)
-      | None -> None)
+(* TABLE probes and expression-to-atom reduction live in {!Rewrite}, which
+   shares them with the rule matcher's deep subject. *)
+let table_find = Rewrite.table_find
+let atom_of_expr = Rewrite.atom_of_expr
 
 let try_phi_distribution st combine x y =
   if not st.config.Config.phi_distribution then None
@@ -709,6 +687,26 @@ let touch_everything st =
 
 exception Diverged of string
 
+(* The rule engine's fire counters are global (shared across every client
+   of the catalog); a run snapshots them on entry and publishes the deltas
+   as [rules.fired.<name>], so per-run and per-benchmark attribution works
+   without threading a counter context through the matcher. *)
+type rules_snapshot = { snap_fired : (string * int) list; snap_folds : int }
+
+let rules_snapshot () =
+  let eng = Rules.Engine.shared () in
+  { snap_fired = Rules.Engine.counts eng; snap_folds = Rules.Engine.const_folds eng }
+
+let record_rules obs (before : rules_snapshot) =
+  let now = rules_snapshot () in
+  List.iter2
+    (fun (name, b) (name', a) ->
+      assert (String.equal name name');
+      if a - b > 0 then Obs.add obs ("rules.fired." ^ name) (a - b))
+    before.snap_fired now.snap_fired;
+  if now.snap_folds - before.snap_folds > 0 then
+    Obs.add obs "rules.fired.const-fold" (now.snap_folds - before.snap_folds)
+
 (* Publish the run's engine counters through the observability layer, under
    the stable metric names of DESIGN.md §4d. *)
 let record_metrics obs (st : State.t) =
@@ -732,6 +730,7 @@ let record_metrics obs (st : State.t) =
 
 let run ?obs (config : Config.t) (f : Ir.Func.t) : State.t =
   let run_span = match obs with Some o -> Some (Obs.Trace.begin_span o.Obs.trace ~cat:"gvn" "pgvn.run") | None -> None in
+  let rules_before = rules_snapshot () in
   let st = State.create config f in
   let everything_reachable =
     config.Config.mode = Config.Pessimistic || not config.Config.unreachable_code
@@ -751,7 +750,8 @@ let run ?obs (config : Config.t) (f : Ir.Func.t) : State.t =
       | Some o, Some sp ->
           Obs.Trace.end_span o.Obs.trace sp;
           Obs.observe_seconds o "pgvn.run_ns" (Obs.Trace.duration sp);
-          record_metrics o st
+          record_metrics o st;
+          record_rules o rules_before
       | _ -> ())
   @@ fun () ->
   while !continue_loop && st.touched_count > 0 do

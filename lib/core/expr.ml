@@ -225,38 +225,49 @@ let make_op rank sym args =
   in
   Op (sym, args)
 
-(* Simplify [x op y] for the non-reassociable binary operators. Folding is
-   refused when it could hide a run-time trap (§ constant folding must be
-   semantics-preserving: congruence implies run-time equality on executed
-   paths). *)
+(* Simplify [x op y] for the non-reassociable binary operators by
+   consulting the shared rule table (Rules.Catalog) through a shallow
+   subject: constants are visible to the matcher, everything else is an
+   opaque atom, and compound right-hand sides are declined — so only
+   depth-1 identities fire here, exactly the shape the structural algebra
+   can express. Constant folding is the matcher's (it refuses folds that
+   could hide a run-time trap: congruence implies run-time equality on
+   executed paths, so [6 / 0] stays opaque). *)
+let rules_subject rank : t Rules.Engine.subject =
+  {
+    Rules.Engine.view =
+      (fun x -> match x with Const n -> Rules.Engine.Sconst n | _ -> Rules.Engine.Satom);
+    equal;
+    bconst = (fun n -> Const n);
+    bunop =
+      (fun op x ->
+        match x with
+        | Const a -> Some (Const (Ir.Types.eval_unop op a))
+        | _ -> if is_atom x then Some (make_op rank (Uuop op) [ x ]) else None);
+    bbinop =
+      (fun op x y ->
+        match (x, y) with
+        | Const a, Const b -> Option.map (fun c -> Const c) (Ir.Types.fold_binop op a b)
+        | _ ->
+            if is_atom x && is_atom y then Some (make_op rank (Ubop op) [ x; y ])
+            else None);
+    reduce = (fun x -> if is_atom x then Some x else None);
+  }
+
 let binop_atoms rank (op : Ir.Types.binop) x y =
-  let open Ir.Types in
-  match (op, x, y) with
-  | (Div | Rem), _, Const 0 -> make_op rank (Ubop op) [ x; y ] (* traps; never fold *)
-  | _, Const a, Const b -> Const (eval_binop op a b)
-  | Div, _, Const 1 -> x
-  | Rem, _, Const 1 -> Const 0
-  | Rem, _, Const (-1) -> Const 0
-  | And, _, Const 0 | And, Const 0, _ -> Const 0
-  | And, _, Const (-1) -> x
-  | And, Const (-1), _ -> y
-  | And, Value a, Value b when a = b -> x
-  | Or, _, Const 0 -> x
-  | Or, Const 0, _ -> y
-  | Or, _, Const (-1) | Or, Const (-1), _ -> Const (-1)
-  | Or, Value a, Value b when a = b -> x
-  | Xor, _, Const 0 -> x
-  | Xor, Const 0, _ -> y
-  | Xor, Value a, Value b when a = b -> Const 0
-  | (Shl | Shr), _, Const 0 -> x
-  | (Shl | Shr), Const 0, _ -> Const 0
-  | _, _, _ -> make_op rank (Ubop op) [ x; y ]
+  match Rules.Engine.rewrite_binop (Rules.Engine.shared ()) (rules_subject rank) op x y with
+  | Some r -> r
+  | None -> make_op rank (Ubop op) [ x; y ]
 
 let unop_atom rank (op : Ir.Types.unop) x =
   match (op, x) with
-  | _, Const a -> Const (Ir.Types.eval_unop op a)
+  (* [!(a ≷ b)] stays a comparison — predicates must remain canonical, and
+     comparisons are outside the rule DSL's term language. *)
   | Ir.Types.Lnot, Cmp (c, a, b) -> Cmp (Ir.Types.negate_cmp c, a, b)
-  | _ -> make_op rank (Uuop op) [ x ]
+  | _ -> (
+      match Rules.Engine.rewrite_unop (Rules.Engine.shared ()) (rules_subject rank) op x with
+      | Some r -> r
+      | None -> make_op rank (Uuop op) [ x ])
 
 (* ------------------------------------------------------------------ *)
 (* Printing (debug / dumps).                                           *)

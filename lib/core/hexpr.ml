@@ -260,34 +260,50 @@ let negate_pred a x =
   | Const n -> const a (if n = 0 then 1 else 0)
   | _ -> op_ a (Expr.Uuop Ir.Types.Lnot) [ x ]
 
+(* Simplification consults the shared rule table through a shallow subject,
+   exactly as {!Expr.binop_atoms} does (the agreement property in
+   test/test_expr.ml pins the two algebras together): constants are visible,
+   everything else is an opaque atom, compound right-hand sides are
+   declined. The driver's state-aware subject (Rewrite) additionally sees
+   through congruence classes; these entry points stay for clients without
+   a [State.t] — and as the oracle the tests compare against. *)
+let rules_subject a rank : t Rules.Engine.subject =
+  {
+    Rules.Engine.view =
+      (fun x -> match node x with Const n -> Rules.Engine.Sconst n | _ -> Rules.Engine.Satom);
+    equal;
+    bconst = const a;
+    bunop =
+      (fun op x ->
+        match node x with
+        | Const p -> Some (const a (Ir.Types.eval_unop op p))
+        | _ -> if is_atom x then Some (make_op a rank (Expr.Uuop op) [ x ]) else None);
+    bbinop =
+      (fun op x y ->
+        match (node x, node y) with
+        | Const p, Const q -> Option.map (const a) (Ir.Types.fold_binop op p q)
+        | _ ->
+            if is_atom x && is_atom y then Some (make_op a rank (Expr.Ubop op) [ x; y ])
+            else None);
+    reduce = (fun x -> if is_atom x then Some x else None);
+  }
+
 let binop_atoms a rank (op : Ir.Types.binop) x y =
-  let open Ir.Types in
-  match (op, node x, node y) with
-  | (Div | Rem), _, Const 0 -> make_op a rank (Expr.Ubop op) [ x; y ] (* traps *)
-  | _, Const p, Const q -> const a (eval_binop op p q)
-  | Div, _, Const 1 -> x
-  | Rem, _, Const 1 -> const a 0
-  | Rem, _, Const (-1) -> const a 0
-  | And, _, Const 0 | And, Const 0, _ -> const a 0
-  | And, _, Const (-1) -> x
-  | And, Const (-1), _ -> y
-  | And, Value p, Value q when p = q -> x
-  | Or, _, Const 0 -> x
-  | Or, Const 0, _ -> y
-  | Or, _, Const (-1) | Or, Const (-1), _ -> const a (-1)
-  | Or, Value p, Value q when p = q -> x
-  | Xor, _, Const 0 -> x
-  | Xor, Const 0, _ -> y
-  | Xor, Value p, Value q when p = q -> const a 0
-  | (Shl | Shr), _, Const 0 -> x
-  | (Shl | Shr), Const 0, _ -> const a 0
-  | _, _, _ -> make_op a rank (Expr.Ubop op) [ x; y ]
+  match
+    Rules.Engine.rewrite_binop (Rules.Engine.shared ()) (rules_subject a rank) op x y
+  with
+  | Some r -> r
+  | None -> make_op a rank (Expr.Ubop op) [ x; y ]
 
 let unop_atom a rank (op : Ir.Types.unop) x =
   match (op, node x) with
-  | _, Const p -> const a (Ir.Types.eval_unop op p)
   | Ir.Types.Lnot, Cmp (c, u, v) -> cmp_ a (Ir.Types.negate_cmp c) u v
-  | _ -> make_op a rank (Expr.Uuop op) [ x ]
+  | _ -> (
+      match
+        Rules.Engine.rewrite_unop (Rules.Engine.shared ()) (rules_subject a rank) op x
+      with
+      | Some r -> r
+      | None -> make_op a rank (Expr.Uuop op) [ x ])
 
 (* ---------------- conversions ---------------- *)
 

@@ -62,6 +62,9 @@ type t = {
   inc_dom : Analysis.Inc_dom.t; (* complete variant: reachable dominator tree *)
   def_use : int array array;
   stats : Run_stats.t;
+  mutable rules_subject : Hexpr.t Rules.Engine.subject option;
+      (* lazily built view of this run's expressions for the rewrite-rule
+         matcher (see Rewrite); cached because it closes over this state *)
 }
 
 let dummy_class =
@@ -180,6 +183,7 @@ let create (config : Config.t) (f : Ir.Func.t) =
     inc_dom = Analysis.Inc_dom.create ~n:nb ~entry:Ir.Func.entry;
     def_use = Ir.Func.def_use f;
     stats = Run_stats.create ();
+    rules_subject = None;
   }
 
 let cls t c = Util.Vec.get t.classes c

@@ -61,6 +61,10 @@ type t = {
   inc_dom : Analysis.Inc_dom.t;  (** complete variant's reachable dominator tree *)
   def_use : int array array;
   stats : Run_stats.t;
+  mutable rules_subject : Hexpr.t Rules.Engine.subject option;
+      (** lazily built matcher view of this run's expressions (see
+          {!Rewrite.subject_of}); cached here because it closes over the
+          state *)
 }
 
 val create : Config.t -> Ir.Func.t -> t

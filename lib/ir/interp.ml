@@ -4,7 +4,7 @@
 
 type result =
   | Ret of int
-  | Trap (* division or remainder by zero *)
+  | Trap (* division/remainder by zero, or the min_int / -1 overflow *)
   | Timeout (* fuel exhausted *)
 
 let equal_result a b =

@@ -22,13 +22,18 @@ type unop =
 
 exception Division_by_zero
 
+(* [min_int / -1] (and [rem]) overflow the machine divide; on x86 OCaml's
+   [/] delivers the processor fault, not a value. Both faulting shapes are
+   modelled as the same observable trap. *)
+let div_rem_faults a b = b = 0 || (a = min_int && b = -1)
+
 let eval_binop op a b =
   match op with
   | Add -> a + b
   | Sub -> a - b
   | Mul -> a * b
-  | Div -> if b = 0 then raise Division_by_zero else a / b
-  | Rem -> if b = 0 then raise Division_by_zero else a mod b
+  | Div -> if div_rem_faults a b then raise Division_by_zero else a / b
+  | Rem -> if div_rem_faults a b then raise Division_by_zero else a mod b
   | And -> a land b
   | Or -> a lor b
   | Xor -> a lxor b
@@ -54,8 +59,14 @@ let eval_unop op a =
   | Bnot -> lnot a
 
 (* Folding a binop is unsafe when it could trap at run time. *)
-let binop_can_trap op b =
-  match op with Div | Rem -> b = 0 | _ -> false
+let binop_can_trap op a b =
+  match op with Div | Rem -> div_rem_faults a b | _ -> false
+
+(* The one safe constant folder: [None] exactly when evaluation would trap.
+   Every folding client (GVN engine, rule engine, LVN, SCCP baselines,
+   abstract interpreters) goes through this so the trap set has a single
+   definition. *)
+let fold_binop op a b = if binop_can_trap op a b then None else Some (eval_binop op a b)
 
 let negate_cmp = function
   | Eq -> Ne

@@ -12,20 +12,32 @@ type unop =
   | Bnot  (** bitwise complement *)
 
 exception Division_by_zero
-(** Raised by {!eval_binop} for [Div]/[Rem] with a zero divisor. *)
+(** Raised by {!eval_binop} for a faulting [Div]/[Rem]: a zero divisor, or
+    the [min_int / -1] signed-overflow case (which faults in the machine
+    divide and is modelled as the same observable trap). *)
+
+val div_rem_faults : int -> int -> bool
+(** [div_rem_faults a b]: would [a / b] (or [a rem b]) fault at run time?
+    True for [b = 0] and for [a = min_int, b = -1]. *)
 
 val eval_binop : binop -> int -> int -> int
 (** Concrete semantics. Shift amounts are masked to stay in range.
-    @raise Division_by_zero for a zero [Div]/[Rem] divisor. *)
+    @raise Division_by_zero for a faulting [Div]/[Rem] (see
+    {!div_rem_faults}). *)
 
 val eval_cmp : cmp -> int -> int -> int
 (** 1 when the comparison holds, 0 otherwise. *)
 
 val eval_unop : unop -> int -> int
 
-val binop_can_trap : binop -> int -> bool
-(** [binop_can_trap op divisor]: would [eval_binop op _ divisor] trap?
-    Constant folding must refuse such folds. *)
+val binop_can_trap : binop -> int -> int -> bool
+(** [binop_can_trap op a b]: would [eval_binop op a b] trap? Constant
+    folding must refuse such folds. *)
+
+val fold_binop : binop -> int -> int -> int option
+(** Trap-refusing constant folding: [Some (eval_binop op a b)] unless the
+    evaluation would trap, then [None]. The single fold helper shared by
+    every client, so the trap set has one definition. *)
 
 val negate_cmp : cmp -> cmp
 (** [negate_cmp op] is the complement: [x op y] iff not [x (negate_cmp op) y]. *)

@@ -1,0 +1,123 @@
+(* The rule catalog: every algebraic identity the tree knows, in one place.
+
+   Order matters — the compiled matcher tries rules first to last, so the
+   more specific rule of an overlapping pair must precede the more general
+   one (the [shl-*] block below relies on this).
+
+   Conventions and traps worth reading before adding a rule:
+
+   - Soundness is *strict fault agreement*: the RHS must fault exactly when
+     the LHS does, because traps are observable ([Ir.Interp.Trap]). That is
+     why there is no [x/x -> 1] (LHS faults at x = 0) and no
+     [x rem -1 -> 0] (LHS faults at x = min_int) — both are checked as
+     deliberately-rejected mutants in the test suite.
+   - Shift amounts are masked with [land 62] ({!Ir.Types.eval_binop}), so
+     [x shl 1 = x]: the usual strength reduction [x*2 -> x shl 1] is wrong
+     here (another rejected mutant). The sound direction is
+     [shl-const-to-mul] below, which also feeds shifted values into the
+     engine's sum-of-products normal form.
+   - Every rule must strictly decrease {!Pattern.pat_weight}; that forces
+     de Morgan into the orientation [~x & ~y -> ~(x|y)].
+
+   [Verify] exhaustively checks each rule at small widths and fuzzes it at
+   full width before the table is trusted; [dune build @rules] runs that
+   gate in CI. *)
+
+open Pattern
+module T = Ir.Types
+
+let x = Pvar 0
+let y = Pvar 1
+let z = Pvar 2
+let ca = Pcvar 0
+
+let rule ?(commutes = false) ?guard ?(guard_doc = "") name lhs rhs =
+  { name; lhs; rhs; guard; guard_doc; commutes }
+
+let all : rule list =
+  [
+    (* ---- bitwise identities ---- *)
+    rule "and-self" (Pbinop (T.And, x, x)) (Rvar 0);
+    rule ~commutes:true "and-zero" (Pbinop (T.And, x, Pconst 0)) (Rconst 0);
+    rule ~commutes:true "and-ones" (Pbinop (T.And, x, Pconst (-1))) (Rvar 0);
+    rule "or-self" (Pbinop (T.Or, x, x)) (Rvar 0);
+    rule ~commutes:true "or-zero" (Pbinop (T.Or, x, Pconst 0)) (Rvar 0);
+    rule ~commutes:true "or-ones" (Pbinop (T.Or, x, Pconst (-1))) (Rconst (-1));
+    rule "xor-self" (Pbinop (T.Xor, x, x)) (Rconst 0);
+    rule ~commutes:true "xor-zero" (Pbinop (T.Xor, x, Pconst 0)) (Rvar 0);
+    rule ~commutes:true "xor-ones"
+      (Pbinop (T.Xor, x, Pconst (-1)))
+      (Runop (T.Bnot, Rvar 0));
+    (* ---- absorption, de Morgan, factoring ---- *)
+    rule ~commutes:true "and-absorb" (Pbinop (T.And, x, Pbinop (T.Or, x, y))) (Rvar 0);
+    rule ~commutes:true "or-absorb" (Pbinop (T.Or, x, Pbinop (T.And, x, y))) (Rvar 0);
+    rule ~commutes:true "demorgan-and"
+      (Pbinop (T.And, Punop (T.Bnot, x), Punop (T.Bnot, y)))
+      (Runop (T.Bnot, Rbinop (T.Or, Rvar 0, Rvar 1)));
+    rule ~commutes:true "demorgan-or"
+      (Pbinop (T.Or, Punop (T.Bnot, x), Punop (T.Bnot, y)))
+      (Runop (T.Bnot, Rbinop (T.And, Rvar 0, Rvar 1)));
+    rule ~commutes:true "or-and-factor"
+      (Pbinop (T.Or, Pbinop (T.And, x, y), Pbinop (T.And, x, z)))
+      (Rbinop (T.And, Rvar 0, Rbinop (T.Or, Rvar 1, Rvar 2)));
+    (* ---- involutions ---- *)
+    rule "bnot-bnot" (Punop (T.Bnot, Punop (T.Bnot, x))) (Rvar 0);
+    rule "neg-neg" (Punop (T.Neg, Punop (T.Neg, x))) (Rvar 0);
+    (* [!] is idempotent only from the second application on: [!!x]
+       normalizes x to 0/1, it is not x. *)
+    rule "lnot-lnot-lnot"
+      (Punop (T.Lnot, Punop (T.Lnot, Punop (T.Lnot, x))))
+      (Runop (T.Lnot, Rvar 0));
+    (* ---- arithmetic neutral/absorbing elements ---- *)
+    rule ~commutes:true "add-zero" (Pbinop (T.Add, x, Pconst 0)) (Rvar 0);
+    rule "sub-zero" (Pbinop (T.Sub, x, Pconst 0)) (Rvar 0);
+    rule "sub-self" (Pbinop (T.Sub, x, x)) (Rconst 0);
+    rule ~commutes:true "mul-one" (Pbinop (T.Mul, x, Pconst 1)) (Rvar 0);
+    rule ~commutes:true "mul-zero" (Pbinop (T.Mul, x, Pconst 0)) (Rconst 0);
+    rule ~commutes:true "mul-neg1"
+      (Pbinop (T.Mul, x, Pconst (-1)))
+      (Runop (T.Neg, Rvar 0));
+    (* Division: [x/1] and [x rem 1] never fault, so these agree with the
+       LHS everywhere. The -1 counterparts are deliberately absent. *)
+    rule "div-one" (Pbinop (T.Div, x, Pconst 1)) (Rvar 0);
+    rule "rem-one" (Pbinop (T.Rem, x, Pconst 1)) (Rconst 0);
+    (* ---- shifts (amounts are masked with [land 62]) ---- *)
+    rule "zero-shl" (Pbinop (T.Shl, Pconst 0, x)) (Rconst 0);
+    rule "zero-shr" (Pbinop (T.Shr, Pconst 0, x)) (Rconst 0);
+    rule "shl-mask-zero"
+      ~guard:(fun c -> c.(0) land 62 = 0)
+      ~guard_doc:"A land 62 = 0"
+      (Pbinop (T.Shl, x, ca))
+      (Rvar 0);
+    rule "shr-mask-zero"
+      ~guard:(fun c -> c.(0) land 62 = 0)
+      ~guard_doc:"A land 62 = 0"
+      (Pbinop (T.Shr, x, ca))
+      (Rvar 0);
+    (* Composition must stay inside the masked range or the single shift
+       would wrap where the pair saturates. These precede
+       [shl-const-to-mul] so a shift tower collapses before the outer
+       shift turns into a multiply. *)
+    rule "shl-shl"
+      ~guard:(fun c -> (c.(0) land 62) + (c.(1) land 62) <= 62)
+      ~guard_doc:"(A land 62) + (B land 62) <= 62"
+      (Pbinop (T.Shl, Pbinop (T.Shl, x, ca), Pcvar 1))
+      (Rbinop (T.Shl, Rvar 0, Rcfun ("(A land 62) + (B land 62)",
+                                     fun c -> (c.(0) land 62) + (c.(1) land 62))));
+    rule "shr-shr"
+      ~guard:(fun c -> (c.(0) land 62) + (c.(1) land 62) <= 62)
+      ~guard_doc:"(A land 62) + (B land 62) <= 62"
+      (Pbinop (T.Shr, Pbinop (T.Shr, x, ca), Pcvar 1))
+      (Rbinop (T.Shr, Rvar 0, Rcfun ("(A land 62) + (B land 62)",
+                                     fun c -> (c.(0) land 62) + (c.(1) land 62))));
+    (* Strength "increase" on purpose: multiplication participates in the
+       engine's sum-of-products canonicalization, shifts do not, so a
+       shift by a known amount numbers together with equivalent
+       multiplies. Sound at every width because both sides wrap mod the
+       word size. *)
+    rule "shl-const-to-mul"
+      ~guard:(fun c -> c.(0) land 62 <> 0)
+      ~guard_doc:"A land 62 <> 0"
+      (Pbinop (T.Shl, x, ca))
+      (Rbinop (T.Mul, Rvar 0, Rcfun ("1 lsl (A land 62)", fun c -> 1 lsl (c.(0) land 62))));
+  ]

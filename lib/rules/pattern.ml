@@ -1,0 +1,181 @@
+(* The rewrite-rule DSL: algebraic identities as pure data.
+
+   A rule is an LHS pattern over expression metavariables ([Pvar]),
+   constant metavariables ([Pcvar]) and literals, an RHS template, and an
+   optional guard over the bound constants. The catalog (see {!Catalog}) is
+   the single source of truth for every algebraic identity in the tree:
+   the GVN engine, the structural/consed expression algebras, the LVN and
+   dominator-hash baselines and the equivalence oracle all consult the
+   compiled form (see {!Engine}), and {!Verify} checks each rule against
+   the concrete operator semantics before it is trusted. *)
+
+type pat =
+  | Pvar of int  (** expression metavariable: matches any subject *)
+  | Pcvar of int  (** constant metavariable: matches any constant *)
+  | Pconst of int  (** literal constant *)
+  | Punop of Ir.Types.unop * pat
+  | Pbinop of Ir.Types.binop * pat * pat
+
+type rhs =
+  | Rvar of int  (** substitute the binding of [Pvar i] *)
+  | Rcvar of int  (** substitute the binding of [Pcvar i] *)
+  | Rconst of int
+  | Rcfun of string * (int array -> int)
+      (** a constant computed from the [Pcvar] bindings; the string is the
+          printable form for dumps *)
+  | Runop of Ir.Types.unop * rhs
+  | Rbinop of Ir.Types.binop * rhs * rhs
+
+type rule = {
+  name : string;
+  lhs : pat;
+  rhs : rhs;
+  guard : (int array -> bool) option;  (** over the [Pcvar] bindings *)
+  guard_doc : string;  (** printable form of the guard; "" when none *)
+  commutes : bool;
+      (** expand every commutative LHS node both ways at compile time *)
+}
+
+(* ---------------- metavariable accounting ---------------- *)
+
+let rec fold_pat f acc = function
+  | (Pvar _ | Pcvar _ | Pconst _) as p -> f acc p
+  | Punop (_, p) as n -> fold_pat f (f acc n) p
+  | Pbinop (_, p, q) as n -> fold_pat f (fold_pat f (f acc n) p) q
+
+let rec fold_rhs f acc = function
+  | (Rvar _ | Rcvar _ | Rconst _ | Rcfun _) as r -> f acc r
+  | Runop (_, r) as n -> fold_rhs f (f acc n) r
+  | Rbinop (_, r, s) as n -> fold_rhs f (fold_rhs f (f acc n) r) s
+
+let pat_vars p =
+  fold_pat (fun acc n -> match n with Pvar i -> i :: acc | _ -> acc) [] p
+  |> List.sort_uniq compare
+
+let pat_cvars p =
+  fold_pat (fun acc n -> match n with Pcvar i -> i :: acc | _ -> acc) [] p
+  |> List.sort_uniq compare
+
+let rhs_vars r =
+  fold_rhs (fun acc n -> match n with Rvar i -> i :: acc | _ -> acc) [] r
+  |> List.sort_uniq compare
+
+let rhs_cvars r =
+  fold_rhs (fun acc n -> match n with Rcvar i -> i :: acc | _ -> acc) [] r
+  |> List.sort_uniq compare
+
+(* Slot counts for the matcher's binding arrays: 1 + highest index used. *)
+let arity (r : rule) =
+  let m ids = List.fold_left max (-1) ids + 1 in
+  (m (pat_vars r.lhs), m (pat_cvars r.lhs))
+
+(* ---------------- termination measure ---------------- *)
+
+(* Every rule must strictly decrease this weight from LHS to RHS, so any
+   rewriting strategy over the catalog terminates. Expensive operators
+   weigh more, which also lets a rule trade an outer cheap node for an
+   inner costly one (de Morgan: And+2·Bnot → Bnot+Or). *)
+
+let binop_weight : Ir.Types.binop -> int = function
+  | Div | Rem -> 10
+  | Shl | Shr -> 6
+  | Mul -> 5
+  | And | Or | Xor -> 4
+  | Add | Sub -> 3
+
+let rec pat_weight = function
+  | Pvar _ | Pcvar _ | Pconst _ -> 1
+  | Punop (_, p) -> 2 + pat_weight p
+  | Pbinop (op, p, q) -> binop_weight op + pat_weight p + pat_weight q
+
+let rec rhs_weight = function
+  | Rvar _ | Rcvar _ | Rconst _ | Rcfun _ -> 1
+  | Runop (_, r) -> 2 + rhs_weight r
+  | Rbinop (op, r, s) -> binop_weight op + rhs_weight r + rhs_weight s
+
+(* ---------------- commutative expansion ---------------- *)
+
+(* All orderings of the commutative nodes of [p], cartesian across nested
+   nodes, structurally deduplicated in first-seen order. The first variant
+   is always [p] itself. *)
+let expand_commutative p =
+  let rec go = function
+    | (Pvar _ | Pcvar _ | Pconst _) as p -> [ p ]
+    | Punop (op, p) -> List.map (fun q -> Punop (op, q)) (go p)
+    | Pbinop (op, p, q) ->
+        let ls = go p and rs = go q in
+        let fwd = List.concat_map (fun a -> List.map (fun b -> Pbinop (op, a, b)) rs) ls in
+        if Ir.Types.binop_commutative op then
+          fwd @ List.concat_map (fun a -> List.map (fun b -> Pbinop (op, b, a)) rs) ls
+        else fwd
+  in
+  List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) [] (go p)
+  |> List.rev
+
+let variants (r : rule) = if r.commutes then expand_commutative r.lhs else [ r.lhs ]
+
+(* ---------------- pattern relations (for the meta-lints) ---------------- *)
+
+(* [subsumes p q]: every subject matched by [q] is matched by [p] (with
+   consistent bindings), treating [q]'s metavariables as opaque atoms. An
+   earlier unguarded subsuming pattern makes a later rule dead. *)
+let subsumes p q =
+  let env : (int, pat) Hashtbl.t = Hashtbl.create 8 in
+  let cenv : (int, pat) Hashtbl.t = Hashtbl.create 8 in
+  let bind tbl i q = match Hashtbl.find_opt tbl i with
+    | Some q' -> q' = q
+    | None -> Hashtbl.add tbl i q; true
+  in
+  let rec go p q =
+    match (p, q) with
+    | Pvar i, _ -> bind env i q
+    | Pcvar i, (Pconst _ | Pcvar _) -> bind cenv i q
+    | Pcvar _, _ -> false
+    | Pconst n, Pconst m -> n = m
+    | Pconst _, _ -> false
+    | Punop (op, p1), Punop (op', q1) -> op = op' && go p1 q1
+    | Punop _, _ -> false
+    | Pbinop (op, p1, p2), Pbinop (op', q1, q2) -> op = op' && go p1 q1 && go p2 q2
+    | Pbinop _, _ -> false
+  in
+  go p q
+
+(* [may_overlap p q]: conservative over-approximation of "some subject
+   matches both" (binding consistency ignored, so it only ever errs toward
+   reporting an overlap). *)
+let rec may_overlap p q =
+  match (p, q) with
+  | Pvar _, _ | _, Pvar _ -> true
+  | Pcvar _, (Pcvar _ | Pconst _) | Pconst _, Pcvar _ -> true
+  | Pconst n, Pconst m -> n = m
+  | Punop (op, p1), Punop (op', q1) -> op = op' && may_overlap p1 q1
+  | Pbinop (op, p1, p2), Pbinop (op', q1, q2) ->
+      op = op' && may_overlap p1 q1 && may_overlap p2 q2
+  | _ -> false
+
+(* ---------------- printing ---------------- *)
+
+let var_name i = if i < 4 then String.make 1 "xyzw".[i] else Printf.sprintf "x%d" i
+let cvar_name i = if i < 3 then String.make 1 "ABC".[i] else Printf.sprintf "C%d" i
+
+let rec pp_pat ppf = function
+  | Pvar i -> Fmt.string ppf (var_name i)
+  | Pcvar i -> Fmt.string ppf (cvar_name i)
+  | Pconst n -> Fmt.int ppf n
+  | Punop (op, p) -> Fmt.pf ppf "%s(%a)" (Ir.Types.string_of_unop op) pp_pat p
+  | Pbinop (op, p, q) ->
+      Fmt.pf ppf "(%a %s %a)" pp_pat p (Ir.Types.string_of_binop op) pp_pat q
+
+let rec pp_rhs ppf = function
+  | Rvar i -> Fmt.string ppf (var_name i)
+  | Rcvar i -> Fmt.string ppf (cvar_name i)
+  | Rconst n -> Fmt.int ppf n
+  | Rcfun (doc, _) -> Fmt.pf ppf "[%s]" doc
+  | Runop (op, r) -> Fmt.pf ppf "%s(%a)" (Ir.Types.string_of_unop op) pp_rhs r
+  | Rbinop (op, r, s) ->
+      Fmt.pf ppf "(%a %s %a)" pp_rhs r (Ir.Types.string_of_binop op) pp_rhs s
+
+let pp_rule ppf r =
+  Fmt.pf ppf "%-18s %a -> %a" r.name pp_pat r.lhs pp_rhs r.rhs;
+  if r.guard_doc <> "" then Fmt.pf ppf "  when %s" r.guard_doc;
+  if r.commutes then Fmt.pf ppf "  (commutes)"

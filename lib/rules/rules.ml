@@ -1,0 +1,11 @@
+(* Root of the declarative rewrite-rule subsystem (DESIGN.md §4e).
+
+   [Pattern] is the DSL, [Catalog] the one rule table, [Engine] the
+   compiled matcher every client consults, [Verify] the soundness gate. *)
+
+module Pattern = Pattern
+module Catalog = Catalog
+module Engine = Engine
+module Verify = Verify
+
+let catalog = Catalog.all

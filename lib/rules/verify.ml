@@ -1,0 +1,352 @@
+(* The static rule-soundness verifier.
+
+   A rule is admitted only if its two sides agree *strictly* on every
+   checked input: equal values where neither side faults, and faulting
+   together otherwise. Faults are observable ([Ir.Interp.Trap]), so
+   "refines the fault set" is not good enough — [x/x -> 1] removes a trap
+   and is exactly the kind of plausible-looking rule this module exists to
+   reject.
+
+   Three layers, cheapest first:
+
+   - {b meta-lints}: structural checks on the catalog as a whole —
+     malformed RHS metavariables, duplicate names, non-decreasing
+     termination weight, dead (shadowed) rules, missing commutative
+     variants, overlapping patterns.
+   - {b exhaustive}: every assignment of battery values (all small-width
+     integers plus the boundary sentinels) to the rule's metavariables,
+     evaluated host-side against {!Ir.Types} semantics.
+   - {b fuzz}: PRNG-driven full-width checking through {!Ir.Interp} — each
+     side is compiled to a straight-line [Ir.Func] (metavariables become
+     parameters, constant metavariables become [Const] instructions) and
+     the two runs must produce [equal_result]s, trap for trap. This checks
+     the rule against the same interpreter that grounds the rest of the
+     test suite, not just against a re-implementation of the semantics. *)
+
+exception Fault
+
+let rec eval_pat vars cvals = function
+  | Pattern.Pvar i -> vars.(i)
+  | Pattern.Pcvar i -> cvals.(i)
+  | Pattern.Pconst n -> n
+  | Pattern.Punop (op, p) -> Ir.Types.eval_unop op (eval_pat vars cvals p)
+  | Pattern.Pbinop (op, p, q) -> (
+      let a = eval_pat vars cvals p in
+      let b = eval_pat vars cvals q in
+      match Ir.Types.fold_binop op a b with Some v -> v | None -> raise Fault)
+
+let rec eval_rhs vars cvals = function
+  | Pattern.Rvar i -> vars.(i)
+  | Pattern.Rcvar i -> cvals.(i)
+  | Pattern.Rconst n -> n
+  | Pattern.Rcfun (_, f) -> f cvals
+  | Pattern.Runop (op, r) -> Ir.Types.eval_unop op (eval_rhs vars cvals r)
+  | Pattern.Rbinop (op, r, s) -> (
+      let a = eval_rhs vars cvals r in
+      let b = eval_rhs vars cvals s in
+      match Ir.Types.fold_binop op a b with Some v -> v | None -> raise Fault)
+
+type outcome = Val of int | Trap
+
+let outcome f = match f () with v -> Val v | exception Fault -> Trap
+
+let string_of_outcome = function
+  | Val v -> string_of_int v
+  | Trap -> "trap"
+
+(* ---------------- input battery ---------------- *)
+
+(* All 4-bit integers (which subsume all 3-bit ones) plus the boundary
+   sentinels of full-width arithmetic and of the masked shift range. *)
+let battery =
+  let small = List.init 16 (fun i -> i - 8) in
+  let sentinels =
+    [ min_int; min_int + 1; max_int; max_int - 1; 16; 31; 32; 62; 63; 64;
+      1 lsl 61; -(1 lsl 61) ]
+  in
+  List.sort_uniq compare (small @ sentinels) |> Array.of_list
+
+let render_cx (r : Pattern.rule) vars cvals lo ro =
+  let nvars, ncvars = Pattern.arity r in
+  let buf = Buffer.create 64 in
+  for i = 0 to nvars - 1 do
+    Buffer.add_string buf (Printf.sprintf "%s=%d " (Pattern.var_name i) vars.(i))
+  done;
+  for i = 0 to ncvars - 1 do
+    Buffer.add_string buf (Printf.sprintf "%s=%d " (Pattern.cvar_name i) cvals.(i))
+  done;
+  Printf.sprintf "%s: %slhs=%s rhs=%s" r.Pattern.name (Buffer.contents buf)
+    (string_of_outcome lo) (string_of_outcome ro)
+
+(* One concrete check against the host-side evaluators. [None] = agree. *)
+let check_host (r : Pattern.rule) vars cvals =
+  let lo = outcome (fun () -> eval_pat vars cvals r.Pattern.lhs) in
+  let ro = outcome (fun () -> eval_rhs vars cvals r.Pattern.rhs) in
+  if lo = ro then None else Some (render_cx r vars cvals lo ro)
+
+let guard_passes (r : Pattern.rule) cvals =
+  match r.Pattern.guard with None -> true | Some g -> g cvals
+
+(* Exhaustive over the battery: an odometer across the rule's var and cvar
+   slots. Returns [Ok checked] or [Error witness]. *)
+let exhaustive (r : Pattern.rule) =
+  let nvars, ncvars = Pattern.arity r in
+  let slots = nvars + ncvars in
+  let idx = Array.make (max slots 1) 0 in
+  let vars = Array.make (max nvars 1) 0 in
+  let cvals = Array.make (max ncvars 1) 0 in
+  let checked = ref 0 in
+  let failure = ref None in
+  let n = Array.length battery in
+  let rec spin () =
+    for k = 0 to nvars - 1 do vars.(k) <- battery.(idx.(k)) done;
+    for k = 0 to ncvars - 1 do cvals.(k) <- battery.(idx.(nvars + k)) done;
+    if guard_passes r cvals then begin
+      incr checked;
+      match check_host r vars cvals with
+      | Some w -> failure := Some w
+      | None -> ()
+    end;
+    if !failure = None then begin
+      (* advance the odometer; stop after the last assignment *)
+      let rec bump k =
+        if k < 0 then false
+        else if idx.(k) + 1 < n then begin
+          idx.(k) <- idx.(k) + 1;
+          true
+        end
+        else begin
+          idx.(k) <- 0;
+          bump (k - 1)
+        end
+      in
+      if bump (slots - 1) then spin ()
+    end
+  in
+  if slots = 0 then ignore (check_host r vars cvals) else spin ();
+  match !failure with Some w -> Error w | None -> Ok !checked
+
+(* ---------------- full-width fuzzing through the interpreter ---------------- *)
+
+let full_width_random rng =
+  Int64.to_int (Util.Prng.next_int64 rng)
+
+(* Shift-amount-friendly pool for constant metavariables: guards are
+   predicates on masked shift amounts, so draws concentrate there. *)
+let cvar_pool =
+  [| 0; 1; 2; 3; 4; 8; 16; 30; 31; 32; 33; 60; 62; 63; 64; 65; -1; -2; min_int; max_int |]
+
+let draw_value rng =
+  if Util.Prng.chance rng 1 3 then Util.Prng.choose rng battery
+  else full_width_random rng
+
+let draw_cval rng =
+  if Util.Prng.chance rng 1 2 then Util.Prng.choose rng cvar_pool
+  else draw_value rng
+
+(* Compile one side to a straight-line function: metavariables are
+   parameters, constant metavariables are [Const]s of this draw. *)
+let func_of_side ~name nvars cvals side =
+  let b = Ir.Builder.create ~name ~nparams:(max nvars 1) in
+  let blk = Ir.Builder.add_block b in
+  let params = Array.init (max nvars 1) (fun k -> Ir.Builder.param b blk k) in
+  let root =
+    match side with
+    | `L p ->
+        let rec go = function
+          | Pattern.Pvar i -> params.(i)
+          | Pattern.Pcvar i -> Ir.Builder.const b blk cvals.(i)
+          | Pattern.Pconst n -> Ir.Builder.const b blk n
+          | Pattern.Punop (op, p) -> Ir.Builder.unop b blk op (go p)
+          | Pattern.Pbinop (op, p, q) ->
+              let u = go p in
+              let v = go q in
+              Ir.Builder.binop b blk op u v
+        in
+        go p
+    | `R r ->
+        let rec go = function
+          | Pattern.Rvar i -> params.(i)
+          | Pattern.Rcvar i -> Ir.Builder.const b blk cvals.(i)
+          | Pattern.Rconst n -> Ir.Builder.const b blk n
+          | Pattern.Rcfun (_, f) -> Ir.Builder.const b blk (f cvals)
+          | Pattern.Runop (op, r) -> Ir.Builder.unop b blk op (go r)
+          | Pattern.Rbinop (op, r, s) ->
+              let u = go r in
+              let v = go s in
+              Ir.Builder.binop b blk op u v
+        in
+        go r
+  in
+  Ir.Builder.ret b blk root;
+  Ir.Builder.finish b
+
+let fuzz ~seed ~iters (r : Pattern.rule) =
+  let rng = Util.Prng.create (seed lxor Hashtbl.hash r.Pattern.name) in
+  let nvars, ncvars = Pattern.arity r in
+  let fuzzed = ref 0 in
+  let failure = ref None in
+  let i = ref 0 in
+  while !failure = None && !i < iters do
+    incr i;
+    (* draw constants until the guard passes (bounded) *)
+    let cvals = Array.make (max ncvars 1) 0 in
+    let tries = ref 0 in
+    let ok = ref false in
+    while (not !ok) && !tries < 64 do
+      incr tries;
+      for k = 0 to ncvars - 1 do cvals.(k) <- draw_cval rng done;
+      ok := guard_passes r cvals
+    done;
+    if !ok then begin
+      let vars = Array.make (max nvars 1) 0 in
+      for k = 0 to nvars - 1 do vars.(k) <- draw_value rng done;
+      incr fuzzed;
+      let fl = func_of_side ~name:"lhs" nvars cvals (`L r.Pattern.lhs) in
+      let fr = func_of_side ~name:"rhs" nvars cvals (`R r.Pattern.rhs) in
+      let rl = Ir.Interp.run fl vars in
+      let rr = Ir.Interp.run fr vars in
+      if not (Ir.Interp.equal_result rl rr) then
+        let o = function
+          | Ir.Interp.Ret v -> Val v
+          | Ir.Interp.Trap -> Trap
+          | Ir.Interp.Timeout -> Val 0 (* unreachable: straight-line *)
+        in
+        failure := Some (render_cx r vars cvals (o rl) (o rr))
+    end
+  done;
+  match !failure with Some w -> Error w | None -> Ok !fuzzed
+
+(* ---------------- meta-lints ---------------- *)
+
+type level = Fatal | Info
+
+type lint = { level : level; rules : string list; what : string }
+
+let lint_catalog (rules : Pattern.rule list) : lint list =
+  let lints = ref [] in
+  let add level rs what = lints := { level; rules = rs; what } :: !lints in
+  (* duplicate names *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Pattern.rule) ->
+      if Hashtbl.mem seen r.Pattern.name then
+        add Fatal [ r.Pattern.name ] "duplicate rule name"
+      else Hashtbl.add seen r.Pattern.name ())
+    rules;
+  List.iter
+    (fun (r : Pattern.rule) ->
+      let n = r.Pattern.name in
+      (* top of the LHS must be an operator *)
+      (match r.Pattern.lhs with
+      | Pattern.Punop _ | Pattern.Pbinop _ -> ()
+      | _ -> add Fatal [ n ] "LHS is not rooted at an operator");
+      (* RHS metavariables must be bound by the LHS *)
+      let sub a b = List.for_all (fun i -> List.mem i b) a in
+      if not (sub (Pattern.rhs_vars r.Pattern.rhs) (Pattern.pat_vars r.Pattern.lhs)) then
+        add Fatal [ n ] "RHS uses a metavariable the LHS does not bind";
+      if not (sub (Pattern.rhs_cvars r.Pattern.rhs) (Pattern.pat_cvars r.Pattern.lhs)) then
+        add Fatal [ n ] "RHS uses a constant metavariable the LHS does not bind";
+      (* termination: the weight must strictly decrease *)
+      let wl = Pattern.pat_weight r.Pattern.lhs in
+      let wr = Pattern.rhs_weight r.Pattern.rhs in
+      if wr >= wl then
+        add Fatal [ n ]
+          (Printf.sprintf "termination: RHS weight %d does not decrease LHS weight %d" wr wl);
+      (* commutative nodes with distinct children want [commutes] *)
+      if not r.Pattern.commutes then begin
+        let asym =
+          Pattern.fold_pat
+            (fun acc p ->
+              acc
+              ||
+              match p with
+              | Pattern.Pbinop (op, a, b) -> Ir.Types.binop_commutative op && a <> b
+              | _ -> false)
+            false r.Pattern.lhs
+        in
+        if asym then
+          add Info [ n ]
+            "commutative LHS node with distinct children but [commutes] is not set"
+      end)
+    rules;
+  (* pairwise: dead (shadowed) rules, overlapping patterns *)
+  let arr = Array.of_list rules in
+  let top_op (p : Pattern.pat) =
+    match p with
+    | Pattern.Pbinop (op, _, _) -> `B op
+    | Pattern.Punop (op, _) -> `U op
+    | _ -> `None
+  in
+  for j = 0 to Array.length arr - 1 do
+    for i = 0 to j - 1 do
+      let ri = arr.(i) and rj = arr.(j) in
+      if top_op ri.Pattern.lhs = top_op rj.Pattern.lhs then begin
+        let vi = Pattern.variants ri and vj = Pattern.variants rj in
+        if
+          ri.Pattern.guard = None
+          && List.for_all (fun qv -> List.exists (fun pv -> Pattern.subsumes pv qv) vi) vj
+        then
+          add Fatal
+            [ ri.Pattern.name; rj.Pattern.name ]
+            "shadowed: every variant of the later rule is subsumed by an earlier unguarded rule"
+        else if
+          List.exists (fun pv -> List.exists (fun qv -> Pattern.may_overlap pv qv) vj) vi
+        then
+          add Info
+            [ ri.Pattern.name; rj.Pattern.name ]
+            "patterns overlap: match order decides"
+      end
+    done
+  done;
+  List.rev !lints
+
+(* ---------------- reports ---------------- *)
+
+type status = {
+  rule : Pattern.rule;
+  exhaustive_checked : int;
+  fuzz_checked : int;
+  failure : string option;
+}
+
+type report = { lints : lint list; statuses : status list }
+
+let verify_rule ?(iters = 200) ~seed (r : Pattern.rule) : status =
+  match exhaustive r with
+  | Error w -> { rule = r; exhaustive_checked = 0; fuzz_checked = 0; failure = Some w }
+  | Ok ex -> (
+      match fuzz ~seed ~iters r with
+      | Error w -> { rule = r; exhaustive_checked = ex; fuzz_checked = 0; failure = Some w }
+      | Ok fz -> { rule = r; exhaustive_checked = ex; fuzz_checked = fz; failure = None })
+
+let verify_all ?(iters = 200) ~seed (rules : Pattern.rule list) : report =
+  { lints = lint_catalog rules; statuses = List.map (verify_rule ~iters ~seed) rules }
+
+let rule_ok (s : status) = s.failure = None
+
+let ok (r : report) =
+  List.for_all rule_ok r.statuses
+  && List.for_all (fun (l : lint) -> l.level <> Fatal) r.lints
+
+let pp_report ppf (r : report) =
+  List.iter
+    (fun s ->
+      match s.failure with
+      | None ->
+          Fmt.pf ppf "ok   %-18s exhaustive %d, fuzz %d@."
+            s.rule.Pattern.name s.exhaustive_checked s.fuzz_checked
+      | Some w -> Fmt.pf ppf "FAIL %s@." w)
+    r.statuses;
+  List.iter
+    (fun (l : lint) ->
+      Fmt.pf ppf "%s %s: %s@."
+        (match l.level with Fatal -> "lint-fatal" | Info -> "lint-info")
+        (String.concat ", " l.rules) l.what)
+    r.lints;
+  let failed = List.filter (fun s -> not (rule_ok s)) r.statuses in
+  let fatal = List.filter (fun (l : lint) -> l.level = Fatal) r.lints in
+  Fmt.pf ppf "%d rules: %d verified, %d failed; %d fatal lints@."
+    (List.length r.statuses)
+    (List.length r.statuses - List.length failed)
+    (List.length failed) (List.length fatal)

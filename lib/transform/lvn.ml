@@ -10,6 +10,23 @@ type vexpr =
   | Vcmp of Ir.Types.cmp * int * int
   | Vopq of int * int list
 
+(* Operand view for the shared rule table (lib/rules): a value id or its
+   known constant. The adapter is deliberately shallow — LVN has no
+   expression language beyond existing value ids, so any rule whose
+   right-hand side would need a fresh compound node is declined. *)
+type lrep = Lv of int | Lc of int
+
+let rules_subject : lrep Rules.Engine.subject =
+  {
+    Rules.Engine.view =
+      (function Lc c -> Rules.Engine.Sconst c | Lv _ -> Rules.Engine.Satom);
+    equal = (fun a b -> a = b);
+    bconst = (fun c -> Lc c);
+    bunop = (fun _ _ -> None);
+    bbinop = (fun _ _ _ -> None);
+    reduce = (fun _ -> None);
+  }
+
 (* Returns a per-value rewrite map: [Some w] means "use w instead". *)
 let rewrites (f : Ir.Func.t) =
   let n = Ir.Func.num_instrs f in
@@ -25,20 +42,31 @@ let rewrites (f : Ir.Func.t) =
           | Ir.Func.Const c ->
               const_of.(i) <- Some c;
               Some (Vconst c)
-          | Ir.Func.Unop (op, a) ->
+          | Ir.Func.Unop (op, a) -> (
               let a = resolve a in
-              (match const_of.(a) with
-              | Some ca ->
-                  const_of.(i) <- Some (Ir.Types.eval_unop op ca);
+              let ra = match const_of.(a) with Some c -> Lc c | None -> Lv a in
+              match Rules.Engine.rewrite_unop (Rules.Engine.shared ()) rules_subject op ra with
+              | Some (Lc c) ->
+                  const_of.(i) <- Some c;
+                  None
+              | Some (Lv w) ->
+                  rw.(i) <- Some w;
                   None
               | None -> Some (Vunop (op, a)))
-          | Ir.Func.Binop (op, a, b') ->
+          | Ir.Func.Binop (op, a, b') -> (
               let a = resolve a and b' = resolve b' in
-              (match (const_of.(a), const_of.(b')) with
-              | Some ca, Some cb when not (Ir.Types.binop_can_trap op cb) ->
-                  const_of.(i) <- Some (Ir.Types.eval_binop op ca cb);
+              let rep v = match const_of.(v) with Some c -> Lc c | None -> Lv v in
+              match
+                Rules.Engine.rewrite_binop (Rules.Engine.shared ()) rules_subject op (rep a)
+                  (rep b')
+              with
+              | Some (Lc c) ->
+                  const_of.(i) <- Some c;
                   None
-              | _ ->
+              | Some (Lv w) ->
+                  rw.(i) <- Some w;
+                  None
+              | None ->
                   if Ir.Types.binop_commutative op && b' < a then Some (Vbinop (op, b', a))
                   else Some (Vbinop (op, a, b')))
           | Ir.Func.Cmp (op, a, b') ->

@@ -200,9 +200,3 @@ let run_with (opts : Options.t) (f : Ir.Func.t) : result =
     validation = (match validate with None -> None | Some _ -> Some !vreport);
     crosschecks = List.rev !xreports;
   }
-
-(* Deprecated keyword-argument front: one release of compatibility for
-   callers that predate {!Options}. *)
-let run ?(config = Pgvn.Config.full) ?(rounds = 2) ?(check = false) ?validate
-    ?(crosscheck = false) (f : Ir.Func.t) : result =
-  run_with { Options.config; rounds; check; validate; crosscheck; obs = None } f

@@ -105,17 +105,3 @@ val run_with : Options.t -> Ir.Func.t -> result
     before the rewrite; a contradicted claim raises {!Crosscheck_failed}.
     With [Options.obs] all spans, counters and histograms of the run land
     in the caller's context (pass spans, [pgvn.*], [validate.*]). *)
-
-val run :
-  ?config:Pgvn.Config.t ->
-  ?rounds:int ->
-  ?check:bool ->
-  ?validate:Validate.mode ->
-  ?crosscheck:bool ->
-  Ir.Func.t ->
-  result
-[@@ocaml.deprecated
-  "use Pipeline.run_with with Pipeline.Options (this keyword-argument \
-   wrapper will be removed next release)"]
-(** Deprecated compatibility wrapper over {!run_with}: behaviorally
-    identical (pinned by a test), kept for one release. *)

@@ -8,9 +8,14 @@
    Independence: this module shares nothing with the engine under test
    (lib/core). It has its own DFS reachability, its own RPO walk, its own
    partition representation, and none of the paper's machinery (no touched
-   lists, no predicate or value inference, no φ-predication). The only
-   common ground is the frozen [Ir.Func] representation and the operator
-   semantics in [Ir.Types] — the very definitions the interpreter uses.
+   lists, no predicate or value inference, no φ-predication). The common
+   ground is the frozen [Ir.Func] representation, the operator semantics in
+   [Ir.Types] — the very definitions the interpreter uses — and the
+   declarative rule catalog (lib/rules), consulted through a deliberately
+   shallow adapter: the identities are data verified against the concrete
+   semantics (Rules.Verify), not engine code, so sharing them keeps the two
+   implementations independent while guaranteeing that both sides simplify
+   from the one table.
 
    Soundness of the fixpoint: value numbers are representative instruction
    ids (first member in RPO order). A round recomputes every reachable
@@ -40,6 +45,26 @@ type key =
   | Kcmp of Ir.Types.cmp * int * int
   | Kcall of int * int list
   | Kphi of int * (int * int) list  (* block, (pred index, number) when live *)
+
+(* Operand view for the rule-table consult: a value number plus its known
+   constant. [onum = -1] marks a constant the matcher built itself. *)
+type orep = { onum : int; ocst : int option }
+
+let rules_subject : orep Rules.Engine.subject =
+  {
+    Rules.Engine.view =
+      (fun r ->
+        match r.ocst with Some c -> Rules.Engine.Sconst c | None -> Rules.Engine.Satom);
+    equal =
+      (fun r s ->
+        match (r.ocst, s.ocst) with
+        | Some a, Some b -> a = b
+        | _ -> r.onum >= 0 && r.onum = s.onum);
+    bconst = (fun c -> { onum = -1; ocst = Some c });
+    bunop = (fun _ _ -> None);
+    bbinop = (fun _ _ _ -> None);
+    reduce = (fun _ -> None);
+  }
 
 (* The value a round assigns an instruction: an existing class, a fresh
    expression key, or a constant. *)
@@ -137,31 +162,23 @@ let number f arena order (block_reach : bool array) (edge_reach : bool array)
     let ra = num a and rb = num b in
     if ra < 0 || rb < 0 then K (Kself i)
     else
-      let ca = cst a and cb = cst b in
-      let open Ir.Types in
-      match (ca, cb) with
-      | Some x, Some y when not (binop_can_trap op y) -> C (eval_binop op x y)
-      | _ -> (
-          (* A small set of always-safe algebraic identities. *)
-          match (op, ca, cb) with
-          | (Add | Or | Xor), Some 0, _ -> V rb
-          | (Add | Sub | Or | Xor | Shl | Shr), _, Some 0 -> V ra
-          | Mul, Some 1, _ -> V rb
-          | (Mul | Div), _, Some 1 -> V ra
-          | Mul, Some 0, _ | Mul, _, Some 0 -> C 0
-          | And, Some 0, _ | And, _, Some 0 -> C 0
-          | And, Some (-1), _ -> V rb
-          | And, _, Some (-1) -> V ra
-          | Or, Some (-1), _ | Or, _, Some (-1) -> C (-1)
-          | Rem, _, Some 1 -> C 0
-          | (Shl | Shr), Some 0, _ -> C 0
-          | (Sub | Xor), _, _ when ra = rb -> C 0
-          | (And | Or), _, _ when ra = rb -> V ra
-          | _ ->
-              let ra, rb =
-                if binop_commutative op && rb < ra then (rb, ra) else (ra, rb)
-              in
-              K (Kbinop (op, ra, rb)))
+      (* Fold constants and apply algebraic identities by consulting the
+         shared rule table through a shallow adapter: an operand is its
+         value number plus its known constant, and any rule whose RHS
+         would need a fresh compound expression is declined (the oracle
+         has no expression language — only numbers and constants). *)
+      match
+        Rules.Engine.rewrite_binop (Rules.Engine.shared ()) rules_subject op
+          { onum = ra; ocst = cst a }
+          { onum = rb; ocst = cst b }
+      with
+      | Some { ocst = Some c; _ } -> C c
+      | Some { onum = r; _ } -> V r
+      | None ->
+          let ra, rb =
+            if Ir.Types.binop_commutative op && rb < ra then (rb, ra) else (ra, rb)
+          in
+          K (Kbinop (op, ra, rb))
   in
   let cmp_val i op a b =
     let ra = num a and rb = num b in

@@ -80,6 +80,46 @@ let test_exit_werror () =
   let dead = write_tmp "dead.mc" "routine f(a) { dead = a * 37; return a; }\n" in
   Alcotest.(check int) "Info lints pass --Werror" 0 (run [ "--lint"; "--Werror"; dead ])
 
+let test_exit_werror_overflow () =
+  (* The other guaranteed division fault: min_int / -1 overflows the
+     machine word (min_int on the 63-bit IR is -2^62, spelled without a
+     negative-literal edge case). Same lint, same Warning severity. *)
+  let p =
+    write_tmp "ovf.mc"
+      "routine f(a) { n = -4611686018427387903 - 1; d = -1; return n / d; }\n"
+  in
+  let code, out = run_capture [ "--lint"; p ] in
+  Alcotest.(check int) "--lint alone stays clean" 0 code;
+  Alcotest.(check bool)
+    "overflow attributed to lint-div-by-zero" true
+    (contains out "lint-div-by-zero" && contains out "overflows");
+  Alcotest.(check int) "--lint --Werror fails" 1 (run [ "--lint"; "--Werror"; p ])
+
+let test_rules_modes () =
+  (* --rules=dump and --rules=verify are standalone: no input file. *)
+  let code, out = run_capture [ "--rules=dump" ] in
+  Alcotest.(check int) "--rules=dump exits 0" 0 code;
+  Alcotest.(check bool)
+    "dump prints the catalog" true
+    (contains out "and-self" && contains out "demorgan-and" && contains out "->");
+  let code, out = run_capture [ "--rules=verify" ] in
+  Alcotest.(check int) "--rules=verify exits 0 on the shipped catalog" 0 code;
+  Alcotest.(check bool)
+    "verify reports a clean summary" true
+    (contains out "0 failed" && contains out "0 fatal lints");
+  (* --rules=off still optimizes, but without the catalog: the idempotent
+     And survives in the output. *)
+  let p = write_tmp "idem.mc" "routine f(a) { return a & a; }\n" in
+  let code, out = run_capture [ "--rules=off"; p ] in
+  Alcotest.(check int) "--rules=off exits 0" 0 code;
+  Alcotest.(check bool) "catalog disabled: a & a survives" true (contains out "& ");
+  let code, out = run_capture [ p ] in
+  Alcotest.(check int) "default run exits 0" 0 code;
+  Alcotest.(check bool) "catalog enabled: a & a simplified" false (contains out "& ");
+  (* Without a file, every other mode is a usage error. *)
+  Alcotest.(check int) "optimize without FILE is exit 2" 2 (run [ "--rules=off" ]);
+  Alcotest.(check int) "unknown mode is exit 2" 2 (run [ "--rules=frobnicate" ])
+
 let count_occurrences hay needle =
   let nh = String.length hay and nn = String.length needle in
   let rec go acc i =
@@ -137,6 +177,9 @@ let suite =
     Alcotest.test_case "--analyze=all output format" `Quick test_analyze_output;
     Alcotest.test_case "exit 0 under --validate" `Quick test_exit_validate_clean;
     Alcotest.test_case "exit 1 under --lint --Werror" `Quick test_exit_werror;
+    Alcotest.test_case "min_int / -1 overflow lint under --Werror" `Quick
+      test_exit_werror_overflow;
+    Alcotest.test_case "--rules mode exit codes and output" `Quick test_rules_modes;
     Alcotest.test_case "--trace writes balanced Chrome JSON" `Quick test_trace_output;
     Alcotest.test_case "--metrics prints the engine snapshot" `Quick test_metrics_output;
     Alcotest.test_case "exit 2 on parse errors" `Quick test_exit_parse_error;

@@ -9,6 +9,7 @@ let () =
       ("check", Test_check.suite);
       ("absint", Test_absint.suite);
       ("expr", Test_expr.suite);
+      ("rules", Test_rules.suite);
       ("infer", Test_infer.suite);
       ("gvn", Test_gvn.suite);
       ("phipred", Test_phipred.suite);

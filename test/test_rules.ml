@@ -1,0 +1,284 @@
+(* The declarative rewrite-rule subsystem (lib/rules): the shipped catalog
+   must come through the soundness verifier clean, deliberately unsound
+   mutant rules must be rejected with a witness, the compiled matcher must
+   agree behaviorally with direct operator semantics (what the old
+   hand-coded fold ladders implemented), the engine must not lose
+   congruence strength on the ten-benchmark suite, and rule firings must
+   surface as observability counters. *)
+
+module P = Rules.Pattern
+module V = Rules.Verify
+module E = Pgvn.Expr
+
+(* Deterministic: the same seed the --rules=verify CLI gate uses. *)
+let fixed_seed = 0x5eed
+
+(* ---------------- catalog soundness ---------------- *)
+
+let test_catalog_verifies () =
+  let report = V.verify_all ~seed:fixed_seed Rules.catalog in
+  Alcotest.(check bool) "catalog verifies" true (V.ok report);
+  Alcotest.(check bool) "catalog is non-trivial" true (List.length Rules.catalog >= 30);
+  List.iter
+    (fun (s : V.status) ->
+      Alcotest.(check bool)
+        (s.V.rule.P.name ^ ": exhaustively checked")
+        true
+        (s.V.exhaustive_checked > 0);
+      Alcotest.(check bool) (s.V.rule.P.name ^ ": fuzzed") true (s.V.fuzz_checked > 0))
+    report.V.statuses
+
+(* Stability of the verifier itself: a second run with the same seed must
+   reproduce the same statuses (the CLI gate depends on determinism). *)
+let test_verifier_deterministic () =
+  let counts r =
+    List.map (fun (s : V.status) -> (s.V.exhaustive_checked, s.V.fuzz_checked)) r.V.statuses
+  in
+  let a = V.verify_all ~seed:fixed_seed Rules.catalog in
+  let b = V.verify_all ~seed:fixed_seed Rules.catalog in
+  Alcotest.(check (list (pair int int))) "same check counts" (counts a) (counts b)
+
+(* ---------------- unsound mutants are rejected ---------------- *)
+
+let mk name lhs rhs = { P.name; lhs; rhs; guard = None; guard_doc = ""; commutes = false }
+
+let rejected r = not (V.rule_ok (V.verify_rule ~seed:fixed_seed r))
+
+let test_mutants_rejected () =
+  (* x / x -> 1 violates fault agreement: at x = 0 the LHS traps and the
+     RHS yields 1 (traps are observable through the interpreter). *)
+  Alcotest.(check bool)
+    "div-self rejected" true
+    (rejected (mk "mutant-div-self" (P.Pbinop (Ir.Types.Div, P.Pvar 0, P.Pvar 0)) (P.Rconst 1)));
+  (* !!x -> x confuses double logical negation with identity: !!5 = 1. *)
+  Alcotest.(check bool)
+    "lnot-lnot rejected" true
+    (rejected
+       (mk "mutant-lnot-lnot"
+          (P.Punop (Ir.Types.Lnot, P.Punop (Ir.Types.Lnot, P.Pvar 0)))
+          (P.Rvar 0)));
+  (* x * 2 -> x shl 1 is unsound here: shift amounts mask with [land 62],
+     so bit 0 of the amount is dropped and [x shl 1 = x]. *)
+  Alcotest.(check bool)
+    "mul2-to-shl rejected" true
+    (rejected
+       (mk "mutant-mul2-shl"
+          (P.Pbinop (Ir.Types.Mul, P.Pvar 0, P.Pconst 2))
+          (P.Rbinop (Ir.Types.Shl, P.Rvar 0, P.Rconst 1))));
+  (* x rem -1 -> 0 violates fault agreement at x = min_int (the quotient
+     min_int / -1 overflows, and rem faults with it). *)
+  Alcotest.(check bool)
+    "rem-neg1 rejected" true
+    (rejected (mk "mutant-rem-neg1" (P.Pbinop (Ir.Types.Rem, P.Pvar 0, P.Pconst (-1))) (P.Rconst 0)))
+
+(* ---------------- catalog meta-lints ---------------- *)
+
+let has_fatal_for name lints =
+  List.exists
+    (fun (l : V.lint) -> l.V.level = V.Fatal && List.mem name l.V.rules)
+    lints
+
+let test_termination_lint () =
+  (* x + 0 -> 0 + x does not decrease the termination weight; rewriting
+     could ping-pong forever, so the lint must be fatal. *)
+  let flipped =
+    mk "mutant-add-zero-flip"
+      (P.Pbinop (Ir.Types.Add, P.Pvar 0, P.Pconst 0))
+      (P.Rbinop (Ir.Types.Add, P.Rconst 0, P.Rvar 0))
+  in
+  let lints = V.lint_catalog [ flipped ] in
+  Alcotest.(check bool) "termination lint fires" true (has_fatal_for flipped.P.name lints);
+  Alcotest.(check bool)
+    "verify_all rejects the catalog" false
+    (V.ok (V.verify_all ~seed:fixed_seed [ flipped ]))
+
+let test_shadow_lint () =
+  (* An unguarded earlier rule whose pattern subsumes a later one makes the
+     later rule dead: first-match-wins never reaches it. *)
+  let broad = mk "broad" (P.Pbinop (Ir.Types.And, P.Pvar 0, P.Pvar 1)) (P.Rvar 0) in
+  let dead = mk "dead" (P.Pbinop (Ir.Types.And, P.Pvar 0, P.Pconst 0)) (P.Rconst 0) in
+  let lints = V.lint_catalog [ broad; dead ] in
+  Alcotest.(check bool) "shadow lint fires" true (has_fatal_for "dead" lints)
+
+(* ---------------- matcher vs. direct semantics ---------------- *)
+
+(* The compiled matcher replaced hand-coded identity ladders whose contract
+   was: the simplified expression is semantically identical to the plain
+   operator application, with strict trap agreement. Property-test exactly
+   that contract over random atoms. *)
+
+exception Trap
+
+let rec eval_expr (env : int array) (e : E.t) : int =
+  match e with
+  | E.Const n -> n
+  | E.Value v -> env.(v)
+  | E.Sum ts ->
+      List.fold_left
+        (fun acc (t : E.term) ->
+          acc + (t.E.coeff * List.fold_left (fun p v -> p * env.(v)) 1 t.E.factors))
+        0 ts
+  | E.Op (E.Ubop op, [ a; b ]) -> (
+      let x = eval_expr env a and y = eval_expr env b in
+      match Ir.Types.fold_binop op x y with Some r -> r | None -> raise Trap)
+  | E.Op (E.Uuop op, [ a ]) -> Ir.Types.eval_unop op (eval_expr env a)
+  | E.Cmp (c, a, b) -> Ir.Types.eval_cmp c (eval_expr env a) (eval_expr env b)
+  | _ -> Alcotest.fail "unexpected expression shape from binop_atoms"
+
+let rank v = v + 1
+
+let gen_atom =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> E.Const n) (int_range (-8) 8);
+        oneofl
+          [
+            E.Const min_int;
+            E.Const max_int;
+            E.Const (-1);
+            E.Const 62;
+            E.Const 63;
+            E.Const (1 lsl 61);
+          ];
+        map (fun v -> E.Value v) (int_range 0 3);
+      ])
+
+let gen_binop =
+  QCheck.Gen.oneofl
+    Ir.Types.[ Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr ]
+
+let gen_unop = QCheck.Gen.oneofl Ir.Types.[ Neg; Lnot; Bnot ]
+
+let arb_env =
+  QCheck.(
+    array_of_size (Gen.return 4)
+      (oneof [ int_range (-8) 8; oneofl [ min_int; max_int; 62; 1 lsl 61 ] ]))
+
+let sem env e = try Some (eval_expr env e) with Trap -> None
+
+let prop_binop_atoms_semantics =
+  QCheck.Test.make ~name:"binop_atoms agrees with operator semantics (trap-strict)"
+    ~count:2000
+    QCheck.(
+      quad (make gen_binop) (make gen_atom) (make gen_atom) arb_env)
+    (fun (op, a, b, env) ->
+      let direct =
+        try
+          let x = eval_expr env a and y = eval_expr env b in
+          Ir.Types.fold_binop op x y
+        with Trap -> None
+      in
+      direct = sem env (E.binop_atoms rank op a b))
+
+let prop_unop_atom_semantics =
+  QCheck.Test.make ~name:"unop_atom agrees with operator semantics" ~count:1000
+    QCheck.(triple (make gen_unop) (make gen_atom) arb_env)
+    (fun (op, a, env) ->
+      let direct = try Some (Ir.Types.eval_unop op (eval_expr env a)) with Trap -> None in
+      direct = sem env (E.unop_atom rank op a))
+
+(* ---------------- ten-benchmark congruence differential ---------------- *)
+
+(* Per-benchmark whole-suite sums under the full configuration at scale
+   0.1, recorded with the pre-engine hand-coded folds. The rule engine may
+   only improve on them: same value universe, at least as many constants
+   and unreachable values, at most as many congruence classes. *)
+let pre_engine_baseline =
+  [
+    ("164.gzip", (125, 101, 75, 30));
+    ("175.vpr", (15, 5, 0, 12));
+    ("176.gcc", (1314, 485, 41, 741));
+    ("181.mcf", (124, 111, 107, 6));
+    ("186.crafty", (290, 96, 7, 166));
+    ("197.parser", (197, 80, 0, 112));
+    ("253.perlbmk", (1033, 412, 36, 568));
+    ("254.gap", (946, 335, 19, 588));
+    ("255.vortex", (609, 268, 18, 365));
+    ("300.twolf", (411, 277, 187, 128));
+  ]
+
+let test_benchmark_differential () =
+  let suite = Workload.Suite.all ~scale:0.1 () in
+  List.iter
+    (fun ((b : Workload.Suite.benchmark), funcs) ->
+      let name = b.Workload.Suite.name in
+      let values = ref 0 and consts = ref 0 and unreach = ref 0 and classes = ref 0 in
+      List.iter
+        (fun f ->
+          let st = Pgvn.Driver.run Pgvn.Config.full f in
+          let s = Pgvn.Driver.summarize st in
+          values := !values + s.Pgvn.Driver.values;
+          consts := !consts + s.Pgvn.Driver.constant_values;
+          unreach := !unreach + s.Pgvn.Driver.unreachable_values;
+          classes := !classes + s.Pgvn.Driver.congruence_classes)
+        funcs;
+      match List.assoc_opt name pre_engine_baseline with
+      | None -> Alcotest.failf "unknown benchmark %s" name
+      | Some (bv, bc, bu, bk) ->
+          Alcotest.(check int) (name ^ ": same value universe") bv !values;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: constants %d >= baseline %d" name !consts bc)
+            true (!consts >= bc);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: unreachable %d >= baseline %d" name !unreach bu)
+            true (!unreach >= bu);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: classes %d <= baseline %d" name !classes bk)
+            true (!classes <= bk))
+    suite;
+  Alcotest.(check int) "all ten benchmarks covered" 10 (List.length suite)
+
+(* ---------------- observability ---------------- *)
+
+let fired_func () =
+  let bld = Ir.Builder.create ~name:"rules_obs" ~nparams:1 in
+  let b = Ir.Builder.add_block bld in
+  let p = Ir.Builder.param bld b 0 in
+  let v = Ir.Builder.binop bld b Ir.Types.And p p in
+  Ir.Builder.ret bld b v;
+  Ir.Builder.finish bld
+
+let test_fired_counters () =
+  let o = Obs.create () in
+  ignore (Pgvn.Driver.run ~obs:o Pgvn.Config.full (fired_func ()));
+  let snap = Obs.Metrics.snapshot o.Obs.metrics in
+  let fired =
+    List.filter
+      (fun (k, n) ->
+        String.length k > 12 && String.sub k 0 12 = "rules.fired." && n > 0)
+      snap.Obs.Metrics.counters
+  in
+  Alcotest.(check bool)
+    "x & x fires and-self" true
+    (List.mem_assoc "rules.fired.and-self" fired)
+
+let test_rules_off_config () =
+  (* With the catalog disabled the And-idempotence congruence disappears
+     (x & x stays its own class) but the run still succeeds. *)
+  let f = fired_func () in
+  let on = Pgvn.Driver.summarize (Pgvn.Driver.run Pgvn.Config.full f) in
+  let off =
+    Pgvn.Driver.summarize
+      (Pgvn.Driver.run { Pgvn.Config.full with Pgvn.Config.rules = false } f)
+  in
+  Alcotest.(check bool)
+    "catalog strictly refines" true
+    (off.Pgvn.Driver.congruence_classes > on.Pgvn.Driver.congruence_classes)
+
+let suite =
+  [
+    Alcotest.test_case "catalog passes the soundness verifier" `Quick test_catalog_verifies;
+    Alcotest.test_case "verifier is deterministic under a fixed seed" `Quick
+      test_verifier_deterministic;
+    Alcotest.test_case "unsound mutant rules are rejected" `Quick test_mutants_rejected;
+    Alcotest.test_case "non-terminating rule draws a fatal lint" `Quick test_termination_lint;
+    Alcotest.test_case "shadowed rule draws a fatal lint" `Quick test_shadow_lint;
+    QCheck_alcotest.to_alcotest prop_binop_atoms_semantics;
+    QCheck_alcotest.to_alcotest prop_unop_atom_semantics;
+    Alcotest.test_case "ten-benchmark congruence differential" `Slow
+      test_benchmark_differential;
+    Alcotest.test_case "rule firings surface as Obs counters" `Quick test_fired_counters;
+    Alcotest.test_case "Config.rules = false disables the catalog" `Quick
+      test_rules_off_config;
+  ]

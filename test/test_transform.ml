@@ -188,39 +188,6 @@ let test_kind_seconds_ignores_display_names () =
     "the '#'-prefix collision lands on its true kind" 140.0 (kind_seconds Dce timings);
   Alcotest.(check (float 1e-9)) "total sums everything" 143.0 (total_seconds_of timings)
 
-(* The deprecated keyword wrapper must stay behaviorally identical to
-   [run_with] for its one release of compatibility. *)
-let test_legacy_run_equivalent () =
-  let f = gen_func 2024 in
-  let legacy =
-    (Transform.Pipeline.run [@warning "-3"]) ~config:Pgvn.Config.balanced ~rounds:1
-      ~check:true ~crosscheck:true f
-  in
-  let modern =
-    Transform.Pipeline.run_with
-      Transform.Pipeline.Options.(
-        default
-        |> with_config Pgvn.Config.balanced
-        |> with_rounds 1 |> with_check true |> with_crosscheck true)
-      f
-  in
-  Alcotest.(check bool)
-    "same optimized routine" true
-    (Ir.Printer.to_string legacy.Transform.Pipeline.func
-    = Ir.Printer.to_string modern.Transform.Pipeline.func);
-  Alcotest.(check (list string))
-    "same pass schedule"
-    (List.map (fun t -> t.Transform.Pipeline.pass) legacy.Transform.Pipeline.timings)
-    (List.map (fun t -> t.Transform.Pipeline.pass) modern.Transform.Pipeline.timings);
-  Alcotest.(check int)
-    "same crosscheck reports"
-    (List.length legacy.Transform.Pipeline.crosschecks)
-    (List.length modern.Transform.Pipeline.crosschecks);
-  Alcotest.(check bool)
-    "same validation presence"
-    (legacy.Transform.Pipeline.validation = None)
-    (modern.Transform.Pipeline.validation = None)
-
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_dce;
@@ -241,6 +208,4 @@ let suite =
     Alcotest.test_case "pipeline reports timings" `Quick test_pipeline_timings_present;
     Alcotest.test_case "kind_seconds matches on kind, not display name" `Quick
       test_kind_seconds_ignores_display_names;
-    Alcotest.test_case "deprecated run wrapper equals run_with" `Quick
-      test_legacy_run_equivalent;
   ]

@@ -11,8 +11,9 @@ Usage: check_bench_schema.py BENCH_gvn.json
 import json
 import sys
 
-TOP_KEYS = {"schema", "scale", "table2", "gvn_stats", "scaling"}
+TOP_KEYS = {"schema", "scale", "table2", "gvn_stats", "rules", "scaling"}
 TABLE2_KEYS = {"benchmark", "dense_ms", "sparse_ms", "basic_ms"}
+RULES_KEYS = {"benchmark", "total_fired", "fired"}
 GVN_STATS_KEYS = {
     "benchmark", "routines", "passes", "instrs", "table_probes", "table_hits",
     "arena_live", "arena_interned", "arena_hits", "arena_max_chain",
@@ -54,16 +55,28 @@ def main():
             fail(f"gvn_stats[{i}]: probes < hits: {rec}")
         if not (rec["arena_interned"] >= rec["arena_live"] >= 0):
             fail(f"gvn_stats[{i}]: interned < live: {rec}")
+    for i, rec in enumerate(doc["rules"]):
+        need(rec, RULES_KEYS, f"rules[{i}]")
+        if not isinstance(rec["fired"], dict):
+            fail(f"rules[{i}]: fired must be an object: {rec}")
+        if any(n < 0 for n in rec["fired"].values()):
+            fail(f"rules[{i}]: negative fire count: {rec}")
+        catalog_total = sum(n for name, n in rec["fired"].items() if name != "const-fold")
+        if rec["total_fired"] != catalog_total:
+            fail(f"rules[{i}]: total_fired != sum of catalog fires: {rec}")
     need(doc["scaling"], SCALING_KEYS, "scaling")
     for i, rec in enumerate(doc["scaling"]["ladder"]):
         need(rec, LADDER_KEYS, f"scaling.ladder[{i}]")
 
     t2 = {r["benchmark"] for r in doc["table2"]}
     gs = {r["benchmark"] for r in doc["gvn_stats"]}
+    ru = {r["benchmark"] for r in doc["rules"]}
     if len(t2) != 10:
         fail(f"expected 10 benchmarks in table2, got {sorted(t2)}")
     if gs != t2:
         fail(f"table2/gvn_stats benchmark sets differ: {sorted(t2 ^ gs)}")
+    if ru != t2:
+        fail(f"table2/rules benchmark sets differ: {sorted(t2 ^ ru)}")
     if doc["scaling"]["quadratic_ok"] is not True:
         fail(f"ladder scaling regressed: {doc['scaling']}")
 
