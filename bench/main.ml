@@ -3,7 +3,7 @@
    the related-work experiments of Figures 13/14. Run with no arguments for
    everything, or name sections:
 
-     dune exec bench/main.exe -- table1 table2 fig9 fig10 fig11 fig12 fig13 scalars absint validate bechamel
+     dune exec bench/main.exe -- table1 table2 fig9 fig10 fig11 fig12 fig13 scalars absint schedule validate bechamel
 
    Absolute times are this machine's, not a 440 MHz PA-8500's; the claims
    being reproduced are the *ratios* and *shapes* (see EXPERIMENTS.md).
@@ -458,6 +458,90 @@ let absint_section suite =
       ]
     ~rows Fmt.stdout
 
+(* Code-motion placement analysis (lib/schedule): per-benchmark wall clock
+   of the early/late/best computation, the opportunity yield (hoistable /
+   sinkable values, faulting ops pinned for speculation safety), and the
+   independent legality checker's verdict on the identity placement —
+   which must be zero violations on every benchmark. *)
+
+type sched_stat = {
+  s_name : string;
+  s_ms : float;
+  s_values : int;
+  s_pinned : int;
+  s_blocked : int;
+  s_hoist : int;
+  s_sink : int;
+}
+
+let schedule_stats_pass suite =
+  List.map
+    (fun ((b : Workload.Suite.benchmark), funcs) ->
+      let t =
+        time_min ~name:"bench.schedule" ~repeats:3 (fun () ->
+            List.iter (fun f -> ignore (Schedule.Placement.compute f)) funcs)
+      in
+      let values = ref 0
+      and pinned = ref 0
+      and blocked = ref 0
+      and hoist = ref 0
+      and sink = ref 0 in
+      List.iter
+        (fun f ->
+          let s = Schedule.Placement.stats (Schedule.Placement.compute f) in
+          values := !values + s.Schedule.Placement.values;
+          pinned := !pinned + s.Schedule.Placement.pinned;
+          blocked := !blocked + s.Schedule.Placement.speculation_blocked;
+          hoist := !hoist + s.Schedule.Placement.hoistable;
+          sink := !sink + s.Schedule.Placement.sinkable)
+        funcs;
+      {
+        s_name = b.Workload.Suite.name;
+        s_ms = t;
+        s_values = !values;
+        s_pinned = !pinned;
+        s_blocked = !blocked;
+        s_hoist = !hoist;
+        s_sink = !sink;
+      })
+    suite
+
+let schedule_section suite =
+  Fmt.pr "@\n=== Code-motion placement analysis: cost and opportunity yield ===@\n";
+  let stats = schedule_stats_pass suite in
+  let rows =
+    List.map2
+      (fun s (_, funcs) ->
+        let violations =
+          List.fold_left
+            (fun acc f -> acc + List.length (Check.errors (Check.Schedule.run f)))
+            0 funcs
+        in
+        [
+          s.s_name;
+          Stats.Table.ms s.s_ms;
+          string_of_int s.s_values;
+          string_of_int s.s_hoist;
+          string_of_int s.s_sink;
+          string_of_int s.s_blocked;
+          string_of_int violations;
+        ])
+      stats suite
+  in
+  Stats.Table.render
+    ~columns:
+      [
+        ("Benchmark", Stats.Table.Left);
+        ("sched ms", Stats.Table.Right);
+        ("values", Stats.Table.Right);
+        ("hoistable", Stats.Table.Right);
+        ("sinkable", Stats.Table.Right);
+        ("spec-blocked", Stats.Table.Right);
+        ("violations", Stats.Table.Right);
+      ]
+    ~rows Fmt.stdout;
+  Fmt.pr "  (violations = identity-placement legality errors; must be 0)@\n"
+
 (* Translation-validation overhead: run the pipeline under full validation
    and report, per pass kind, what the validator adds on top of the pass
    itself (witness audit against the oracle for GVN; interpreter diffing
@@ -658,6 +742,19 @@ let emit_json path suite =
       pr "}}%s\n" (sep i (List.length stats)))
     stats;
   pr "  ],\n";
+  (* Code-motion placement analysis: opportunity yield and analysis time
+     per benchmark (the schedule bench section's machine-readable twin). *)
+  let sched = schedule_stats_pass suite in
+  pr "  \"schedule\": [\n";
+  List.iteri
+    (fun i s ->
+      pr
+        "    {\"benchmark\": \"%s\", \"hoistable\": %d, \"sinkable\": %d, \
+         \"speculation_blocked\": %d, \"analysis_ms\": %.3f}%s\n"
+        s.s_name s.s_hoist s.s_sink s.s_blocked (1000. *. s.s_ms)
+        (sep i (List.length sched)))
+    sched;
+  pr "  ],\n";
   pr "  \"scaling\": {\n";
   pr "    \"ladder\": [\n";
   List.iteri
@@ -712,6 +809,7 @@ let () =
   if want "fig13" then fig13 ();
   if want "ablation" then ablation (Lazy.force suite);
   if want "absint" then absint_section (Lazy.force suite);
+  if want "schedule" then schedule_section (Lazy.force suite);
   if want "validate" then validate_section (Lazy.force suite);
   if want "bechamel" then bechamel_section ();
   (match !json_file with

@@ -17,11 +17,16 @@
      gvnopt --rules=dump                   print the rewrite-rule catalog
      gvnopt --rules=verify                 run the rule-soundness verifier
      gvnopt --rules=off file.mc            optimize without the rule catalog
+     gvnopt --schedule file.mc             certify the identity placement
+                                           with the schedule-legality checker
+     gvnopt --schedule=dump file.mc        per-value early/best/late blocks
+                                           and speculation safety
+     gvnopt --schedule=lint file.mc        hoist/sink opportunity lints
 
    Exit codes: 0 clean; 1 diagnostics at or above the failure threshold
    (verifier errors, --Werror'd warnings, rejected rewrites, --run
-   disagreement, a refuted rule under --rules=verify); 2 usage or parse
-   error. *)
+   disagreement, a refuted rule under --rules=verify, a schedule-legality
+   violation under --schedule=check); 2 usage or parse error. *)
 
 open Cmdliner
 
@@ -36,7 +41,24 @@ let read_file path =
    additionally runs the static cross-checker over the GVN run. *)
 type analyze_mode = Agvn | Aconst | Arange | Aall
 
-type action = Optimize | Analyze of analyze_mode
+(* --schedule sub-modes: all three run the placement analysis on the input
+   SSA and rewrite nothing. [Scheck] (the bare-flag default) verifies the
+   identity placement with the independent legality checker. *)
+type schedule_mode = Sdump | Scheck | Slint
+
+type action = Optimize | Analyze of analyze_mode | Schedule of schedule_mode
+
+let schedule_conv =
+  let parse = function
+    | "dump" -> Ok Sdump
+    | "check" -> Ok Scheck
+    | "lint" -> Ok Slint
+    | s -> Error (`Msg (Printf.sprintf "unknown schedule mode %S (dump, check, lint)" s))
+  in
+  let print ppf m =
+    Fmt.string ppf (match m with Sdump -> "dump" | Scheck -> "check" | Slint -> "lint")
+  in
+  Arg.conv (parse, print)
 
 (* --rules sub-modes: dump and verify are standalone (no input file);
    off runs the pipeline with the declarative catalog disabled. *)
@@ -125,6 +147,42 @@ let dump_facts (type t) f ~header ~(pp_fact : t Fmt.t) ~(fact : int -> t) ~block
       Fmt.pr "  @[<h>%a  ;; %a@]@." (Ir.Printer.pp_instr f) v pp_fact (fact v)
   done
 
+(* The --schedule modes: run the placement analysis (dump, lint) and the
+   independent legality checker (check) on the input SSA; nothing is
+   rewritten. Returns true when the run should be considered failed. *)
+let run_schedule ~obs mode name f =
+  let pl = Schedule.Placement.compute ?obs f in
+  let s = Schedule.Placement.stats pl in
+  Fmt.pr
+    "schedule: %d values | %d pinned (%d speculation-blocked) | %d hoistable | %d sinkable@."
+    s.Schedule.Placement.values s.Schedule.Placement.pinned
+    s.Schedule.Placement.speculation_blocked s.Schedule.Placement.hoistable
+    s.Schedule.Placement.sinkable;
+  match mode with
+  | Sdump ->
+      dump_facts f ~header:"schedule" ~pp_fact:(Schedule.Placement.pp_fact pl)
+        ~fact:(fun v -> v)
+        ~block_exec:pl.Schedule.Placement.ranges.Absint.Ranges.block_exec;
+      false
+  | Scheck ->
+      let ds =
+        Obs.span_o obs ~cat:"schedule" "schedule.check" @@ fun () ->
+        Check.Schedule.run f
+      in
+      Obs.add_o obs "schedule.violations" (List.length (Check.errors ds));
+      List.iter
+        (fun d -> Fmt.pr "%s (schedule): %a@." name Check.Diagnostic.pp d)
+        (Check.sort ds);
+      Fmt.pr "schedule check: %d violation(s)@." (List.length (Check.errors ds));
+      Check.has_errors ds
+  | Slint ->
+      let ls = Schedule.Placement.lints pl in
+      List.iter
+        (fun d -> Fmt.pr "%s (schedule): %a@." name Check.Diagnostic.pp d)
+        ls;
+      Fmt.pr "schedule lint: %d opportunity(ies)@." (List.length ls);
+      false
+
 let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~werror
     ~validate ~obs path =
   let src = read_file path in
@@ -163,6 +221,10 @@ let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~
         s.Pgvn.Driver.passes;
       if stats then Fmt.pr "stats: %a@." Pgvn.Run_stats.pp st.Pgvn.State.stats;
       (match action with
+      | Schedule mode ->
+          (* Placement analysis / legality check of the input SSA; nothing
+             is rewritten. *)
+          if run_schedule ~obs mode r.Ir.Ast.name f then failed := true
       | Analyze mode ->
           (* Print the non-trivial congruence facts. *)
           let dump_gvn () =
@@ -334,6 +396,20 @@ let cmd =
              probes/hits, arena occupancy, latency histograms) after \
              processing.")
   in
+  let schedule_flag =
+    Arg.(
+      value
+      & opt ~vopt:(Some Scheck) (some schedule_conv) None
+      & info [ "schedule" ]
+          ~doc:
+            "Code-motion placement analysis of the input SSA; do not rewrite. \
+             $(b,check) (the default when the flag is given bare) verifies the \
+             identity placement with the independent schedule-legality checker \
+             and fails the run on any violation; $(b,dump) prints each value's \
+             early/best/late blocks, loop depths and speculation-safety class; \
+             $(b,lint) prints the hoist/sink opportunity lints \
+             (lint-loop-invariant, lint-sinkable).")
+  in
   let rules_flag =
     Arg.(
       value
@@ -347,7 +423,7 @@ let cmd =
              fatal lint; $(b,off) optimizes $(i,FILE.mc) with the catalog \
              disabled (trap-refusing constant folding only).")
   in
-  let main preset complete pruning analyze stats dump_input run_args check lint werror validate nr npi nvi npp nsp trace_file metrics rules path =
+  let main preset complete pruning analyze stats dump_input run_args check lint werror validate nr npi nvi npp nsp trace_file metrics rules schedule path =
     let toggles =
       {
         Cli.Cli_options.complete;
@@ -370,8 +446,16 @@ let cmd =
     | _, None ->
         Fmt.epr "gvnopt: required argument FILE.mc is missing@.";
         2
+    | _, Some _ when analyze <> None && schedule <> None ->
+        Fmt.epr "gvnopt: --analyze and --schedule are mutually exclusive@.";
+        2
     | _, Some path -> (
-        let action = match analyze with None -> Optimize | Some m -> Analyze m in
+        let action =
+          match (analyze, schedule) with
+          | Some m, _ -> Analyze m
+          | _, Some m -> Schedule m
+          | None, None -> Optimize
+        in
         let obs_opts = { Cli.Cli_options.trace_file; metrics } in
         let obs = Cli.Cli_options.obs_of obs_opts in
         try
@@ -394,7 +478,7 @@ let cmd =
       const main $ preset $ complete $ pruning $ analyze $ stats $ dump_input $ run_args
       $ check_flag $ lint_flag $ werror_flag $ validate_flag
       $ no_reassoc $ no_pi $ no_vi $ no_pp $ no_sparse $ trace_flag $ metrics_flag
-      $ rules_flag $ path)
+      $ rules_flag $ schedule_flag $ path)
   in
   let exits =
     [
@@ -403,6 +487,7 @@ let cmd =
         ~doc:
           "on diagnostics at or above the failure threshold: verifier errors, \
            warnings under $(b,--Werror), rewrites rejected under $(b,--validate), \
+           schedule-legality violations under $(b,--schedule=check), \
            or a $(b,--run) disagreement.";
       Cmd.Exit.info 2 ~doc:"on usage or parse errors.";
     ]

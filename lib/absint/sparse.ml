@@ -46,9 +46,12 @@ module Make (D : Domain.TRANSFER) = struct
       match refinement with Some r -> Refine.at_edge f r e | None -> []
     in
     let widen_at = Array.make (Ir.Func.num_blocks f) false in
+    (* Widen at every retreating-edge target: natural-loop headers plus the
+       targets of irreducible retreating edges, which head a cycle even
+       though they head no natural loop. *)
     List.iter
       (fun h -> widen_at.(h) <- true)
-      (Analysis.Loops.compute (Analysis.Graph.of_func f)).Analysis.Loops.headers;
+      (Analysis.Loops.widen_blocks (Analysis.Loops.forest (Analysis.Graph.of_func f)));
     let bumps = Array.make ni 0 in
     let def_use = Ir.Func.def_use f in
     let ssa_work = Queue.create () in

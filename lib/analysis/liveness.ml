@@ -20,9 +20,14 @@ let compute (f : Ir.Func.t) : t =
   let bytes = (ni + 7) / 8 in
   let live_in = Array.init nb (fun _ -> Bytes.make bytes '\000') in
   let live_out = Array.init nb (fun _ -> Bytes.make bytes '\000') in
-  (* Per-block upward-exposed uses and defs. *)
+  (* Per-block upward-exposed uses, defs, and the φ arguments carried out of
+     each predecessor. A φ use is live at the tail of the predecessor that
+     carries it, so it seeds that predecessor's live_out (not its uses: the
+     argument may be defined in the predecessor itself, e.g. a loop latch,
+     in which case it is live out but not live in). *)
   let uses = Array.init nb (fun _ -> Bytes.make bytes '\000') in
   let defs = Array.init nb (fun _ -> Bytes.make bytes '\000') in
+  let phi_out = Array.init nb (fun _ -> Bytes.make bytes '\000') in
   for b = 0 to nb - 1 do
     let blk = Ir.Func.block f b in
     Array.iter
@@ -30,18 +35,21 @@ let compute (f : Ir.Func.t) : t =
         let ins = Ir.Func.instr f i in
         (match ins with
         | Ir.Func.Phi args ->
-            (* φ uses live at the tail of each predecessor. *)
             Array.iteri
               (fun ix e ->
                 let src = (Ir.Func.edge f blk.Ir.Func.preds.(ix)).Ir.Func.src in
                 ignore e;
-                let v = args.(ix) in
-                if not (bit_get defs.(src) v) then bit_set uses.(src) v)
+                bit_set phi_out.(src) args.(ix))
               blk.Ir.Func.preds
         | _ ->
             Ir.Func.iter_operands (fun v -> if not (bit_get defs.(b) v) then bit_set uses.(b) v) ins);
         if Ir.Func.defines_value ins then bit_set defs.(b) i)
       blk.Ir.Func.instrs
+  done;
+  (* Seed live_out with the carried φ arguments; the fixpoint below only
+     ever grows live_out, so the seed persists. *)
+  for b = 0 to nb - 1 do
+    Bytes.blit phi_out.(b) 0 live_out.(b) 0 bytes
   done;
   let succ = Ir.Func.succ_blocks f in
   let changed = ref true in

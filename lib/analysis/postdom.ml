@@ -1,7 +1,17 @@
 (* Postdominators, computed as dominators of the reversed CFG from a virtual
-   exit node that succeeds every return block. Blocks that cannot reach any
-   exit (infinite loops without break) have no postdominators; queries on
-   them answer [false] / [-1], which makes φ-predication skip them. *)
+   exit node (id [n]) that succeeds every return block.
+
+   Pinned conventions (tests: test_analysis "postdominator conventions"):
+   - No exit at all (every block loops forever): nothing is reachable in the
+     reversed graph, so [reaches_exit] is false everywhere, [ipdom] is -1,
+     and [postdominates] answers false — even reflexively. φ-predication
+     skips such blocks.
+   - Multiple exits: the virtual exit is their common postdominator, and it
+     is never exposed — a query whose true answer is "only the virtual
+     exit" reports -1 / [None].
+   - Mixed divergence: a block that reaches an exit is postdominated only by
+     blocks on every *exiting* path; paths that wander off into an infinite
+     loop never reach the reversed entry and impose no constraint. *)
 
 type t = {
   dom : Dom.t; (* dominator tree of the reversed graph; node [n] = virtual exit *)
@@ -32,3 +42,11 @@ let ipdom t b =
 let postdominates t a b = Dom.dominates t.dom a b
 
 let reaches_exit t b = Dom.reachable t.dom b
+
+(* Nearest common postdominator; [None] when either block cannot reach an
+   exit or their only common postdominator is the virtual exit. *)
+let nca t a b =
+  if not (reaches_exit t a && reaches_exit t b) then None
+  else
+    let z = Dom.nca t.dom a b in
+    if z = t.n then None else Some z

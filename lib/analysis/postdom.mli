@@ -1,7 +1,13 @@
 (** Postdominators: dominators of the reversed CFG from a virtual exit that
-    succeeds every return block. Blocks that cannot reach an exit (infinite
-    loops without break) have no postdominators; queries on them answer
-    [false]/[-1], which makes φ-predication skip them. *)
+    succeeds every return block.
+
+    Pinned conventions (tests: test_analysis "postdominator conventions"):
+    blocks that cannot reach an exit (infinite loops without break) have no
+    postdominators — queries on them answer [false]/[-1]/[None], including
+    the reflexive [postdominates b b]; with multiple exits their common
+    postdominator is the hidden virtual exit, reported as [-1]/[None]; and
+    diverging paths (those that never reach an exit) impose no constraint on
+    the postdominators of blocks that do exit. *)
 
 type t
 
@@ -15,3 +21,8 @@ val postdominates : t -> int -> int -> bool
 (** [postdominates t a b]: does [a] postdominate [b]? Reflexive. *)
 
 val reaches_exit : t -> int -> bool
+
+val nca : t -> int -> int -> int option
+(** Nearest common postdominator. [None] when either block cannot reach an
+    exit, or when the only common postdominator is the virtual exit (the
+    two blocks sit on paths to different exits). *)

@@ -9,6 +9,7 @@ module Cfg = Cfg_check
 module Ssa = Ssa_check
 module Ty = Type_check
 module Lint = Lint
+module Schedule = Schedule_check
 
 let errors ds = List.filter Diagnostic.is_error ds
 let has_errors ds = List.exists Diagnostic.is_error ds

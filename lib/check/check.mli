@@ -19,6 +19,11 @@ module Ssa = Ssa_check
 module Ty = Type_check
 module Lint = Lint
 
+module Schedule = Schedule_check
+(** Schedule-legality verifier for proposed code-motion placements; not
+    part of {!run_all} — it takes a placement, and the identity placement
+    is certified by its own alias/CI step. *)
+
 val run_all : ?lint:bool -> Ir.Func.t -> Diagnostic.t list
 (** Run every checker. Structural (CFG) errors stop the run — the deeper
     checkers assume a sound CFG — as do SSA errors for the type checker and

@@ -1,0 +1,16 @@
+(* Front door of the code-motion placement analysis (the static-analysis
+   half of a Click-style GCM transform):
+
+   - {!Speculate}: per-value speculation-safety classification, with
+     faulting ops proven movable from interval facts or pinned behind
+     their controlling predicate;
+   - {!Placement}: early/late/best legal schedule ranges over the
+     dominator tree, postdominators and the loop-nesting forest, plus the
+     hoistable/sinkable opportunity lints.
+
+   The independent legality verifier lives in {!Check.Schedule}, on the
+   other side of the certification fence: it shares no code with this
+   library beyond the underlying analyses. *)
+
+module Speculate = Speculate
+module Placement = Placement

@@ -1,0 +1,51 @@
+(** Speculation-safety classification of SSA values: may an instruction be
+    evaluated at a block other than the one that currently guards it?
+
+    - [Safe]: trap-free by operator class (constants, parameters, unops,
+      comparisons, and every binop except [Div]/[Rem]).
+    - [Proven]: a potentially faulting op proven non-trapping from the
+      {e unrefined} interval facts of its operands — the divisor's interval
+      excludes 0 and the [min_int]/[-1] overflow pair is excluded. Unrefined
+      facts are sound at any block dominated by the operand definitions, so
+      a [Proven] op may float anywhere its operands are available.
+    - [Pinned]: everything else. [May_trap] records the controlling
+      predicate — the nearest strict dominator whose terminator branches and
+      which the op's block does not postdominate; hoisting above it could
+      introduce a fault the original program never executed. [Call] pins
+      opaque calls; [Anchored] pins φs (and terminators), which are
+      placeholders for control flow rather than movable computations. *)
+
+type reason =
+  | May_trap of { predicate : int option }
+      (** faulting op not cleared by the facts; [predicate] is the
+          controlling branch block when one exists *)
+  | Call  (** opaque call: never speculated *)
+  | Anchored  (** φ or terminator: fixed by control flow *)
+
+type t = Safe | Proven of string | Pinned of reason
+
+val classify :
+  Ir.Func.t ->
+  dom:Analysis.Dom.t ->
+  pdom:Analysis.Postdom.t ->
+  ranges:Absint.Ranges.result ->
+  Ir.Func.value ->
+  t
+
+val is_pinned : t -> bool
+
+val cleared_at : Absint.Ranges.result -> Ir.Func.t -> block:int -> Ir.Func.value -> bool
+(** For a potentially faulting instruction: do the interval facts, refined
+    by the branch predicates holding on entry to [block], prove it cannot
+    fault {e there}? Refined facts embed dominating-guard constraints, so
+    this is only sound for evaluating the op at [block] itself — the
+    legality checker's question, not the placement analysis's. Non-faulting
+    instructions are trivially cleared. *)
+
+val controlling_predicate :
+  Ir.Func.t -> dom:Analysis.Dom.t -> pdom:Analysis.Postdom.t -> int -> int option
+(** The nearest strict dominator of a block whose terminator branches and
+    which the block does not postdominate — the predicate guarding the
+    block's execution, in the predicated-reachability sense of the paper. *)
+
+val pp : Format.formatter -> t -> unit

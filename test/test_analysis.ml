@@ -338,6 +338,306 @@ let prop_idom_is_dominator =
       done;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Loop-nesting forest                                                 *)
+
+(* Well-formedness of the forest against its definition: headers dominate
+   their bodies, back tails really carry dominated back edges, nesting
+   counts containing loops, loop_of is a smallest containing loop, the
+   irreducible list is exactly the non-dominated retreating edges, and the
+   flat view agrees. *)
+let prop_loop_forest =
+  QCheck.Test.make ~name:"loop forest is well-formed and matches the flat view" ~count:80
+    QCheck.(pair (int_bound 100000) (int_range 1 14))
+    (fun (seed, n) ->
+      let rng = Util.Prng.create seed in
+      let g = random_graph rng n ~extra_edges:(Util.Prng.int rng (2 * n)) in
+      let dom = Analysis.Dom.compute g in
+      let rpo = Analysis.Rpo.compute g in
+      let fr = Analysis.Loops.forest ~dom g in
+      let loops = fr.Analysis.Loops.loops in
+      let contains (l : Analysis.Loops.loop) b =
+        Array.exists (fun x -> x = b) l.Analysis.Loops.body
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun li (l : Analysis.Loops.loop) ->
+          let h = l.Analysis.Loops.header in
+          if not (contains l h) then ok := false;
+          Array.iter
+            (fun b -> if not (Analysis.Dom.dominates dom h b) then ok := false)
+            l.Analysis.Loops.body;
+          if Array.length l.Analysis.Loops.back_tails = 0 then ok := false;
+          Array.iter
+            (fun t ->
+              if not (contains l t) then ok := false;
+              if not (Array.exists (fun v -> v = h) g.Analysis.Graph.succ.(t)) then ok := false;
+              if not (Analysis.Rpo.is_back_edge rpo ~src:t ~dst:h) then ok := false;
+              if not (Analysis.Dom.dominates dom h t) then ok := false)
+            l.Analysis.Loops.back_tails;
+          (* Parent: the smallest other loop containing the header, or -1. *)
+          (match l.Analysis.Loops.parent with
+          | -1 ->
+              if l.Analysis.Loops.depth <> 1 then ok := false;
+              Array.iteri
+                (fun lj l' -> if lj <> li && contains l' h then ok := false)
+                loops
+          | p ->
+              if not (contains loops.(p) h) then ok := false;
+              if l.Analysis.Loops.depth <> loops.(p).Analysis.Loops.depth + 1 then ok := false))
+        loops;
+      for b = 0 to n - 1 do
+        let cnt =
+          Array.fold_left (fun acc l -> if contains l b then acc + 1 else acc) 0 loops
+        in
+        if fr.Analysis.Loops.nesting.(b) <> cnt then ok := false;
+        if Analysis.Loops.depth_at fr b <> cnt then ok := false;
+        match fr.Analysis.Loops.loop_of.(b) with
+        | -1 -> if cnt <> 0 then ok := false
+        | li ->
+            if not (contains loops.(li) b) then ok := false;
+            Array.iter
+              (fun l ->
+                if
+                  contains l b
+                  && Array.length l.Analysis.Loops.body
+                     < Array.length loops.(li).Analysis.Loops.body
+                then ok := false)
+              loops
+      done;
+      (* Every retreating edge is accounted for: as a back tail of the loop
+         headed at its target when the target dominates, in [irreducible]
+         otherwise — and [irreducible] holds nothing else. *)
+      List.iter
+        (fun (u, v) ->
+          if not (Analysis.Rpo.is_back_edge rpo ~src:u ~dst:v) then ok := false;
+          if Analysis.Dom.dominates dom v u then ok := false)
+        fr.Analysis.Loops.irreducible;
+      for u = 0 to n - 1 do
+        if rpo.Analysis.Rpo.number.(u) >= 0 then
+          Array.iter
+            (fun v ->
+              if Analysis.Rpo.is_back_edge rpo ~src:u ~dst:v then
+                if Analysis.Dom.dominates dom v u then begin
+                  if
+                    not
+                      (Array.exists
+                         (fun (l : Analysis.Loops.loop) ->
+                           l.Analysis.Loops.header = v
+                           && Array.exists (fun t -> t = u) l.Analysis.Loops.back_tails)
+                         loops)
+                  then ok := false
+                end
+                else if not (List.mem (u, v) fr.Analysis.Loops.irreducible) then ok := false)
+            g.Analysis.Graph.succ.(u)
+      done;
+      (* The flat view and the historical API agree with the forest. *)
+      let t = Analysis.Loops.compute g in
+      if t.Analysis.Loops.nesting <> fr.Analysis.Loops.nesting then ok := false;
+      let headers =
+        List.sort compare
+          (Array.to_list (Array.map (fun (l : Analysis.Loops.loop) -> l.Analysis.Loops.header) loops))
+      in
+      if t.Analysis.Loops.headers <> headers then ok := false;
+      let expect_widen =
+        List.sort_uniq compare (headers @ List.map snd fr.Analysis.Loops.irreducible)
+      in
+      if Analysis.Loops.widen_blocks fr <> expect_widen then ok := false;
+      !ok)
+
+(* Structured source programs never produce irreducible control flow: on the
+   full benchmark suite every forest is purely natural and properly nested. *)
+let test_loop_forest_benchmarks () =
+  List.iter
+    (fun ((b : Workload.Suite.benchmark), funcs) ->
+      List.iter
+        (fun f ->
+          let g = Analysis.Graph.of_func f in
+          let dom = Analysis.Dom.compute g in
+          let fr = Analysis.Loops.forest ~dom g in
+          if fr.Analysis.Loops.irreducible <> [] then
+            Alcotest.failf "%s: irreducible edges in structured code" b.Workload.Suite.name;
+          let loops = fr.Analysis.Loops.loops in
+          Array.iter
+            (fun (l : Analysis.Loops.loop) ->
+              Array.iter
+                (fun blk ->
+                  if not (Analysis.Dom.dominates dom l.Analysis.Loops.header blk) then
+                    Alcotest.failf "%s: header does not dominate body" b.Workload.Suite.name)
+                l.Analysis.Loops.body;
+              match l.Analysis.Loops.parent with
+              | -1 -> ()
+              | p ->
+                  (* A child loop's body nests entirely inside its parent's. *)
+                  let parent = loops.(p) in
+                  Array.iter
+                    (fun blk ->
+                      if not (Array.exists (fun x -> x = blk) parent.Analysis.Loops.body) then
+                        Alcotest.failf "%s: child loop escapes its parent" b.Workload.Suite.name)
+                    l.Analysis.Loops.body)
+            loops;
+          Array.iteri
+            (fun blk li ->
+              let depth = if li < 0 then 0 else loops.(li).Analysis.Loops.depth in
+              if Analysis.Loops.depth_at fr blk <> depth then
+                Alcotest.failf "%s: loop_of and nesting disagree" b.Workload.Suite.name)
+            fr.Analysis.Loops.loop_of)
+        funcs)
+    (Workload.Suite.all ~scale:0.1 ())
+
+(* The classic irreducible pair: two mutually-reaching blocks entered from
+   the outside at both ends. No natural loop, one irreducible edge. *)
+let test_irreducible () =
+  let g = Analysis.Graph.make ~entry:0 [| [| 1; 2 |]; [| 2 |]; [| 1 |] |] in
+  let fr = Analysis.Loops.forest g in
+  Alcotest.(check int) "no natural loops" 0 (Array.length fr.Analysis.Loops.loops);
+  Alcotest.(check (list (pair int int))) "one irreducible edge" [ (2, 1) ]
+    fr.Analysis.Loops.irreducible;
+  (* The widening set still covers the retreating target, so fixpoints over
+     this graph terminate. *)
+  Alcotest.(check (list int)) "widen at the retreating target" [ 1 ]
+    (Analysis.Loops.widen_blocks fr)
+
+(* ------------------------------------------------------------------ *)
+(* Postdominator conventions (pinned; see postdom.mli)                 *)
+
+let test_postdom_conventions () =
+  (* No exit at all: a two-block cycle. Nothing postdominates anything,
+     not even reflexively. *)
+  let g = Analysis.Graph.make ~entry:0 [| [| 1 |]; [| 0 |] |] in
+  let pd = Analysis.Postdom.compute g in
+  Alcotest.(check bool) "no-exit: reaches_exit" false (Analysis.Postdom.reaches_exit pd 0);
+  Alcotest.(check int) "no-exit: ipdom" (-1) (Analysis.Postdom.ipdom pd 0);
+  Alcotest.(check bool) "no-exit: reflexive postdominates" false
+    (Analysis.Postdom.postdominates pd 0 0);
+  Alcotest.(check (option int)) "no-exit: nca" None (Analysis.Postdom.nca pd 0 1);
+  (* Two exits: their only common postdominator is the virtual exit, which
+     is never exposed. *)
+  let g = Analysis.Graph.make ~entry:0 [| [| 1; 2 |]; [||]; [||] |] in
+  let pd = Analysis.Postdom.compute g in
+  Alcotest.(check int) "two exits: ipdom of the branch" (-1) (Analysis.Postdom.ipdom pd 0);
+  Alcotest.(check bool) "two exits: arm does not postdominate" false
+    (Analysis.Postdom.postdominates pd 1 0);
+  Alcotest.(check (option int)) "two exits: nca across arms" None (Analysis.Postdom.nca pd 1 2);
+  Alcotest.(check (option int)) "two exits: nca is reflexive" (Some 1)
+    (Analysis.Postdom.nca pd 1 1);
+  (* One exit: the diamond join postdominates everything. *)
+  let g = Analysis.Graph.make ~entry:0 [| [| 1; 2 |]; [| 3 |]; [| 3 |]; [||] |] in
+  let pd = Analysis.Postdom.compute g in
+  Alcotest.(check int) "diamond: ipdom of the branch is the join" 3
+    (Analysis.Postdom.ipdom pd 0);
+  Alcotest.(check (option int)) "diamond: nca of the arms is the join" (Some 3)
+    (Analysis.Postdom.nca pd 1 2);
+  Alcotest.(check bool) "diamond: join postdominates entry" true
+    (Analysis.Postdom.postdominates pd 3 0);
+  (* Mixed divergence: one arm exits, the other spins forever. The diverging
+     arm imposes no constraint on the exiting one. *)
+  let g = Analysis.Graph.make ~entry:0 [| [| 1; 2 |]; [||]; [| 2 |] |] in
+  let pd = Analysis.Postdom.compute g in
+  Alcotest.(check bool) "divergent arm cannot reach exit" false
+    (Analysis.Postdom.reaches_exit pd 2);
+  Alcotest.(check bool) "exit arm postdominates entry" true
+    (Analysis.Postdom.postdominates pd 1 0);
+  Alcotest.(check int) "ipdom of entry skips the divergence" 1 (Analysis.Postdom.ipdom pd 0);
+  Alcotest.(check (option int)) "nca with a diverging block" None (Analysis.Postdom.nca pd 1 2)
+
+(* ------------------------------------------------------------------ *)
+(* Liveness vs a definitional reference                                *)
+
+(* Naive per-block boolean-matrix liveness, straight from the definition:
+   live_out = carried φ args ∪ successors' live_in;
+   live_in  = upward-exposed uses ∪ (live_out \ defs). *)
+let naive_liveness f =
+  let ni = Ir.Func.num_instrs f and nb = Ir.Func.num_blocks f in
+  let uses = Array.make_matrix nb ni false in
+  let defs = Array.make_matrix nb ni false in
+  let phi_out = Array.make_matrix nb ni false in
+  for b = 0 to nb - 1 do
+    let blk = Ir.Func.block f b in
+    Array.iter
+      (fun i ->
+        let ins = Ir.Func.instr f i in
+        (match ins with
+        | Ir.Func.Phi args ->
+            Array.iteri
+              (fun ix _ ->
+                let src = (Ir.Func.edge f blk.Ir.Func.preds.(ix)).Ir.Func.src in
+                phi_out.(src).(args.(ix)) <- true)
+              blk.Ir.Func.preds
+        | _ -> Ir.Func.iter_operands (fun v -> if not defs.(b).(v) then uses.(b).(v) <- true) ins);
+        if Ir.Func.defines_value ins then defs.(b).(i) <- true)
+      blk.Ir.Func.instrs
+  done;
+  let live_in = Array.make_matrix nb ni false in
+  let live_out = Array.make_matrix nb ni false in
+  let succ = Ir.Func.succ_blocks f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = 0 to nb - 1 do
+      for v = 0 to ni - 1 do
+        let o = phi_out.(b).(v) || Array.exists (fun s -> live_in.(s).(v)) succ.(b) in
+        if o && not live_out.(b).(v) then begin
+          live_out.(b).(v) <- true;
+          changed := true
+        end;
+        let i = uses.(b).(v) || (live_out.(b).(v) && not defs.(b).(v)) in
+        if i && not live_in.(b).(v) then begin
+          live_in.(b).(v) <- true;
+          changed := true
+        end
+      done
+    done
+  done;
+  (live_in, live_out)
+
+let prop_liveness_naive =
+  QCheck.Test.make ~name:"bitset liveness equals the naive fixpoint exactly" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let f = Workload.Generator.func ~seed ~name:"lvn" () in
+      let live = Analysis.Liveness.compute f in
+      let ref_in, ref_out = naive_liveness f in
+      let ok = ref true in
+      for b = 0 to Ir.Func.num_blocks f - 1 do
+        for v = 0 to Ir.Func.num_instrs f - 1 do
+          if Analysis.Liveness.live_in_at live b v <> ref_in.(b).(v) then ok := false;
+          if Analysis.Liveness.live_out_at live b v <> ref_out.(b).(v) then ok := false
+        done
+      done;
+      !ok)
+
+(* The case the old seeding missed: a φ argument defined in the loop latch
+   itself is live out of the latch (the back edge carries it) but not live
+   into it. *)
+let test_liveness_phi_latch () =
+  let src = "routine f(n) { i = 0; while (i < n) { i = i + 1; } return i; }" in
+  let f = Ssa.Construct.of_cir (Ir.Lower.lower_routine (Ir.Parser.parse_one src)) in
+  let live = Analysis.Liveness.compute f in
+  let found = ref false in
+  for b = 0 to Ir.Func.num_blocks f - 1 do
+    let blk = Ir.Func.block f b in
+    Array.iter
+      (fun i ->
+        match Ir.Func.instr f i with
+        | Ir.Func.Phi args ->
+            Array.iteri
+              (fun ix _ ->
+                let v = args.(ix) in
+                let src = (Ir.Func.edge f blk.Ir.Func.preds.(ix)).Ir.Func.src in
+                if Ir.Func.block_of_instr f v = src then begin
+                  found := true;
+                  Alcotest.(check bool) "latch-defined arg live out of latch" true
+                    (Analysis.Liveness.live_out_at live src v);
+                  Alcotest.(check bool) "latch-defined arg not live into latch" false
+                    (Analysis.Liveness.live_in_at live src v)
+                end)
+              args
+        | _ -> ())
+      blk.Ir.Func.instrs
+  done;
+  Alcotest.(check bool) "found a latch-defined phi argument" true !found
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_dominators;
@@ -348,6 +648,12 @@ let suite =
     QCheck_alcotest.to_alcotest prop_postdom;
     QCheck_alcotest.to_alcotest prop_inc_dom;
     QCheck_alcotest.to_alcotest prop_rpo;
+    QCheck_alcotest.to_alcotest prop_loop_forest;
+    QCheck_alcotest.to_alcotest prop_liveness_naive;
     Alcotest.test_case "loop nesting depth" `Quick test_loops_nesting;
+    Alcotest.test_case "loop forest on the benchmark suite" `Quick test_loop_forest_benchmarks;
+    Alcotest.test_case "irreducible retreating edges" `Quick test_irreducible;
+    Alcotest.test_case "postdominator conventions" `Quick test_postdom_conventions;
     Alcotest.test_case "liveness on a diamond" `Quick test_liveness_simple;
+    Alcotest.test_case "liveness of a latch-defined phi arg" `Quick test_liveness_phi_latch;
   ]

@@ -160,6 +160,30 @@ let test_metrics_output () =
     (fun name -> Alcotest.(check bool) (name ^ " reported") true (contains out name))
     [ "pgvn.passes"; "pgvn.instrs"; "pgvn.table_probes"; "pgvn.arena.live"; "pgvn.run_ns" ]
 
+let test_schedule_modes () =
+  let p = clean_mc () in
+  (* Bare --schedule defaults to the legality check; trailing position
+     keeps the file from being parsed as the mode. *)
+  Alcotest.(check int) "bare --schedule" 0 (run [ p; "--schedule" ]);
+  let code, out = run_capture [ "--schedule=check"; p ] in
+  Alcotest.(check int) "--schedule=check" 0 code;
+  Alcotest.(check bool) "check summary line" true (contains out "schedule check: 0 violation(s)");
+  let code, out = run_capture [ "--schedule=dump"; p ] in
+  Alcotest.(check int) "--schedule=dump" 0 code;
+  Alcotest.(check bool) "dump prints ranges" true (contains out "early b");
+  Alcotest.(check bool) "dump prints stats" true (contains out "schedule:");
+  (* The corpus LICM shape: the invariant add inside the loop is lintable. *)
+  let licm =
+    write_tmp "licm.mc"
+      "routine f(a, n) { i = 0; s = 0; while (i < n) { s = s + a * 3; i = i + 1; } return s; }\n"
+  in
+  let code, out = run_capture [ "--schedule=lint"; licm ] in
+  Alcotest.(check int) "--schedule=lint" 0 code;
+  Alcotest.(check bool) "loop-invariant lint" true (contains out "lint-loop-invariant");
+  Alcotest.(check int) "bad schedule mode" 2 (run [ "--schedule=bogus"; p ]);
+  Alcotest.(check int) "--analyze and --schedule conflict" 2
+    (run [ "--analyze"; "--schedule"; p ])
+
 let test_exit_parse_error () =
   let p = write_tmp "broken.mc" "routine f( { this is not mini-C" in
   Alcotest.(check int) "parse error" 2 (run [ p ])
@@ -180,6 +204,7 @@ let suite =
     Alcotest.test_case "min_int / -1 overflow lint under --Werror" `Quick
       test_exit_werror_overflow;
     Alcotest.test_case "--rules mode exit codes and output" `Quick test_rules_modes;
+    Alcotest.test_case "--schedule mode exit codes and output" `Quick test_schedule_modes;
     Alcotest.test_case "--trace writes balanced Chrome JSON" `Quick test_trace_output;
     Alcotest.test_case "--metrics prints the engine snapshot" `Quick test_metrics_output;
     Alcotest.test_case "exit 2 on parse errors" `Quick test_exit_parse_error;

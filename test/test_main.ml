@@ -8,6 +8,7 @@ let () =
       ("ssa", Test_ssa.suite);
       ("check", Test_check.suite);
       ("absint", Test_absint.suite);
+      ("schedule", Test_schedule.suite);
       ("expr", Test_expr.suite);
       ("rules", Test_rules.suite);
       ("infer", Test_infer.suite);

@@ -11,9 +11,10 @@ Usage: check_bench_schema.py BENCH_gvn.json
 import json
 import sys
 
-TOP_KEYS = {"schema", "scale", "table2", "gvn_stats", "rules", "scaling"}
+TOP_KEYS = {"schema", "scale", "table2", "gvn_stats", "rules", "schedule", "scaling"}
 TABLE2_KEYS = {"benchmark", "dense_ms", "sparse_ms", "basic_ms"}
 RULES_KEYS = {"benchmark", "total_fired", "fired"}
+SCHEDULE_KEYS = {"benchmark", "hoistable", "sinkable", "speculation_blocked", "analysis_ms"}
 GVN_STATS_KEYS = {
     "benchmark", "routines", "passes", "instrs", "table_probes", "table_hits",
     "arena_live", "arena_interned", "arena_hits", "arena_max_chain",
@@ -64,6 +65,13 @@ def main():
         catalog_total = sum(n for name, n in rec["fired"].items() if name != "const-fold")
         if rec["total_fired"] != catalog_total:
             fail(f"rules[{i}]: total_fired != sum of catalog fires: {rec}")
+    for i, rec in enumerate(doc["schedule"]):
+        need(rec, SCHEDULE_KEYS, f"schedule[{i}]")
+        for k in ("hoistable", "sinkable", "speculation_blocked"):
+            if rec[k] < 0:
+                fail(f"schedule[{i}]: negative {k}: {rec}")
+        if rec["analysis_ms"] < 0:
+            fail(f"schedule[{i}]: negative analysis_ms: {rec}")
     need(doc["scaling"], SCALING_KEYS, "scaling")
     for i, rec in enumerate(doc["scaling"]["ladder"]):
         need(rec, LADDER_KEYS, f"scaling.ladder[{i}]")
@@ -77,6 +85,9 @@ def main():
         fail(f"table2/gvn_stats benchmark sets differ: {sorted(t2 ^ gs)}")
     if ru != t2:
         fail(f"table2/rules benchmark sets differ: {sorted(t2 ^ ru)}")
+    sc = {r["benchmark"] for r in doc["schedule"]}
+    if sc != t2:
+        fail(f"table2/schedule benchmark sets differ: {sorted(t2 ^ sc)}")
     if doc["scaling"]["quadratic_ok"] is not True:
         fail(f"ladder scaling regressed: {doc['scaling']}")
 
