@@ -3,7 +3,7 @@
    the related-work experiments of Figures 13/14. Run with no arguments for
    everything, or name sections:
 
-     dune exec bench/main.exe -- table1 table2 fig9 fig10 fig11 fig12 fig13 scalars absint schedule validate bechamel
+     dune exec bench/main.exe -- table1 table2 fig9 fig10 fig11 fig12 fig13 scalars absint schedule parallel validate bechamel
 
    Absolute times are this machine's, not a 440 MHz PA-8500's; the claims
    being reproduced are the *ratios* and *shapes* (see EXPERIMENTS.md).
@@ -542,6 +542,141 @@ let schedule_section suite =
     ~rows Fmt.stdout;
   Fmt.pr "  (violations = identity-placement legality errors; must be 0)@\n"
 
+(* The parallel service tier: throughput of the domain pool on the
+   multi-routine heavy hitters at 1/2/4 domains, and the content-addressed
+   cache's hit rate on a repeat-run workload. Speedups are paired-run
+   medians (each repeat measures every domain count back to back, the
+   ratio is taken within the pair, the median across repeats) — the shape
+   claim is the speedup ratio, not this machine's absolute routines/sec.
+   On hosts with fewer cores than domains the ratio degrades gracefully;
+   the JSON record carries the host's core count so the schema gate only
+   enforces the 4-domain floor where 4 cores exist. *)
+
+type par_stat = {
+  pb_name : string;
+  pb_routines : int;
+  pb_rps : (int * float) list; (* domain count -> median routines/sec *)
+  pb_speedups : (int * float) list; (* domain count -> median paired speedup *)
+  pb_hit_rate : float; (* cache hit rate of the repeat sweep *)
+}
+
+let parallel_domain_counts = [ 1; 2; 4 ]
+let parallel_heavy = [ "176.gcc"; "253.perlbmk"; "254.gap" ]
+
+let median = function
+  | [] -> 0.0
+  | l ->
+      let s = List.sort compare l in
+      List.nth s (List.length s / 2)
+
+let parallel_stats_pass suite =
+  let chosen =
+    List.filter
+      (fun ((b : Workload.Suite.benchmark), _) -> List.mem b.Workload.Suite.name parallel_heavy)
+      suite
+  in
+  List.map
+    (fun ((b : Workload.Suite.benchmark), funcs) ->
+      let work = Array.of_list funcs in
+      let n = Array.length work in
+      let pools =
+        List.map (fun d -> (d, Par.Pool.create ~domains:d ())) parallel_domain_counts
+      in
+      let samples =
+        List.init 5 (fun _ ->
+            List.map
+              (fun (d, pool) ->
+                let (), t =
+                  Obs.timed obs ~cat:"bench" "bench.parallel" (fun () ->
+                      ignore
+                        (Par.Pool.map pool
+                           (fun f -> ignore (Pgvn.Driver.run Pgvn.Config.full f))
+                           work))
+                in
+                (d, t))
+              pools)
+      in
+      List.iter (fun (_, pool) -> Par.Pool.shutdown pool) pools;
+      let times d = List.map (List.assoc d) samples in
+      let rps =
+        List.map
+          (fun d -> (d, float_of_int n /. max epsilon_float (median (times d))))
+          parallel_domain_counts
+      in
+      let speedups =
+        List.map
+          (fun d -> (d, median (List.map (fun s -> List.assoc 1 s /. List.assoc d s) samples)))
+          parallel_domain_counts
+      in
+      (* Repeat-run cache workload: sweep the benchmark through the
+         content-addressed cache twice. The first sweep compiles and
+         populates; the second must answer every routine from cache. *)
+      let cache = Par.Ccache.create () in
+      let sweep () =
+        Array.iter
+          (fun f ->
+            let key = Par.Ccache.key_of f in
+            match Par.Ccache.find cache key with
+            | Some _ -> ()
+            | None ->
+                ignore (Pgvn.Driver.run Pgvn.Config.full f);
+                Par.Ccache.add cache key "cached")
+          work
+      in
+      sweep ();
+      let s1 = Par.Ccache.stats cache in
+      sweep ();
+      let s2 = Par.Ccache.stats cache in
+      let lookups =
+        s2.Par.Ccache.hits + s2.Par.Ccache.misses - s1.Par.Ccache.hits - s1.Par.Ccache.misses
+      in
+      let hit_rate =
+        if lookups = 0 then 0.0
+        else float_of_int (s2.Par.Ccache.hits - s1.Par.Ccache.hits) /. float_of_int lookups
+      in
+      {
+        pb_name = b.Workload.Suite.name;
+        pb_routines = n;
+        pb_rps = rps;
+        pb_speedups = speedups;
+        pb_hit_rate = hit_rate;
+      })
+    chosen
+
+let parallel_section suite =
+  Fmt.pr "@\n=== Parallel service: pool throughput and cache hit rate ===@\n";
+  let stats = parallel_stats_pass suite in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          p.pb_name;
+          string_of_int p.pb_routines;
+          Printf.sprintf "%.0f" (List.assoc 1 p.pb_rps);
+          Printf.sprintf "%.0f" (List.assoc 2 p.pb_rps);
+          Printf.sprintf "%.0f" (List.assoc 4 p.pb_rps);
+          Printf.sprintf "%.2fx" (List.assoc 2 p.pb_speedups);
+          Printf.sprintf "%.2fx" (List.assoc 4 p.pb_speedups);
+          Printf.sprintf "%.0f%%" (100. *. p.pb_hit_rate);
+        ])
+      stats
+  in
+  Stats.Table.render
+    ~columns:
+      [
+        ("Benchmark", Stats.Table.Left);
+        ("routines", Stats.Table.Right);
+        ("rps@1", Stats.Table.Right);
+        ("rps@2", Stats.Table.Right);
+        ("rps@4", Stats.Table.Right);
+        ("speedup@2", Stats.Table.Right);
+        ("speedup@4", Stats.Table.Right);
+        ("repeat hits", Stats.Table.Right);
+      ]
+    ~rows Fmt.stdout;
+  Fmt.pr "  (%d core(s) recommended on this host; speedups are paired-run medians)@\n"
+    (Domain.recommended_domain_count ())
+
 (* Translation-validation overhead: run the pipeline under full validation
    and report, per pass kind, what the validator adds on top of the pass
    itself (witness audit against the oracle for GVN; interpreter diffing
@@ -755,6 +890,26 @@ let emit_json path suite =
         (sep i (List.length sched)))
     sched;
   pr "  ],\n";
+  (* The parallel service tier: pool throughput on the heavy hitters and
+     the cache's repeat-run hit rate. [cores] records the host's
+     recommended domain count so the schema gate can scale expectations. *)
+  let par = parallel_stats_pass suite in
+  pr "  \"parallel\": {\n";
+  pr "    \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  pr "    \"domain_counts\": [1, 2, 4],\n";
+  pr "    \"benchmarks\": [\n";
+  List.iteri
+    (fun i p ->
+      pr
+        "      {\"benchmark\": \"%s\", \"routines\": %d, \"rps1\": %.1f, \"rps2\": %.1f, \
+         \"rps4\": %.1f, \"speedup2\": %.3f, \"speedup4\": %.3f, \"repeat_hit_rate\": %.4f}%s\n"
+        p.pb_name p.pb_routines (List.assoc 1 p.pb_rps) (List.assoc 2 p.pb_rps)
+        (List.assoc 4 p.pb_rps) (List.assoc 2 p.pb_speedups) (List.assoc 4 p.pb_speedups)
+        p.pb_hit_rate
+        (sep i (List.length par)))
+    par;
+  pr "    ]\n";
+  pr "  },\n";
   pr "  \"scaling\": {\n";
   pr "    \"ladder\": [\n";
   List.iteri
@@ -810,6 +965,7 @@ let () =
   if want "ablation" then ablation (Lazy.force suite);
   if want "absint" then absint_section (Lazy.force suite);
   if want "schedule" then schedule_section (Lazy.force suite);
+  if want "parallel" then parallel_section (Lazy.force suite);
   if want "validate" then validate_section (Lazy.force suite);
   if want "bechamel" then bechamel_section ();
   (match !json_file with

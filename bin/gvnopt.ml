@@ -1,5 +1,5 @@
-(* gvnopt: parse a mini-C file, run predicated global value numbering under
-   a chosen configuration, and report — or rewrite and print — the routine.
+(* gvnopt: parse mini-C files, run predicated global value numbering under
+   a chosen configuration, and report — or rewrite and print — the routines.
 
      gvnopt file.mc                        optimize and print every routine
      gvnopt file.mc --analyze              GVN facts only (no rewriting)
@@ -22,11 +22,27 @@
      gvnopt --schedule=dump file.mc        per-value early/best/late blocks
                                            and speculation safety
      gvnopt --schedule=lint file.mc        hoist/sink opportunity lints
+     gvnopt --jobs=4 a.mc b.mc c.mc        batch mode: routines fan out
+                                           across a 4-domain pool
+     gvnopt --serve --jobs=2               compilation service: length-
+                                           prefixed routines on stdin,
+                                           framed results on stdout
+     gvnopt --cache=gvn.cache file.mc      persist the content-addressed
+                                           result cache across invocations
+
+   Every mode answers repeated routines from a content-addressed result
+   cache keyed by a canonical structural hash of the SSA form plus a
+   fingerprint of every flag the output depends on; misses run the full
+   check/validate/crosscheck machinery and populate the cache. Routine
+   outputs are rendered into per-routine buffers and concatenated in input
+   order, so sequential and parallel runs are byte-identical.
 
    Exit codes: 0 clean; 1 diagnostics at or above the failure threshold
    (verifier errors, --Werror'd warnings, rejected rewrites, --run
    disagreement, a refuted rule under --rules=verify, a schedule-legality
-   violation under --schedule=check); 2 usage or parse error. *)
+   violation under --schedule=check); 2 usage or parse error. In batch
+   mode over several files the exit code is the worst per-file code; in
+   --serve mode it is the worst per-request status. *)
 
 open Cmdliner
 
@@ -119,48 +135,72 @@ let pruning_conv =
   let parse s = Result.map_error (fun m -> `Msg m) (Cli.Cli_options.pruning_of_string s) in
   Arg.conv (parse, fun ppf p -> Fmt.string ppf (Ssa.Construct.pruning_to_string p))
 
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ -> Error (`Msg "JOBS must be >= 1")
+    | None -> Error (`Msg "expected an integer JOBS count")
+  in
+  Arg.conv (parse, Fmt.int)
+
+(* Everything a routine's compilation depends on, bundled so the batch and
+   serve paths thread one value. *)
+type opts = {
+  config : Pgvn.Config.t;
+  pruning : Ssa.Construct.pruning;
+  action : action;
+  stats : bool;
+  dump_input : bool;
+  run_args : int array option;
+  check : bool;
+  lint : bool;
+  werror : bool;
+  validate : Validate.mode option;
+}
+
 (* Render a diagnostic list under the --check/--lint flags; returns true
    when the run should be considered failed. *)
-let report_diag_list ~lint ~werror ~stage name ds =
+let report_diag_list ppf ~lint ~werror ~stage name ds =
   let ds = Check.sort ds in
   let shown =
     if lint then ds
     else List.filter (fun d -> d.Check.Diagnostic.severity = Check.Diagnostic.Error) ds
   in
-  List.iter (fun d -> Fmt.pr "%s (%s): %a@." name stage Check.Diagnostic.pp d) shown;
+  List.iter (fun d -> Fmt.pf ppf "%s (%s): %a@." name stage Check.Diagnostic.pp d) shown;
   Check.has_errors ds
   || (werror
      && List.exists (fun d -> d.Check.Diagnostic.severity = Check.Diagnostic.Warning) ds)
 
-let report_diagnostics ~lint ~werror ~stage name f =
-  report_diag_list ~lint ~werror ~stage name (Check.run_all ~lint f)
+let report_diagnostics ppf ~lint ~werror ~stage name f =
+  report_diag_list ppf ~lint ~werror ~stage name (Check.run_all ~lint f)
 
 (* Dump one sparse analysis's per-definition facts through the printer,
    prefixed by the blocks it proves unexecutable. *)
-let dump_facts (type t) f ~header ~(pp_fact : t Fmt.t) ~(fact : int -> t) ~block_exec =
-  Fmt.pr "--- %s facts ---@." header;
+let dump_facts ppf f ~header ~(pp_fact : 'f Fmt.t) ~(fact : int -> 'f) ~block_exec =
+  Fmt.pf ppf "--- %s facts ---@." header;
   for b = 0 to Ir.Func.num_blocks f - 1 do
-    if not block_exec.(b) then Fmt.pr "  block %d: unreachable@." b
+    if not block_exec.(b) then Fmt.pf ppf "  block %d: unreachable@." b
   done;
   for v = 0 to Ir.Func.num_instrs f - 1 do
     if Ir.Func.defines_value (Ir.Func.instr f v) then
-      Fmt.pr "  @[<h>%a  ;; %a@]@." (Ir.Printer.pp_instr f) v pp_fact (fact v)
+      Fmt.pf ppf "  @[<h>%a  ;; %a@]@." (Ir.Printer.pp_instr f) v pp_fact (fact v)
   done
 
 (* The --schedule modes: run the placement analysis (dump, lint) and the
    independent legality checker (check) on the input SSA; nothing is
    rewritten. Returns true when the run should be considered failed. *)
-let run_schedule ~obs mode name f =
+let run_schedule ppf ~obs mode name f =
   let pl = Schedule.Placement.compute ?obs f in
   let s = Schedule.Placement.stats pl in
-  Fmt.pr
+  Fmt.pf ppf
     "schedule: %d values | %d pinned (%d speculation-blocked) | %d hoistable | %d sinkable@."
     s.Schedule.Placement.values s.Schedule.Placement.pinned
     s.Schedule.Placement.speculation_blocked s.Schedule.Placement.hoistable
     s.Schedule.Placement.sinkable;
   match mode with
   | Sdump ->
-      dump_facts f ~header:"schedule" ~pp_fact:(Schedule.Placement.pp_fact pl)
+      dump_facts ppf f ~header:"schedule" ~pp_fact:(Schedule.Placement.pp_fact pl)
         ~fact:(fun v -> v)
         ~block_exec:pl.Schedule.Placement.ranges.Absint.Ranges.block_exec;
       false
@@ -171,148 +211,306 @@ let run_schedule ~obs mode name f =
       in
       Obs.add_o obs "schedule.violations" (List.length (Check.errors ds));
       List.iter
-        (fun d -> Fmt.pr "%s (schedule): %a@." name Check.Diagnostic.pp d)
+        (fun d -> Fmt.pf ppf "%s (schedule): %a@." name Check.Diagnostic.pp d)
         (Check.sort ds);
-      Fmt.pr "schedule check: %d violation(s)@." (List.length (Check.errors ds));
+      Fmt.pf ppf "schedule check: %d violation(s)@." (List.length (Check.errors ds));
       Check.has_errors ds
   | Slint ->
       let ls = Schedule.Placement.lints pl in
       List.iter
-        (fun d -> Fmt.pr "%s (schedule): %a@." name Check.Diagnostic.pp d)
+        (fun d -> Fmt.pf ppf "%s (schedule): %a@." name Check.Diagnostic.pp d)
         ls;
-      Fmt.pr "schedule lint: %d opportunity(ies)@." (List.length ls);
+      Fmt.pf ppf "schedule lint: %d opportunity(ies)@." (List.length ls);
       false
 
-let process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint ~werror
-    ~validate ~obs path =
-  let src = read_file path in
-  let routines =
-    Obs.span_o obs ~cat:"pipeline" "parse" @@ fun () -> Ir.Parser.parse_program src
-  in
+(* One routine, end to end, rendered into [ppf]; the caller has already
+   lowered and SSA-constructed (the cache key needs the SSA form before we
+   know whether this runs at all). Returns true when the routine failed. *)
+let process_routine ppf ~opts ~obs ~cir ~f name =
   let failed = ref false in
-  let checking = check || lint || werror in
-  let diagnose ~stage name f =
+  let checking = opts.check || opts.lint || opts.werror in
+  let diagnose ~stage name g =
     if checking then
       Obs.span_o obs ~cat:"verify" "check" @@ fun () ->
-      if report_diagnostics ~lint ~werror ~stage name f then failed := true
+      if report_diagnostics ppf ~lint:opts.lint ~werror:opts.werror ~stage name g then
+        failed := true
   in
-  List.iter
-    (fun r ->
-      let cir = Ir.Lower.lower_routine r in
-      let f =
-        Obs.span_o obs ~cat:"pass" "ssa" @@ fun () -> Ssa.Construct.of_cir ~pruning cir
+  Fmt.pf ppf "=== %s ===@." name;
+  if opts.dump_input then Fmt.pf ppf "--- input SSA ---@.%a@." Ir.Printer.pp f;
+  (* Pre-SSA lints must run on the Cir: SSA construction seeds unassigned
+     registers with a shared constant 0, hiding the read. *)
+  if
+    opts.lint
+    && report_diag_list ppf ~lint:opts.lint ~werror:opts.werror ~stage:"cir" name
+         (Check.Lint.run_cir cir)
+  then failed := true;
+  diagnose ~stage:"input" name f;
+  let st = Obs.span_o obs ~cat:"pass" "gvn" @@ fun () -> Pgvn.Driver.run ?obs opts.config f in
+  let s = Pgvn.Driver.summarize st in
+  Fmt.pf ppf
+    "values: %d | unreachable: %d | constant: %d | classes: %d | reachable blocks: %d/%d | passes: %d@."
+    s.Pgvn.Driver.values s.Pgvn.Driver.unreachable_values s.Pgvn.Driver.constant_values
+    s.Pgvn.Driver.congruence_classes s.Pgvn.Driver.reachable_blocks (Ir.Func.num_blocks f)
+    s.Pgvn.Driver.passes;
+  if opts.stats then Fmt.pf ppf "stats: %a@." Pgvn.Run_stats.pp st.Pgvn.State.stats;
+  (match opts.action with
+  | Schedule mode ->
+      (* Placement analysis / legality check of the input SSA; nothing is
+         rewritten. *)
+      if run_schedule ppf ~obs mode name f then failed := true
+  | Analyze mode ->
+      (* Print the non-trivial congruence facts. *)
+      let dump_gvn () =
+        for v = 0 to Ir.Func.num_instrs f - 1 do
+          if Ir.Func.defines_value (Ir.Func.instr f v) then
+            if Pgvn.Driver.value_unreachable st v then Fmt.pf ppf "  v%d: unreachable@." v
+            else
+              match Pgvn.Driver.value_constant st v with
+              | Some c -> Fmt.pf ppf "  v%d = %d@." v c
+              | None -> (
+                  match (Pgvn.State.cls st st.Pgvn.State.class_of.(v)).Pgvn.State.leader with
+                  | Pgvn.State.Lvalue l when l <> v -> Fmt.pf ppf "  v%d == v%d@." v l
+                  | _ -> ())
+        done
       in
-      Fmt.pr "=== %s ===@." r.Ir.Ast.name;
-      if dump_input then Fmt.pr "--- input SSA ---@.%a@." Ir.Printer.pp f;
-      (* Pre-SSA lints must run on the Cir: SSA construction seeds
-         unassigned registers with a shared constant 0, hiding the read. *)
-      if lint && report_diag_list ~lint ~werror ~stage:"cir" r.Ir.Ast.name
-                   (Check.Lint.run_cir cir)
-      then failed := true;
-      diagnose ~stage:"input" r.Ir.Ast.name f;
-      let st =
-        Obs.span_o obs ~cat:"pass" "gvn" @@ fun () -> Pgvn.Driver.run ?obs config f
+      let dump_const () =
+        let res = Absint.Consts.run ?obs f in
+        dump_facts ppf f ~header:"const" ~pp_fact:Absint.Konst.pp
+          ~fact:(fun v -> res.Absint.Consts.facts.(v))
+          ~block_exec:res.Absint.Consts.block_exec
       in
-      let s = Pgvn.Driver.summarize st in
-      Fmt.pr
-        "values: %d | unreachable: %d | constant: %d | classes: %d | reachable blocks: %d/%d | passes: %d@."
-        s.Pgvn.Driver.values s.Pgvn.Driver.unreachable_values s.Pgvn.Driver.constant_values
-        s.Pgvn.Driver.congruence_classes s.Pgvn.Driver.reachable_blocks (Ir.Func.num_blocks f)
-        s.Pgvn.Driver.passes;
-      if stats then Fmt.pr "stats: %a@." Pgvn.Run_stats.pp st.Pgvn.State.stats;
-      (match action with
-      | Schedule mode ->
-          (* Placement analysis / legality check of the input SSA; nothing
-             is rewritten. *)
-          if run_schedule ~obs mode r.Ir.Ast.name f then failed := true
-      | Analyze mode ->
-          (* Print the non-trivial congruence facts. *)
-          let dump_gvn () =
-            for v = 0 to Ir.Func.num_instrs f - 1 do
-              if Ir.Func.defines_value (Ir.Func.instr f v) then
-                if Pgvn.Driver.value_unreachable st v then Fmt.pr "  v%d: unreachable@." v
-                else
-                  match Pgvn.Driver.value_constant st v with
-                  | Some c -> Fmt.pr "  v%d = %d@." v c
-                  | None -> (
-                      match (Pgvn.State.cls st st.Pgvn.State.class_of.(v)).Pgvn.State.leader with
-                      | Pgvn.State.Lvalue l when l <> v -> Fmt.pr "  v%d == v%d@." v l
-                      | _ -> ())
-            done
-          in
-          let dump_const () =
-            let res = Absint.Consts.run ?obs f in
-            dump_facts f ~header:"const" ~pp_fact:Absint.Konst.pp
-              ~fact:(fun v -> res.Absint.Consts.facts.(v))
-              ~block_exec:res.Absint.Consts.block_exec
-          in
-          let dump_range () = Absint.Ranges.run ?obs f in
-          (match mode with
-          | Agvn -> dump_gvn ()
-          | Aconst -> dump_const ()
-          | Arange ->
-              let res = dump_range () in
-              dump_facts f ~header:"range" ~pp_fact:Absint.Itv.pp
-                ~fact:(fun v -> res.Absint.Ranges.facts.(v))
-                ~block_exec:res.Absint.Ranges.block_exec
-          | Aall ->
-              dump_gvn ();
-              dump_const ();
-              let ranges = dump_range () in
-              dump_facts f ~header:"range" ~pp_fact:Absint.Itv.pp
-                ~fact:(fun v -> ranges.Absint.Ranges.facts.(v))
-                ~block_exec:ranges.Absint.Ranges.block_exec;
-              (* Static cross-check: replay the GVN run's claims against
-                 the interval facts; a contradiction fails the run. *)
-              let report = Absint.Crosscheck.run ~ranges st in
-              Fmt.pr "%a@." Absint.Crosscheck.pp_report report;
-              if not (Absint.Crosscheck.ok report) then failed := true)
-      | Optimize ->
-          let rewritten, witnesses =
-            Obs.span_o obs ~cat:"pass" "rewrite" @@ fun () ->
-            Transform.Apply.rebuild_witnessed st f
-          in
-          let dced = Obs.span_o obs ~cat:"pass" "dce" @@ fun () -> Transform.Dce.run rewritten in
-          let g =
-            Obs.span_o obs ~cat:"pass" "simplify-cfg" @@ fun () ->
-            Transform.Simplify_cfg.fixpoint dced
-          in
-          Fmt.pr "--- optimized (%d -> %d instrs, %d -> %d blocks) ---@.%a@."
-            (Ir.Func.num_instrs f) (Ir.Func.num_instrs g) (Ir.Func.num_blocks f)
-            (Ir.Func.num_blocks g) Ir.Printer.pp g;
-          diagnose ~stage:"optimized" r.Ir.Ast.name g;
-          (match validate with
-          | None -> ()
-          | Some mode ->
-              (* Engine 1 audits the GVN rewrite's witnesses against [f];
-                 Engine 2 diffs observable behavior across the whole
-                 rewrite + cleanup. *)
-              let p = Validate.certify ?obs ~mode ~pass:"gvn+cleanup" ~witnesses f g in
-              let report = Validate.Report.add Validate.Report.empty p in
-              Fmt.pr "validate: %a@." Validate.Report.pp_summary report;
-              let errors = Validate.Report.errors report in
-              List.iter
-                (fun d -> Fmt.pr "%s (validate): %a@." r.Ir.Ast.name Check.Diagnostic.pp d)
-                errors;
-              if errors <> [] then failed := true);
-          (match run_args with
-          | None -> ()
-          | Some args ->
-              let a = Ir.Interp.run f args and b = Ir.Interp.run g args in
-              let agree = Ir.Interp.equal_result a b in
-              Fmt.pr "run(%a): input %a | optimized %a | %s@."
-                Fmt.(array ~sep:(any ",") int)
-                args Ir.Interp.pp_result a Ir.Interp.pp_result b
-                (if agree then "agree" else "DISAGREE");
-              if not agree then failed := true)))
-    routines;
-  if !failed then 1 else 0
+      let dump_range () = Absint.Ranges.run ?obs f in
+      (match mode with
+      | Agvn -> dump_gvn ()
+      | Aconst -> dump_const ()
+      | Arange ->
+          let res = dump_range () in
+          dump_facts ppf f ~header:"range" ~pp_fact:Absint.Itv.pp
+            ~fact:(fun v -> res.Absint.Ranges.facts.(v))
+            ~block_exec:res.Absint.Ranges.block_exec
+      | Aall ->
+          dump_gvn ();
+          dump_const ();
+          let ranges = dump_range () in
+          dump_facts ppf f ~header:"range" ~pp_fact:Absint.Itv.pp
+            ~fact:(fun v -> ranges.Absint.Ranges.facts.(v))
+            ~block_exec:ranges.Absint.Ranges.block_exec;
+          (* Static cross-check: replay the GVN run's claims against the
+             interval facts; a contradiction fails the run. *)
+          let report = Absint.Crosscheck.run ~ranges st in
+          Fmt.pf ppf "%a@." Absint.Crosscheck.pp_report report;
+          if not (Absint.Crosscheck.ok report) then failed := true)
+  | Optimize ->
+      let rewritten, witnesses =
+        Obs.span_o obs ~cat:"pass" "rewrite" @@ fun () ->
+        Transform.Apply.rebuild_witnessed st f
+      in
+      let dced = Obs.span_o obs ~cat:"pass" "dce" @@ fun () -> Transform.Dce.run rewritten in
+      let g =
+        Obs.span_o obs ~cat:"pass" "simplify-cfg" @@ fun () ->
+        Transform.Simplify_cfg.fixpoint dced
+      in
+      Fmt.pf ppf "--- optimized (%d -> %d instrs, %d -> %d blocks) ---@.%a@."
+        (Ir.Func.num_instrs f) (Ir.Func.num_instrs g) (Ir.Func.num_blocks f)
+        (Ir.Func.num_blocks g) Ir.Printer.pp g;
+      diagnose ~stage:"optimized" name g;
+      (match opts.validate with
+      | None -> ()
+      | Some mode ->
+          (* Engine 1 audits the GVN rewrite's witnesses against [f];
+             Engine 2 diffs observable behavior across the whole rewrite +
+             cleanup. *)
+          let p = Validate.certify ?obs ~mode ~pass:"gvn+cleanup" ~witnesses f g in
+          let report = Validate.Report.add Validate.Report.empty p in
+          Fmt.pf ppf "validate: %a@." Validate.Report.pp_summary report;
+          let errors = Validate.Report.errors report in
+          List.iter
+            (fun d -> Fmt.pf ppf "%s (validate): %a@." name Check.Diagnostic.pp d)
+            errors;
+          if errors <> [] then failed := true);
+      (match opts.run_args with
+      | None -> ()
+      | Some args ->
+          let a = Ir.Interp.run f args and b = Ir.Interp.run g args in
+          let agree = Ir.Interp.equal_result a b in
+          Fmt.pf ppf "run(%a): input %a | optimized %a | %s@."
+            Fmt.(array ~sep:(any ",") int)
+            args Ir.Interp.pp_result a Ir.Interp.pp_result b
+            (if agree then "agree" else "DISAGREE");
+          if not agree then failed := true));
+  !failed
+
+(* The cache key's fingerprint: every flag the rendered output depends on.
+   The output of everything downstream of SSA construction is a function of
+   the SSA form (covered by the structural key) and these options; the
+   pre-SSA cir lints additionally read the source routine, so --lint folds
+   the routine itself in. Marshal is fine here: plain data, and the
+   fingerprint never outlives the build's format. *)
+let fingerprint ~opts (r : Ir.Ast.routine) =
+  let flags =
+    ( opts.config,
+      opts.pruning,
+      opts.action,
+      opts.stats,
+      opts.dump_input,
+      opts.run_args,
+      opts.check,
+      opts.lint,
+      opts.werror,
+      opts.validate )
+  in
+  let base = Marshal.to_string flags [] in
+  if opts.lint then base ^ Marshal.to_string r [] else base
+
+(* Compile one routine, answering from the cache when its key is known:
+   returns its rendered output, whether it failed, and the routine-private
+   Obs context (merged into the main one, in input order, by the caller —
+   that ordering is what makes parallel reports deterministic). Cached
+   values store the failure bit in their first byte, then the exact output
+   text, so a hit is byte-identical to a fresh run. Runs on pool workers:
+   everything here must be domain-safe. *)
+let compile_one ~opts ~cache ~obs (r : Ir.Ast.routine) =
+  let robs = match obs with None -> None | Some _ -> Some (Obs.create ()) in
+  let cir = Ir.Lower.lower_routine r in
+  let f =
+    Obs.span_o robs ~cat:"pass" "ssa" @@ fun () ->
+    Ssa.Construct.of_cir ~pruning:opts.pruning cir
+  in
+  let key = Par.Ccache.key_of ~fingerprint:(fingerprint ~opts r) f in
+  match Par.Ccache.find ?obs:robs cache key with
+  | Some v ->
+      let failed = String.length v > 0 && v.[0] = '1' in
+      (String.sub v 1 (String.length v - 1), failed, robs)
+  | None ->
+      let buf = Buffer.create 512 in
+      let ppf = Format.formatter_of_buffer buf in
+      let failed = process_routine ppf ~opts ~obs:robs ~cir ~f r.Ir.Ast.name in
+      Format.pp_print_flush ppf ();
+      let out = Buffer.contents buf in
+      Par.Ccache.add ?obs:robs cache key ((if failed then "1" else "0") ^ out);
+      (out, failed, robs)
+
+let merge_robs ~obs results =
+  Array.iter
+    (fun (_, _, robs) ->
+      match (obs, robs) with
+      | Some dst, Some src -> Obs.merge_into ~dst src
+      | _ -> ())
+    results
+
+(* Batch mode: parse every file up front (sequential — the parser is the
+   cheap part), fan the routines out across the pool, then print outputs in
+   input order. A file that fails to parse reports on stderr and contributes
+   exit 2; the rest of the batch still runs. *)
+let run_batch ~opts ~pool ~cache ~obs paths =
+  let worst = ref 0 in
+  let parsed =
+    List.map
+      (fun path ->
+        Obs.span_o obs ~cat:"pipeline" "parse" @@ fun () ->
+        match Ir.Parser.parse_program (read_file path) with
+        | routines -> routines
+        | exception Ir.Parser.Error (msg, line) ->
+            Fmt.epr "%s:%d: parse error: %s@." path line msg;
+            worst := max !worst 2;
+            []
+        | exception Ir.Lexer.Error (msg, line) ->
+            Fmt.epr "%s:%d: lex error: %s@." path line msg;
+            worst := max !worst 2;
+            [])
+      paths
+  in
+  let work = Array.of_list (List.concat parsed) in
+  let results = Par.Pool.map pool (fun r -> compile_one ~opts ~cache ~obs r) work in
+  merge_robs ~obs results;
+  Array.iter
+    (fun (out, failed, _) ->
+      print_string out;
+      if failed then worst := max !worst 1)
+    results;
+  flush stdout;
+  !worst
+
+(* ------------------------------------------------------------------ *)
+(* --serve: the streaming compilation service. Framing (both directions):
+   a 4-byte big-endian byte count, then that many bytes. A request payload
+   is mini-C source (any number of routines); a response payload is one
+   status byte — '0' clean, '1' diagnostics failed the request, '2' parse
+   error — followed by exactly the text batch mode would print for those
+   routines (or the parse error message after status '2'). The server
+   answers requests in order and keeps serving after failed requests; the
+   process exits with the worst status served (EOF on a frame boundary is
+   a clean shutdown, a truncated frame is a protocol error, exit 2). *)
+
+let max_frame = 1 lsl 26 (* 64 MiB: refuse absurd lengths rather than allocate *)
+
+let read_frame ic =
+  match really_input_string ic 4 with
+  | exception End_of_file -> None (* clean EOF between frames *)
+  | hdr ->
+      let b i = Char.code hdr.[i] in
+      let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      if len > max_frame then failwith (Printf.sprintf "frame of %d bytes exceeds the limit" len)
+      else Some (really_input_string ic len)
+
+let write_frame oc payload =
+  let len = String.length payload in
+  output_byte oc ((len lsr 24) land 0xff);
+  output_byte oc ((len lsr 16) land 0xff);
+  output_byte oc ((len lsr 8) land 0xff);
+  output_byte oc (len land 0xff);
+  output_string oc payload;
+  flush oc
+
+let serve ~opts ~pool ~cache ~obs () =
+  set_binary_mode_in stdin true;
+  set_binary_mode_out stdout true;
+  let worst = ref 0 in
+  let respond src =
+    match Ir.Parser.parse_program src with
+    | exception Ir.Parser.Error (msg, line) ->
+        (2, Printf.sprintf "<stdin>:%d: parse error: %s\n" line msg)
+    | exception Ir.Lexer.Error (msg, line) ->
+        (2, Printf.sprintf "<stdin>:%d: lex error: %s\n" line msg)
+    | routines ->
+        let results =
+          Par.Pool.map pool (fun r -> compile_one ~opts ~cache ~obs r) (Array.of_list routines)
+        in
+        merge_robs ~obs results;
+        let buf = Buffer.create 512 in
+        let failed = ref false in
+        Array.iter
+          (fun (out, f, _) ->
+            Buffer.add_string buf out;
+            if f then failed := true)
+          results;
+        ((if !failed then 1 else 0), Buffer.contents buf)
+  in
+  let rec loop () =
+    match read_frame stdin with
+    | None -> !worst
+    | Some src ->
+        let status, body = respond src in
+        worst := max !worst status;
+        write_frame stdout (string_of_int status ^ body);
+        loop ()
+  in
+  match loop () with
+  | code -> code
+  | exception End_of_file ->
+      Fmt.epr "gvnopt: --serve: truncated frame on stdin@.";
+      2
+  | exception Failure msg ->
+      Fmt.epr "gvnopt: --serve: %s@." msg;
+      2
+
+(* ------------------------------------------------------------------ *)
 
 let cmd =
-  (* Optional at the cmdliner layer only: --rules=dump|verify run without
-     an input file; every other mode errors out (exit 2) when it is
-     missing, preserving the old required-positional contract. *)
-  let path = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.mc") in
+  (* Optional at the cmdliner layer only: --rules=dump|verify and --serve
+     run without input files; every other mode errors out (exit 2) when
+     none is given, preserving the old required-positional contract. *)
+  let paths = Arg.(value & pos_all file [] & info [] ~docv:"FILE.mc") in
   let preset =
     Arg.(value & opt preset_conv Pgvn.Config.full & info [ "preset"; "p" ] ~doc:"GVN preset: full, balanced, pessimistic, basic, dense, click, sccp, awz.")
   in
@@ -393,8 +591,8 @@ let cmd =
       & info [ "metrics" ]
           ~doc:
             "Print the engine metrics snapshot (worklist touches, table \
-             probes/hits, arena occupancy, latency histograms) after \
-             processing.")
+             probes/hits, arena occupancy, cache hit/miss counters, latency \
+             histograms) after processing.")
   in
   let schedule_flag =
     Arg.(
@@ -423,7 +621,42 @@ let cmd =
              fatal lint; $(b,off) optimizes $(i,FILE.mc) with the catalog \
              disabled (trap-refusing constant folding only).")
   in
-  let main preset complete pruning analyze stats dump_input run_args check lint werror validate nr npi nvi npp nsp trace_file metrics rules schedule path =
+  let jobs_flag =
+    Arg.(
+      value
+      & opt jobs_conv 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Compile routines on an $(docv)-domain work-stealing pool (the \
+             calling domain plus $(docv)-1 spawned ones). Outputs are emitted \
+             in input order and are byte-identical to a sequential run; \
+             $(b,--jobs=1) (the default) spawns nothing.")
+  in
+  let serve_flag =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:
+            "Run as a compilation service: read length-prefixed mini-C \
+             requests from stdin (4-byte big-endian length, then the source) \
+             and write framed responses to stdout (4-byte big-endian length, \
+             then a status byte '0'/'1'/'2', then the batch-mode output). \
+             Takes no $(i,FILE.mc) arguments and conflicts with \
+             $(b,--metrics), whose report would corrupt the response stream. \
+             Exits with the worst status served.")
+  in
+  let cache_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:
+            "Persist the content-addressed result cache: load $(docv) at \
+             startup (a missing or corrupted file is a cold cache) and save \
+             it back at exit. Within one invocation the in-memory tier always \
+             answers repeated routines, with or without this flag.")
+  in
+  let main preset complete pruning analyze stats dump_input run_args check lint werror validate nr npi nvi npp nsp trace_file metrics rules schedule jobs serve_mode cache_file paths =
     let toggles =
       {
         Cli.Cli_options.complete;
@@ -440,45 +673,59 @@ let cmd =
       | Some Roff -> { config with Pgvn.Config.rules = false }
       | _ -> config
     in
-    match (rules, path) with
-    | Some Rdump, _ -> dump_rules ()
-    | Some Rverify, _ -> verify_rules ()
-    | _, None ->
-        Fmt.epr "gvnopt: required argument FILE.mc is missing@.";
-        2
-    | _, Some _ when analyze <> None && schedule <> None ->
-        Fmt.epr "gvnopt: --analyze and --schedule are mutually exclusive@.";
-        2
-    | _, Some path -> (
-        let action =
-          match (analyze, schedule) with
-          | Some m, _ -> Analyze m
-          | _, Some m -> Schedule m
-          | None, None -> Optimize
-        in
-        let obs_opts = { Cli.Cli_options.trace_file; metrics } in
-        let obs = Cli.Cli_options.obs_of obs_opts in
-        try
-          let code =
-            process ~config ~pruning ~action ~stats ~dump_input ~run_args ~check ~lint
-              ~werror ~validate ~obs path
+    match rules with
+    | Some Rdump -> dump_rules ()
+    | Some Rverify -> verify_rules ()
+    | _ ->
+        if analyze <> None && schedule <> None then begin
+          Fmt.epr "gvnopt: --analyze and --schedule are mutually exclusive@.";
+          2
+        end
+        else if serve_mode && paths <> [] then begin
+          Fmt.epr "gvnopt: --serve reads routines from stdin and takes no FILE.mc argument@.";
+          2
+        end
+        else if serve_mode && metrics then begin
+          Fmt.epr "gvnopt: --serve and --metrics are mutually exclusive (the metrics report would corrupt the response stream)@.";
+          2
+        end
+        else if (not serve_mode) && paths = [] then begin
+          Fmt.epr "gvnopt: required argument FILE.mc is missing@.";
+          2
+        end
+        else begin
+          let action =
+            match (analyze, schedule) with
+            | Some m, _ -> Analyze m
+            | _, Some m -> Schedule m
+            | None, None -> Optimize
           in
+          let opts =
+            { config; pruning; action; stats; dump_input; run_args; check; lint; werror; validate }
+          in
+          let obs_opts = { Cli.Cli_options.trace_file; metrics } in
+          let obs = Cli.Cli_options.obs_of obs_opts in
+          let cache =
+            match cache_file with
+            | Some p -> Par.Ccache.load p
+            | None -> Par.Ccache.create ()
+          in
+          let code =
+            Par.Pool.with_pool ~domains:jobs (fun pool ->
+                if serve_mode then serve ~opts ~pool ~cache ~obs ()
+                else run_batch ~opts ~pool ~cache ~obs paths)
+          in
+          (match cache_file with Some p -> Par.Ccache.save cache p | None -> ());
           Cli.Cli_options.finish obs_opts obs;
           code
-        with
-        | Ir.Parser.Error (msg, line) ->
-            Fmt.epr "%s:%d: parse error: %s@." path line msg;
-            2
-        | Ir.Lexer.Error (msg, line) ->
-            Fmt.epr "%s:%d: lex error: %s@." path line msg;
-            2)
+        end
   in
   let term =
     Term.(
       const main $ preset $ complete $ pruning $ analyze $ stats $ dump_input $ run_args
       $ check_flag $ lint_flag $ werror_flag $ validate_flag
       $ no_reassoc $ no_pi $ no_vi $ no_pp $ no_sparse $ trace_flag $ metrics_flag
-      $ rules_flag $ schedule_flag $ path)
+      $ rules_flag $ schedule_flag $ jobs_flag $ serve_flag $ cache_flag $ paths)
   in
   let exits =
     [

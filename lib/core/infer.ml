@@ -96,13 +96,16 @@ let value_vs_const ~const (op, x, y) =
 (* Test-only fault injection: when set, every verdict [decide] returns is
    passed through this function. The mutant tests use it to ship an
    intentionally wrong implication table and assert the static
-   cross-checker catches the engine's resulting bogus claims. *)
-let fault : (verdict -> verdict) option ref = ref None
+   cross-checker catches the engine's resulting bogus claims. Domain-local
+   so a test injecting faults cannot leak wrong verdicts into pipelines
+   running concurrently on other domains. *)
+let fault_key : (verdict -> verdict) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let with_fault f k =
-  let saved = !fault in
-  fault := Some f;
-  Fun.protect ~finally:(fun () -> fault := saved) k
+  let saved = Domain.DLS.get fault_key in
+  Domain.DLS.set fault_key (Some f);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set fault_key saved) k
 
 let decide_sound ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb : verdict =
   if same fa qa && same fb qb then same_operands_table fop qop
@@ -130,4 +133,4 @@ let decide_sound ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb : verdict =
 
 let decide ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb : verdict =
   let v = decide_sound ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb in
-  match !fault with None -> v | Some f -> f v
+  match Domain.DLS.get fault_key with None -> v | Some f -> f v

@@ -6,15 +6,12 @@
 
 type verdict = True | False | Unknown
 
-val fault : (verdict -> verdict) option ref
-(** Test-only fault injection: when set, every {!decide} verdict passes
-    through the function, letting the mutant tests simulate a wrong
-    implication table. [None] (the default) is the identity. Use
-    {!with_fault} for scoped installation. *)
-
 val with_fault : (verdict -> verdict) -> (unit -> 'a) -> 'a
-(** [with_fault f k] runs [k] with [fault] set to [f], restoring the
-    previous hook afterwards (also on exceptions). *)
+(** Test-only fault injection: [with_fault f k] runs [k] with every
+    {!decide} verdict passed through [f], restoring the previous hook
+    afterwards (also on exceptions) — the mutant tests use it to simulate a
+    wrong implication table. The hook is domain-local: it affects only the
+    installing domain. *)
 
 val same_operands_table : Ir.Types.cmp -> Ir.Types.cmp -> verdict
 (** Given [a OP b], decide [a OP' b]. *)

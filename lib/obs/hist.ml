@@ -5,6 +5,9 @@ let create () : t = Hashtbl.create 16
 let add (t : t) bucket =
   Hashtbl.replace t bucket (1 + Option.value ~default:0 (Hashtbl.find_opt t bucket))
 
+let add_count (t : t) bucket n =
+  Hashtbl.replace t bucket (n + Option.value ~default:0 (Hashtbl.find_opt t bucket))
+
 let count (t : t) bucket = Option.value ~default:0 (Hashtbl.find_opt t bucket)
 let total (t : t) = Hashtbl.fold (fun _ c acc -> acc + c) t 0
 

@@ -10,6 +10,10 @@ val create : unit -> t
 val add : t -> int -> unit
 (** Bump the count of one bucket. *)
 
+val add_count : t -> int -> int -> unit
+(** [add_count t bucket n] bumps one bucket by [n] — how snapshot entries
+    replay into another histogram. *)
+
 val count : t -> int -> int
 (** The count in one bucket (0 when never bumped). *)
 

@@ -2,7 +2,13 @@
     Metric names are a stable contract (see DESIGN.md §4d): dotted
     lowercase identifiers, `<subsystem>.<what>` — consumers (the bench
     harness, the CLI's [--metrics] dump, CI) key on them. Every update is
-    also streamed to the installed {!Sink}. *)
+    also streamed to the installed {!Sink}.
+
+    A registry is safe under concurrent writers: every operation takes the
+    registry's internal mutex, so totals are exact whichever domains bump
+    them (sink callbacks run inside that mutex and must not re-enter the
+    registry). {!hist} hands back the live histogram — treat it as
+    read-only once concurrent writers exist, or use {!snapshot}. *)
 
 type t
 

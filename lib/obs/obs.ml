@@ -37,5 +37,13 @@ let max_gauge_o obs name v = match obs with None -> () | Some t -> max_gauge t n
 let observe_seconds_o obs name s =
   match obs with None -> () | Some t -> observe_seconds t name s
 
+(* Join-time aggregation of a worker's private context: counters add,
+   gauges max, histogram buckets add, trace events append. Merging workers
+   in input order makes the combined context independent of how the pool
+   scheduled them. *)
+let merge_into ~dst src =
+  Metrics.merge_into ~dst:dst.metrics src.metrics;
+  Trace.absorb ~dst:dst.trace src.trace
+
 let write_chrome t path = Trace.write_chrome t.trace path
 let pp_metrics ppf t = Metrics.pp ppf t.metrics

@@ -38,7 +38,7 @@ let create ?(capacity = 65536) ?(clock = Unix.gettimeofday) ?(sink = Sink.null) 
 
 let clock t = t.clock ()
 
-let push t e =
+let push_ring t e =
   let n = Array.length t.ring in
   if t.len = n && n < t.capacity then begin
     (* grow geometrically up to capacity, unrolling the ring *)
@@ -59,7 +59,10 @@ let push t e =
   else begin
     t.ring.((t.head + t.len) mod n) <- e;
     t.len <- t.len + 1
-  end;
+  end
+
+let push t e =
+  push_ring t e;
   t.sink.Sink.emit e
 
 let begin_span t ?(cat = "span") name =
@@ -108,6 +111,16 @@ let spans_recorded t = t.n_spans
 
 let events t =
   List.init t.len (fun i -> t.ring.((t.head + i) mod Array.length t.ring))
+
+(* Append [src]'s recorded events into [dst]'s ring without re-emitting
+   them to [dst]'s sink (they already streamed once, from [src]); the
+   span/drop tallies carry over so [balanced] stays meaningful on the
+   merged trace. [src] must be quiescent — this is the join-time merge of a
+   worker's private trace, called after the worker is done with it. *)
+let absorb ~dst (src : t) =
+  List.iter (push_ring dst) (events src);
+  dst.n_spans <- dst.n_spans + src.n_spans;
+  dst.n_dropped <- dst.n_dropped + src.n_dropped
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace format.                                                *)

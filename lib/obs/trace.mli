@@ -50,6 +50,13 @@ val spans_recorded : t -> int
 val events : t -> Sink.event list
 (** The ring's contents, oldest first. *)
 
+val absorb : dst:t -> t -> unit
+(** Append a quiescent trace's events (and its span/drop tallies) onto
+    [dst] — the join-time merge of a pool worker's private trace. Events
+    are not re-emitted to [dst]'s sink; they already streamed from the
+    source. Absorb sources in a deterministic (input) order to keep merged
+    reports scheduling-independent. *)
+
 (** {1 Chrome trace format} *)
 
 val pp_chrome : Format.formatter -> t -> unit

@@ -202,8 +202,12 @@ let rewrite_unop t s op x =
       in
       try_entries t.by_unop.(unop_index op)
 
-(* The processwide engine over {!Catalog.all}: the one rule table the GVN
-   engine, the expression algebras, the baselines and the oracle share.
-   Fire counters are global; {!Driver.run} publishes per-run deltas. *)
-let shared_engine = lazy (compile Catalog.all)
-let shared () = Lazy.force shared_engine
+(* The shared engine over {!Catalog.all}: the one rule table the GVN
+   engine, the expression algebras, the baselines and the oracle consult.
+   It is domain-local, not processwide — the compiled table carries mutable
+   fire counters, and {!Driver.run} publishes per-run counter deltas, which
+   only stay exact if no other domain bumps them mid-run. A GVN run is
+   confined to one domain, so domain-local counters give each run a private
+   tally at the cost of one table compilation per worker domain. *)
+let shared_key = Domain.DLS.new_key (fun () -> compile Catalog.all)
+let shared () = Domain.DLS.get shared_key

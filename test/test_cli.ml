@@ -184,6 +184,53 @@ let test_schedule_modes () =
   Alcotest.(check int) "--analyze and --schedule conflict" 2
     (run [ "--analyze"; "--schedule"; p ])
 
+(* The parallel-service surface: --jobs batches, the --serve conflicts,
+   and the --cache persisted tier. The pins here are the CLI contract; the
+   library-level semantics live in test_par.ml. *)
+
+let test_jobs_contract () =
+  let p = clean_mc () in
+  Alcotest.(check int) "--jobs=1" 0 (run [ "--jobs=1"; p ]);
+  Alcotest.(check int) "--jobs=3" 0 (run [ "--jobs=3"; p ]);
+  Alcotest.(check int) "--jobs=0 rejected" 2 (run [ "--jobs=0"; p ]);
+  Alcotest.(check int) "negative jobs rejected" 2 (run [ "--jobs=-2"; p ]);
+  Alcotest.(check int) "non-numeric jobs rejected" 2 (run [ "--jobs=many"; p ])
+
+let test_jobs_deterministic_output () =
+  (* A multi-file batch: parallel output must be byte-identical to the
+     sequential run, files in argument order. *)
+  let a = write_tmp "det_a.mc" "routine f(a) { x = a + 1; y = a + 1; return x * y; }\n" in
+  let b = write_tmp "det_b.mc" "routine g(n) { if (n < 0) { return 0 - n; } return n; }\n" in
+  let code1, seq = run_capture [ "--jobs=1"; a; b ] in
+  let code2, par = run_capture [ "--jobs=2"; a; b ] in
+  Alcotest.(check int) "sequential exit" 0 code1;
+  Alcotest.(check int) "parallel exit" 0 code2;
+  Alcotest.(check string) "byte-identical output" seq par
+
+let test_serve_conflicts () =
+  let p = clean_mc () in
+  Alcotest.(check int) "--serve with a FILE" 2 (run [ "--serve"; p ]);
+  Alcotest.(check int) "--serve with --metrics" 2 (run [ "--serve"; "--metrics" ])
+
+let test_cache_round_trip () =
+  let p = clean_mc () in
+  let cache = Filename.temp_file "gvnopt_cli" ".ccache" in
+  Sys.remove cache;
+  let code1, cold = run_capture [ "--cache=" ^ cache; p ] in
+  Alcotest.(check int) "cold run" 0 code1;
+  Alcotest.(check bool) "cache file written" true (Sys.file_exists cache);
+  let code2, warm = run_capture [ "--cache=" ^ cache; p ] in
+  Alcotest.(check int) "warm run" 0 code2;
+  Alcotest.(check string) "cache hit answers identically" cold warm;
+  (* Corruption degrades to a cold cache, never an error. *)
+  let oc = open_out_bin cache in
+  output_string oc "scribble";
+  close_out oc;
+  let code3, recovered = run_capture [ "--cache=" ^ cache; p ] in
+  Alcotest.(check int) "corrupted cache still compiles" 0 code3;
+  Alcotest.(check string) "recompiled output identical" cold recovered;
+  Sys.remove cache
+
 let test_exit_parse_error () =
   let p = write_tmp "broken.mc" "routine f( { this is not mini-C" in
   Alcotest.(check int) "parse error" 2 (run [ p ])
@@ -207,6 +254,10 @@ let suite =
     Alcotest.test_case "--schedule mode exit codes and output" `Quick test_schedule_modes;
     Alcotest.test_case "--trace writes balanced Chrome JSON" `Quick test_trace_output;
     Alcotest.test_case "--metrics prints the engine snapshot" `Quick test_metrics_output;
+    Alcotest.test_case "--jobs argument contract" `Quick test_jobs_contract;
+    Alcotest.test_case "--jobs=2 output is byte-identical" `Quick test_jobs_deterministic_output;
+    Alcotest.test_case "--serve flag conflicts" `Quick test_serve_conflicts;
+    Alcotest.test_case "--cache persisted tier round-trips" `Quick test_cache_round_trip;
     Alcotest.test_case "exit 2 on parse errors" `Quick test_exit_parse_error;
     Alcotest.test_case "exit 2 on usage errors" `Quick test_exit_usage_error;
   ]

@@ -163,6 +163,35 @@ let test_metrics_merge () =
   Alcotest.(check int) "counters add" 3 (Obs.Metrics.counter a "n");
   Alcotest.(check (option (float 1e-9))) "gauges max" (Some 5.0) (Obs.Metrics.gauge a "g")
 
+let test_metrics_concurrent_hammer () =
+  (* Two domains hammering one registry: the totals must come out exact —
+     a lost update under the parallel driver would silently skew every
+     merged report. One counter is shared (contended adds), one gauge races
+     on its max, and each domain owns a private counter so per-writer
+     totals stay visible. *)
+  let m = Obs.Metrics.create () in
+  let rounds = 100_000 in
+  let worker who () =
+    for i = 1 to rounds do
+      Obs.Metrics.incr m "hammer.shared";
+      Obs.Metrics.add m (Printf.sprintf "hammer.d%d" who) 2;
+      Obs.Metrics.max_gauge m "hammer.peak" (float_of_int i);
+      Obs.Metrics.observe_ns m "hammer.ns" 10
+    done
+  in
+  let d = Domain.spawn (worker 1) in
+  worker 0 ();
+  Domain.join d;
+  Alcotest.(check int) "shared counter exact" (2 * rounds) (Obs.Metrics.counter m "hammer.shared");
+  Alcotest.(check int) "domain 0 counter exact" (2 * rounds) (Obs.Metrics.counter m "hammer.d0");
+  Alcotest.(check int) "domain 1 counter exact" (2 * rounds) (Obs.Metrics.counter m "hammer.d1");
+  Alcotest.(check (option (float 1e-9)))
+    "gauge kept the max" (Some (float_of_int rounds)) (Obs.Metrics.gauge m "hammer.peak");
+  let s = Obs.Metrics.snapshot m in
+  let buckets = List.assoc "hammer.ns" s.Obs.Metrics.hists in
+  let observations = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+  Alcotest.(check int) "histogram observations exact" (2 * rounds) observations
+
 let test_metrics_sink_capture () =
   let sink, seen = Obs.Sink.memory () in
   let o = Obs.create ~sink () in
@@ -423,6 +452,8 @@ let suite =
     Alcotest.test_case "histogram merge" `Quick test_hist_merge;
     Alcotest.test_case "metrics snapshot" `Quick test_metrics_snapshot;
     Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
+    Alcotest.test_case "metrics survive two concurrent writers" `Quick
+      test_metrics_concurrent_hammer;
     Alcotest.test_case "metrics stream to the sink" `Quick test_metrics_sink_capture;
     Alcotest.test_case "chrome trace JSON is well-formed and balanced" `Quick test_chrome_json;
     Alcotest.test_case "pipeline timings are a view over the trace" `Slow

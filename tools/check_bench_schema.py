@@ -11,7 +11,7 @@ Usage: check_bench_schema.py BENCH_gvn.json
 import json
 import sys
 
-TOP_KEYS = {"schema", "scale", "table2", "gvn_stats", "rules", "schedule", "scaling"}
+TOP_KEYS = {"schema", "scale", "table2", "gvn_stats", "rules", "schedule", "parallel", "scaling"}
 TABLE2_KEYS = {"benchmark", "dense_ms", "sparse_ms", "basic_ms"}
 RULES_KEYS = {"benchmark", "total_fired", "fired"}
 SCHEDULE_KEYS = {"benchmark", "hoistable", "sinkable", "speculation_blocked", "analysis_ms"}
@@ -21,6 +21,17 @@ GVN_STATS_KEYS = {
 }
 SCALING_KEYS = {"ladder", "worst_visit_ratio_per_doubling", "quadratic_ok"}
 LADDER_KEYS = {"n", "gvn_ms", "vi_visits"}
+PARALLEL_KEYS = {"cores", "domain_counts", "benchmarks"}
+PARALLEL_BENCH_KEYS = {
+    "benchmark", "routines", "rps1", "rps2", "rps4",
+    "speedup2", "speedup4", "repeat_hit_rate",
+}
+# The parallel tier must cover the multi-routine heavy hitters.
+PARALLEL_REQUIRED = {"176.gcc", "253.perlbmk", "254.gap"}
+# The 4-domain throughput floor, enforced only on hosts that actually have
+# 4 cores to run them on (the repo's timing policy: correctness gates are
+# unconditional, throughput gates only where the hardware can express them).
+SPEEDUP4_FLOOR = 1.8
 
 
 def fail(msg):
@@ -72,6 +83,29 @@ def main():
                 fail(f"schedule[{i}]: negative {k}: {rec}")
         if rec["analysis_ms"] < 0:
             fail(f"schedule[{i}]: negative analysis_ms: {rec}")
+    par = doc["parallel"]
+    need(par, PARALLEL_KEYS, "parallel")
+    if not isinstance(par["cores"], int) or par["cores"] < 1:
+        fail(f"parallel.cores must be a positive int: {par['cores']!r}")
+    if par["domain_counts"] != [1, 2, 4]:
+        fail(f"parallel.domain_counts must be [1, 2, 4]: {par['domain_counts']!r}")
+    pb = {r["benchmark"] for r in par["benchmarks"]}
+    missing_hh = PARALLEL_REQUIRED - pb
+    if missing_hh:
+        fail(f"parallel.benchmarks missing heavy hitters {sorted(missing_hh)}")
+    for i, rec in enumerate(par["benchmarks"]):
+        need(rec, PARALLEL_BENCH_KEYS, f"parallel.benchmarks[{i}]")
+        if rec["routines"] < 1:
+            fail(f"parallel.benchmarks[{i}]: no routines: {rec}")
+        for k in ("rps1", "rps2", "rps4", "speedup2", "speedup4"):
+            if not rec[k] > 0:
+                fail(f"parallel.benchmarks[{i}]: {k} must be > 0: {rec}")
+        if not (0.99 <= rec["repeat_hit_rate"] <= 1.0):
+            fail(f"parallel.benchmarks[{i}]: repeat-run cache hit rate "
+                 f"{rec['repeat_hit_rate']} outside [0.99, 1.0]: {rec}")
+        if par["cores"] >= 4 and rec["speedup4"] < SPEEDUP4_FLOOR:
+            fail(f"parallel.benchmarks[{i}]: speedup4 {rec['speedup4']} below "
+                 f"the {SPEEDUP4_FLOOR}x floor on a {par['cores']}-core host: {rec}")
     need(doc["scaling"], SCALING_KEYS, "scaling")
     for i, rec in enumerate(doc["scaling"]["ladder"]):
         need(rec, LADDER_KEYS, f"scaling.ladder[{i}]")
