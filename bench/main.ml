@@ -3,7 +3,7 @@
    the related-work experiments of Figures 13/14. Run with no arguments for
    everything, or name sections:
 
-     dune exec bench/main.exe -- table1 table2 fig9 fig10 fig11 fig12 fig13 scalars absint schedule parallel validate bechamel
+     dune exec bench/main.exe -- table1 table2 fig9 fig10 fig11 fig12 fig13 scalars absint schedule pred parallel validate bechamel
 
    Absolute times are this machine's, not a 440 MHz PA-8500's; the claims
    being reproduced are the *ratios* and *shapes* (see EXPERIMENTS.md).
@@ -542,6 +542,98 @@ let schedule_section suite =
     ~rows Fmt.stdout;
   Fmt.pr "  (violations = identity-placement legality errors; must be 0)@\n"
 
+(* The predicate implication engine: branch decisions with the multi-fact
+   closure fallback on versus off, per benchmark. [decided] counts branches
+   the run decided (pruned an arm of); the closure may only add to the
+   single-fact baseline, and the claim is that it does so for strictly less
+   than a 10% analysis-time premium on the large benchmarks. Baseline and
+   pred timings are interleaved within each repeat so machine drift hits
+   both columns alike. *)
+
+type pred_stat = {
+  pr_name : string;
+  pr_base_decided : int;
+  pr_pred_decided : int;
+  pr_queries : int;
+  pr_closure_decided : int;
+  pr_base_ms : float;
+  pr_pred_ms : float;
+}
+
+let pred_stats_pass suite =
+  let pred_cfg = { Pgvn.Config.full with Pgvn.Config.pred_closure = true } in
+  List.map
+    (fun ((b : Workload.Suite.benchmark), funcs) ->
+      let run cfg = List.iter (fun f -> ignore (Pgvn.Driver.run cfg f)) funcs in
+      let tb = ref infinity and tp = ref infinity in
+      for _ = 1 to 5 do
+        let (), d1 = Obs.timed obs ~cat:"bench" "bench.pred.base" (fun () -> run Pgvn.Config.full) in
+        let (), d2 = Obs.timed obs ~cat:"bench" "bench.pred.on" (fun () -> run pred_cfg) in
+        tb := min !tb d1;
+        tp := min !tp d2
+      done;
+      let decided cfg =
+        List.fold_left
+          (fun acc f ->
+            acc + List.length (Pgvn.Driver.decided_branches (Pgvn.Driver.run cfg f)))
+          0 funcs
+      in
+      let queries = ref 0 and closure_dec = ref 0 in
+      List.iter
+        (fun f ->
+          let st = Pgvn.Driver.run pred_cfg f in
+          let s = st.Pgvn.State.stats in
+          queries := !queries + s.Pgvn.Run_stats.pred_closure_queries;
+          closure_dec :=
+            !closure_dec + s.Pgvn.Run_stats.pred_decided_true
+            + s.Pgvn.Run_stats.pred_decided_false)
+        funcs;
+      {
+        pr_name = b.Workload.Suite.name;
+        pr_base_decided = decided Pgvn.Config.full;
+        pr_pred_decided = decided pred_cfg;
+        pr_queries = !queries;
+        pr_closure_decided = !closure_dec;
+        pr_base_ms = !tb;
+        pr_pred_ms = !tp;
+      })
+    suite
+
+let pred_section suite =
+  Fmt.pr "@\n=== Predicate implication closure: decided branches and cost ===@\n";
+  let stats = pred_stats_pass suite in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          p.pr_name;
+          string_of_int p.pr_base_decided;
+          string_of_int p.pr_pred_decided;
+          Printf.sprintf "+%d" (p.pr_pred_decided - p.pr_base_decided);
+          string_of_int p.pr_queries;
+          string_of_int p.pr_closure_decided;
+          Stats.Table.ms p.pr_base_ms;
+          Stats.Table.ms p.pr_pred_ms;
+        ])
+      stats
+  in
+  Stats.Table.render
+    ~columns:
+      [
+        ("Benchmark", Stats.Table.Left);
+        ("decided", Stats.Table.Right);
+        ("+closure", Stats.Table.Right);
+        ("delta", Stats.Table.Right);
+        ("queries", Stats.Table.Right);
+        ("closure-dec", Stats.Table.Right);
+        ("base ms", Stats.Table.Right);
+        ("pred ms", Stats.Table.Right);
+      ]
+    ~rows Fmt.stdout;
+  Fmt.pr
+    "  (decided = branches the GVN run pruned an arm of; delta = additional branches@\n\
+    \   only the multi-fact dominating-conjunction closure could decide)@\n"
+
 (* The parallel service tier: throughput of the domain pool on the
    multi-routine heavy hitters at 1/2/4 domains, and the content-addressed
    cache's hit rate on a repeat-run workload. Speedups are paired-run
@@ -890,6 +982,22 @@ let emit_json path suite =
         (sep i (List.length sched)))
     sched;
   pr "  ],\n";
+  (* The predicate implication engine: decided-branch yield and cost of the
+     multi-fact closure fallback versus the single-fact baseline. *)
+  let pstats = pred_stats_pass suite in
+  pr "  \"pred\": [\n";
+  List.iteri
+    (fun i p ->
+      pr
+        "    {\"benchmark\": \"%s\", \"baseline_decided\": %d, \"pred_decided\": %d, \
+         \"delta\": %d, \"closure_queries\": %d, \"closure_decided\": %d, \
+         \"baseline_ms\": %.3f, \"analysis_ms\": %.3f}%s\n"
+        p.pr_name p.pr_base_decided p.pr_pred_decided
+        (p.pr_pred_decided - p.pr_base_decided)
+        p.pr_queries p.pr_closure_decided (1000. *. p.pr_base_ms) (1000. *. p.pr_pred_ms)
+        (sep i (List.length pstats)))
+    pstats;
+  pr "  ],\n";
   (* The parallel service tier: pool throughput on the heavy hitters and
      the cache's repeat-run hit rate. [cores] records the host's
      recommended domain count so the schema gate can scale expectations. *)
@@ -965,6 +1073,7 @@ let () =
   if want "ablation" then ablation (Lazy.force suite);
   if want "absint" then absint_section (Lazy.force suite);
   if want "schedule" then schedule_section (Lazy.force suite);
+  if want "pred" then pred_section (Lazy.force suite);
   if want "parallel" then parallel_section (Lazy.force suite);
   if want "validate" then validate_section (Lazy.force suite);
   if want "bechamel" then bechamel_section ();

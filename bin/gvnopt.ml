@@ -24,9 +24,17 @@
      gvnopt --schedule=lint file.mc        hoist/sink opportunity lints
      gvnopt --jobs=4 a.mc b.mc c.mc        batch mode: routines fan out
                                            across a 4-domain pool
+     gvnopt file.mc --pred                 enable the multi-fact implication
+                                           closure and cross-check its
+                                           verdicts against intervals and
+                                           the single-fact walk
+     gvnopt --pred=dump file.mc            + each block's dominating facts
+     gvnopt --pred=stats file.mc           + the closure counters
      gvnopt --serve --jobs=2               compilation service: length-
                                            prefixed routines on stdin,
                                            framed results on stdout
+     gvnopt --serve=/tmp/gvn.sock          the same protocol on a Unix-
+                                           domain socket (single client)
      gvnopt --cache=gvn.cache file.mc      persist the content-addressed
                                            result cache across invocations
 
@@ -62,7 +70,10 @@ type analyze_mode = Agvn | Aconst | Arange | Aall
    identity placement with the independent legality checker. *)
 type schedule_mode = Sdump | Scheck | Slint
 
-type action = Optimize | Analyze of analyze_mode | Schedule of schedule_mode
+(* --pred sub-modes: check, dump, stats — see [pred_conv] below. *)
+type pred_mode = Pcheck | Pdump | Pstats
+
+type action = Optimize | Analyze of analyze_mode | Schedule of schedule_mode | Pred of pred_mode
 
 let schedule_conv =
   let parse = function
@@ -73,6 +84,23 @@ let schedule_conv =
   in
   let print ppf m =
     Fmt.string ppf (match m with Sdump -> "dump" | Scheck -> "check" | Slint -> "lint")
+  in
+  Arg.conv (parse, print)
+
+(* --pred sub-modes: all three enable the multi-fact implication closure
+   in the engine and statically cross-check every closure verdict against
+   the interval analysis and the single-fact walk; a contradiction fails
+   the run. [Pcheck] (the bare-flag default) reports only the cross-check;
+   dump adds the per-block dominating facts, stats the closure counters. *)
+let pred_conv =
+  let parse = function
+    | "check" -> Ok Pcheck
+    | "dump" -> Ok Pdump
+    | "stats" -> Ok Pstats
+    | s -> Error (`Msg (Printf.sprintf "unknown pred mode %S (check, dump, stats)" s))
+  in
+  let print ppf m =
+    Fmt.string ppf (match m with Pcheck -> "check" | Pdump -> "dump" | Pstats -> "stats")
   in
   Arg.conv (parse, print)
 
@@ -258,6 +286,33 @@ let process_routine ppf ~opts ~obs ~cir ~f name =
       (* Placement analysis / legality check of the input SSA; nothing is
          rewritten. *)
       if run_schedule ppf ~obs mode name f then failed := true
+  | Pred mode ->
+      (* The engine above ran with the implication closure enabled (main
+         forces [pred_closure] on for this action); every mode replays its
+         verdicts against the interval analysis and the single-fact walk,
+         and a contradiction fails the run. *)
+      (match mode with
+      | Pcheck -> ()
+      | Pdump ->
+          let pf = Pred.Facts.compute f in
+          Fmt.pf ppf "--- dominating facts ---@.";
+          for b = 0 to Ir.Func.num_blocks f - 1 do
+            match Pred.Facts.at_block pf b with
+            | [] -> ()
+            | fs -> Fmt.pf ppf "  block %d: %a@." b Pred.Facts.pp_facts fs
+          done
+      | Pstats ->
+          let s = st.Pgvn.State.stats in
+          Fmt.pf ppf
+            "pred: %d queries | %d decided true | %d decided false | %d contradictions@."
+            s.Pgvn.Run_stats.pred_closure_queries s.Pgvn.Run_stats.pred_decided_true
+            s.Pgvn.Run_stats.pred_decided_false s.Pgvn.Run_stats.pred_contradictions);
+      let ranges = Obs.span_o obs ~cat:"verify" "pred.crosscheck" @@ fun () ->
+        Absint.Ranges.run ?obs f
+      in
+      let report = Absint.Crosscheck.run ~ranges st in
+      Fmt.pf ppf "%a@." Absint.Crosscheck.pp_report report;
+      if not (Absint.Crosscheck.ok report) then failed := true
   | Analyze mode ->
       (* Print the non-trivial congruence facts. *)
       let dump_gvn () =
@@ -462,9 +517,7 @@ let write_frame oc payload =
   output_string oc payload;
   flush oc
 
-let serve ~opts ~pool ~cache ~obs () =
-  set_binary_mode_in stdin true;
-  set_binary_mode_out stdout true;
+let serve_frames ~opts ~pool ~cache ~obs ic oc =
   let worst = ref 0 in
   let respond src =
     match Ir.Parser.parse_program src with
@@ -487,22 +540,63 @@ let serve ~opts ~pool ~cache ~obs () =
         ((if !failed then 1 else 0), Buffer.contents buf)
   in
   let rec loop () =
-    match read_frame stdin with
+    match read_frame ic with
     | None -> !worst
     | Some src ->
         let status, body = respond src in
         worst := max !worst status;
-        write_frame stdout (string_of_int status ^ body);
+        write_frame oc (string_of_int status ^ body);
         loop ()
   in
   match loop () with
   | code -> code
   | exception End_of_file ->
-      Fmt.epr "gvnopt: --serve: truncated frame on stdin@.";
+      Fmt.epr "gvnopt: --serve: truncated frame@.";
       2
   | exception Failure msg ->
       Fmt.epr "gvnopt: --serve: %s@." msg;
       2
+
+let serve ~opts ~pool ~cache ~obs () =
+  set_binary_mode_in stdin true;
+  set_binary_mode_out stdout true;
+  serve_frames ~opts ~pool ~cache ~obs stdin stdout
+
+(* --serve=SOCKET: the same protocol over a Unix-domain socket. The server
+   binds the path (replacing a stale socket file), accepts a single client,
+   serves its frames until the client shuts the connection down, and exits
+   with the worst status served — the socket-transport mirror of the
+   stdin/stdout contract, byte-identical framing in both directions. The
+   socket file is removed on exit. A stale socket file at the path is
+   replaced; anything else there is refused (exit 2) — a mistyped
+   [--serve file.mc] must not clobber a source file. *)
+let serve_socket ~opts ~pool ~cache ~obs path =
+  match
+    (match Unix.stat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+    | _ -> failwith "the path exists and is not a socket"
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind sock (Unix.ADDR_UNIX path);
+    Unix.listen sock 1;
+    sock
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Fmt.epr "gvnopt: --serve=%s: %s@." path (Unix.error_message e);
+      2
+  | exception Failure msg ->
+      Fmt.epr "gvnopt: --serve=%s: %s@." path msg;
+      2
+  | sock ->
+      let fd, _ = Unix.accept sock in
+      let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+      set_binary_mode_in ic true;
+      set_binary_mode_out oc true;
+      let code = serve_frames ~opts ~pool ~cache ~obs ic oc in
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
+      (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+      code
 
 (* ------------------------------------------------------------------ *)
 
@@ -608,6 +702,20 @@ let cmd =
              $(b,lint) prints the hoist/sink opportunity lints \
              (lint-loop-invariant, lint-sinkable).")
   in
+  let pred_flag =
+    Arg.(
+      value
+      & opt ~vopt:(Some Pcheck) (some pred_conv) None
+      & info [ "pred" ]
+          ~doc:
+            "Run the engine with the multi-fact predicate-implication closure \
+             enabled and statically cross-check every closure verdict against \
+             the interval analysis and the single-fact dominating-edge walk; \
+             a contradiction fails the run (exit 1). $(b,check) (the default \
+             when the flag is given bare) reports only the cross-check; \
+             $(b,dump) also prints each block's dominating facts; $(b,stats) \
+             also prints the closure counters. Nothing is rewritten.")
+  in
   let rules_flag =
     Arg.(
       value
@@ -634,16 +742,20 @@ let cmd =
   in
   let serve_flag =
     Arg.(
-      value & flag
-      & info [ "serve" ]
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "serve" ] ~docv:"SOCKET"
           ~doc:
             "Run as a compilation service: read length-prefixed mini-C \
-             requests from stdin (4-byte big-endian length, then the source) \
-             and write framed responses to stdout (4-byte big-endian length, \
-             then a status byte '0'/'1'/'2', then the batch-mode output). \
-             Takes no $(i,FILE.mc) arguments and conflicts with \
-             $(b,--metrics), whose report would corrupt the response stream. \
-             Exits with the worst status served.")
+             requests (4-byte big-endian length, then the source) and write \
+             framed responses (4-byte big-endian length, then a status byte \
+             '0'/'1'/'2', then the batch-mode output). Bare $(b,--serve) \
+             speaks the protocol on stdin/stdout; $(b,--serve=)$(docv) binds \
+             a Unix-domain socket at $(docv) instead, accepts a single \
+             client, and removes the socket file on exit. Takes no \
+             $(i,FILE.mc) arguments and conflicts with $(b,--metrics), whose \
+             report would corrupt the response stream. Exits with the worst \
+             status served.")
   in
   let cache_flag =
     Arg.(
@@ -656,7 +768,7 @@ let cmd =
              it back at exit. Within one invocation the in-memory tier always \
              answers repeated routines, with or without this flag.")
   in
-  let main preset complete pruning analyze stats dump_input run_args check lint werror validate nr npi nvi npp nsp trace_file metrics rules schedule jobs serve_mode cache_file paths =
+  let main preset complete pruning analyze stats dump_input run_args check lint werror validate nr npi nvi npp nsp trace_file metrics rules schedule pred jobs serve_path cache_file paths =
     let toggles =
       {
         Cli.Cli_options.complete;
@@ -673,12 +785,17 @@ let cmd =
       | Some Roff -> { config with Pgvn.Config.rules = false }
       | _ -> config
     in
+    let serve_mode = serve_path <> None in
     match rules with
     | Some Rdump -> dump_rules ()
     | Some Rverify -> verify_rules ()
     | _ ->
-        if analyze <> None && schedule <> None then begin
-          Fmt.epr "gvnopt: --analyze and --schedule are mutually exclusive@.";
+        if
+          List.length
+            (List.filter Fun.id [ analyze <> None; schedule <> None; pred <> None ])
+          > 1
+        then begin
+          Fmt.epr "gvnopt: --analyze, --schedule and --pred are mutually exclusive@.";
           2
         end
         else if serve_mode && paths <> [] then begin
@@ -695,10 +812,17 @@ let cmd =
         end
         else begin
           let action =
-            match (analyze, schedule) with
-            | Some m, _ -> Analyze m
-            | _, Some m -> Schedule m
-            | None, None -> Optimize
+            match (analyze, schedule, pred) with
+            | Some m, _, _ -> Analyze m
+            | _, Some m, _ -> Schedule m
+            | _, _, Some m -> Pred m
+            | None, None, None -> Optimize
+          in
+          (* The --pred cross-check replays the closure's verdicts: the
+             engine must actually produce them. *)
+          let config =
+            if pred <> None then { config with Pgvn.Config.pred_closure = true }
+            else config
           in
           let opts =
             { config; pruning; action; stats; dump_input; run_args; check; lint; werror; validate }
@@ -712,8 +836,10 @@ let cmd =
           in
           let code =
             Par.Pool.with_pool ~domains:jobs (fun pool ->
-                if serve_mode then serve ~opts ~pool ~cache ~obs ()
-                else run_batch ~opts ~pool ~cache ~obs paths)
+                match serve_path with
+                | Some "" -> serve ~opts ~pool ~cache ~obs ()
+                | Some path -> serve_socket ~opts ~pool ~cache ~obs path
+                | None -> run_batch ~opts ~pool ~cache ~obs paths)
           in
           (match cache_file with Some p -> Par.Ccache.save cache p | None -> ());
           Cli.Cli_options.finish obs_opts obs;
@@ -725,7 +851,7 @@ let cmd =
       const main $ preset $ complete $ pruning $ analyze $ stats $ dump_input $ run_args
       $ check_flag $ lint_flag $ werror_flag $ validate_flag
       $ no_reassoc $ no_pi $ no_vi $ no_pp $ no_sparse $ trace_flag $ metrics_flag
-      $ rules_flag $ schedule_flag $ jobs_flag $ serve_flag $ cache_flag $ paths)
+      $ rules_flag $ schedule_flag $ pred_flag $ jobs_flag $ serve_flag $ cache_flag $ paths)
   in
   let exits =
     [

@@ -13,6 +13,12 @@
    - predicate inferences: every True/False verdict [Infer.decide] issued
      (recorded in [Run_stats.inferences]) claims a comparison's truth at a
      block; refuted when [Itv.cmp_verdict] proves the opposite.
+   - closure inferences: verdicts of the multi-fact implication closure
+     (lib/pred, recorded in [Run_stats.pred_inferences]) are replayed the
+     same way ("pred-vs-interval"), and additionally checked for conflicts
+     against single-fact verdicts for the identical query at the identical
+     block ("pred-vs-infer") — the two deciders over-approximate the same
+     concrete truth, so opposite answers mean one of them lied.
    - φ block predicates: [Phipred]'s Figure 8 predicates claim to hold
      whenever control is at their block; refuted when abstract evaluation
      proves one definitely false at an executable block.
@@ -39,6 +45,8 @@ type contradiction = {
 type report = {
   branches_checked : int;
   inferences_checked : int;
+  pred_checked : int;
+      (** closure-decided queries replayed against interval facts *)
   phi_preds_checked : int;
   constants_checked : int;
   precision_wins : int;
@@ -58,8 +66,9 @@ let pp_contradiction ppf c =
 
 let pp_report ppf r =
   Fmt.pf ppf
-    "crosscheck: %d branch / %d inference / %d phi-pred / %d constant claims checked; %d contradiction(s); %d precision win(s)"
-    r.branches_checked r.inferences_checked r.phi_preds_checked r.constants_checked
+    "crosscheck: %d branch / %d inference / %d closure / %d phi-pred / %d constant claims checked; %d contradiction(s); %d precision win(s)"
+    r.branches_checked r.inferences_checked r.pred_checked r.phi_preds_checked
+    r.constants_checked
     (List.length r.contradictions) r.precision_wins;
   List.iter (fun c -> Fmt.pf ppf "@.  %a" pp_contradiction c) r.contradictions
 
@@ -161,6 +170,51 @@ let run ?ranges (st : Pgvn.State.t) : report =
   in
   List.iter check_inference st.Pgvn.State.stats.Pgvn.Run_stats.inferences;
 
+  (* --- closure-decided predicate inferences ------------------------------ *)
+  (* Same replay discipline as single-fact inferences. Contradictions carry
+     pinned ids: "pred-vs-interval" for an interval refutation,
+     "pred-vs-infer" for a verdict conflicting with a single-fact claim on
+     the identical query at the identical block. *)
+  let pred_checked = ref 0 in
+  let check_pred_inference (pi : Pgvn.Run_stats.pred_inference) =
+    let b = pi.Pgvn.Run_stats.pinf_block in
+    if res.Ranges.block_exec.(b) then begin
+      let verdict = pi.Pgvn.Run_stats.pinf_verdict in
+      let query_s =
+        Fmt.str "%s %s %s"
+          (atom_str pi.Pgvn.Run_stats.pinf_a)
+          (Ir.Types.string_of_cmp pi.Pgvn.Run_stats.pinf_op)
+          (atom_str pi.Pgvn.Run_stats.pinf_b)
+      in
+      (match (atom_itv b pi.Pgvn.Run_stats.pinf_a, atom_itv b pi.Pgvn.Run_stats.pinf_b) with
+      | Some ia, Some ib when not (Itv.is_bottom ia || Itv.is_bottom ib) -> (
+          incr pred_checked;
+          match Itv.cmp_verdict pi.Pgvn.Run_stats.pinf_op ia ib with
+          | Some v when v <> verdict ->
+              flag (Sblock b)
+                (Fmt.str "%s is %b (multi-fact closure)" query_s verdict)
+                (Fmt.str "[pred-vs-interval] intervals %s and %s prove it %b" (itv_str ia)
+                   (itv_str ib) (not verdict))
+          | _ -> ())
+      | _ -> ());
+      List.iter
+        (fun (inf : Pgvn.Run_stats.inference) ->
+          if
+            inf.Pgvn.Run_stats.inf_block = b
+            && inf.Pgvn.Run_stats.inf_op = pi.Pgvn.Run_stats.pinf_op
+            && inf.Pgvn.Run_stats.inf_a = pi.Pgvn.Run_stats.pinf_a
+            && inf.Pgvn.Run_stats.inf_b = pi.Pgvn.Run_stats.pinf_b
+            && inf.Pgvn.Run_stats.inf_verdict <> verdict
+          then
+            flag (Sblock b)
+              (Fmt.str "%s is %b (multi-fact closure)" query_s verdict)
+              (Fmt.str "[pred-vs-infer] the single-fact walk decided it %b via edge e%d"
+                 (not verdict) inf.Pgvn.Run_stats.inf_edge))
+        st.Pgvn.State.stats.Pgvn.Run_stats.inferences
+    end
+  in
+  List.iter check_pred_inference st.Pgvn.State.stats.Pgvn.Run_stats.pred_inferences;
+
   (* --- φ block predicates ----------------------------------------------- *)
   (* Three-valued abstract evaluation of a predicate expression at a block:
      [Some b] only when every consistent concrete state agrees on [b]. *)
@@ -238,6 +292,7 @@ let run ?ranges (st : Pgvn.State.t) : report =
   {
     branches_checked = !branches_checked;
     inferences_checked = !inferences_checked;
+    pred_checked = !pred_checked;
     phi_preds_checked = !phi_preds_checked;
     constants_checked = !constants_checked;
     precision_wins = !precision_wins;

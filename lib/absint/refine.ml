@@ -97,7 +97,22 @@ let compute (f : Ir.Func.t) : t =
 let at_block t b = t.blocks.(b)
 let at_edge (f : Ir.Func.t) t e = t.edges.(e) @ t.blocks.(f.Ir.Func.edges.(e).Ir.Func.src)
 
-(* Fold a constraint list over a domain's [refine] for one value. *)
+(* Fold a constraint list over a domain's [refine] for one value.
+
+   A single pass is order-sensitive: disequalities bite only at interval
+   boundaries, so [x ≠ 3] refines nothing before [x > 2] arrives but
+   sharpens [3,∞) to [4,∞) after it. The dominator-chain order of [cs] is
+   structural, not semantic, so iterate to a bounded fixpoint instead:
+   ordered bounds and equalities are idempotent and each disequality can
+   bite at most twice (once per boundary), so [2n + 1] passes over [n]
+   relevant constraints provably stabilize any reductive [refine]. *)
 let apply (type d) (refine : d -> Ir.Types.cmp -> int -> d) (cs : constr list)
     (v : Ir.Func.value) (d : d) : d =
-  List.fold_left (fun d c -> if c.cval = v then refine d c.cop c.ck else d) d cs
+  let rel = List.filter (fun c -> c.cval = v) cs in
+  match rel with
+  | [] -> d
+  | [ c ] -> refine d c.cop c.ck
+  | _ ->
+      let pass d = List.fold_left (fun d c -> refine d c.cop c.ck) d rel in
+      let rec go i d = if i = 0 then d else go (i - 1) (pass d) in
+      go ((2 * List.length rel) + 1) d

@@ -114,9 +114,18 @@ module Make (D : Domain.TRANSFER) = struct
                 if feasible (D.refine d Ir.Types.Eq case) then
                   Queue.add blk.Ir.Func.succs.(ix) flow_work)
               cases;
-            let dflt =
+            (* Case exclusions are disequalities, which bite only at
+               domain boundaries — one fold is sensitive to the case
+               order. Re-fold until stable: [x ∈ [3,5]] minus cases
+               {4; 5; 3} needs a second round to reach ⊥. *)
+            let fold_cases d =
               Array.fold_left (fun d case -> D.refine d Ir.Types.Ne case) d cases
             in
+            let rec dflt_fix i d =
+              let d' = fold_cases d in
+              if i = 0 || D.equal d' d then d' else dflt_fix (i - 1) d'
+            in
+            let dflt = dflt_fix (Array.length cases) d in
             if feasible dflt then
               Queue.add blk.Ir.Func.succs.(Array.length cases) flow_work
           end

@@ -189,6 +189,70 @@ let run (f : Ir.Func.t) : Diagnostic.t list =
             (Diagnostic.info ~check:"lint-dead-store" ~loc:(Diagnostic.Instr i)
                "v%d is only used by code that can never execute" i))
     f.instrs;
+  (* ------------------------------------------------------------------ *)
+  (* Predicate-implication sub-tier: the multi-fact closure over the
+     dominating branch facts (lib/pred) sees guard conjunctions that both
+     the bare CFG and one-value interval refinement miss — x < y together
+     with y < x, or x > 2 with x ≠ 3 deciding x > 3.                     *)
+  let pfacts = Pred.Facts.compute f in
+  let dom = Analysis.Dom.compute g in
+  let contra b = Pred.Closure.contradictory (Pred.Facts.closure_at_block pfacts b) in
+  (* Contradictory path conditions: the guards on the dominator path to a
+     block are jointly unsatisfiable, so the block can never execute.
+     Warning — a statement about the source: somebody wrote *code* under
+     conditions that contradict each other. Scoped three ways: to
+     contradictions the interval tier missed (when [exec b] is already
+     false, lint-absint-unreachable reports it); to blocks that carry real
+     instructions — an empty forwarder on a contradictory edge is just the
+     branch's untaken arm, and lint-redundant-branch already reports the
+     deciding branch; and to the highest such block — everything it
+     dominates is contradictory too. *)
+  let novel_contra b = reach.(b) && exec b && contra b in
+  let has_code b =
+    let blk = block f b in
+    Array.exists (fun i -> not (is_phi (instr f i) || is_terminator (instr f i))) blk.instrs
+  in
+  let rec reported_above b =
+    let d = dom.Analysis.Dom.idom.(b) in
+    d >= 0 && d <> b && ((novel_contra d && has_code d) || reported_above d)
+  in
+  Array.iteri
+    (fun b r ->
+      if r && novel_contra b && has_code b && not (reported_above b) then
+        add
+          (Diagnostic.warning ~check:"lint-contradictory-path" ~loc:(Diagnostic.Block b)
+             "b%d is guarded by contradictory conditions: no execution can reach it" b))
+    reach;
+  (* Branches the fact closure decides but interval refinement cannot —
+     the multi-fact counterpart of lint-branch-decided, and like it Info:
+     the source is fine, an optimizer just left the test in. *)
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Branch c when (match instr f c with Const _ -> false | _ -> true) -> (
+          let b = block_of_instr f i in
+          if exec b && (not (contra b)) && Absint.Itv.to_bool (env b c) = None then
+            let cl = Pred.Facts.closure_at_block pfacts b in
+            let verdict =
+              match instr f c with
+              | Cmp (op, x, y) ->
+                  Pred.Closure.decide cl op (Pred.Facts.term_of f x) (Pred.Facts.term_of f y)
+              | _ ->
+                  Pred.Closure.decide cl Ir.Types.Ne (Pred.Facts.term_of f c)
+                    (Pred.Atom.Const 0)
+            in
+            match verdict with
+            | Pred.Closure.True ->
+                add
+                  (Diagnostic.info ~check:"lint-redundant-branch" ~loc:(Diagnostic.Instr i)
+                     "branch v%d is always taken: the dominating facts imply v%d" i c)
+            | Pred.Closure.False ->
+                add
+                  (Diagnostic.info ~check:"lint-redundant-branch" ~loc:(Diagnostic.Instr i)
+                     "branch v%d is never taken: the dominating facts refute v%d" i c)
+            | Pred.Closure.Unknown -> ())
+      | _ -> ())
+    f.instrs;
   List.rev !diags
 
 (* ------------------------------------------------------------------ *)

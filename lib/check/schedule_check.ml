@@ -45,16 +45,29 @@ let run ?placement (f : Ir.Func.t) : Diagnostic.t list =
     let g = Analysis.Graph.of_func f in
     let dom = Analysis.Dom.compute g in
     let forest = Analysis.Loops.forest ~dom g in
-    (* Interval facts are only needed when a faulting op actually moved. *)
+    (* Both fact sources are only needed when a faulting op actually moved.
+       A destination clears a division if its refined intervals do, or if
+       the multi-fact implication closure over its dominating branch facts
+       does — guard conjunctions like [d != 0 && d != -1] are invisible to
+       intervals. Both are recomputed here from first principles. *)
     let ranges = lazy (Absint.Ranges.run f) in
+    let pfacts = lazy (Pred.Facts.compute f) in
     let cleared_at b v =
       match Ir.Func.instr f v with
       | Ir.Func.Binop ((Ir.Types.Div | Ir.Types.Rem), n, d) ->
           let r = Lazy.force ranges in
           let num = Absint.Ranges.env_at r b n
           and den = Absint.Ranges.env_at r b d in
-          (not (Absint.Itv.mem 0 den))
-          && not (Absint.Itv.mem (-1) den && Absint.Itv.mem min_int num)
+          ((not (Absint.Itv.mem 0 den))
+          && not (Absint.Itv.mem (-1) den && Absint.Itv.mem min_int num))
+          ||
+          let cl = Pred.Facts.closure_at_block (Lazy.force pfacts) b in
+          let proves op a c =
+            Pred.Closure.decide cl op a (Pred.Atom.Const c) = Pred.Closure.True
+          in
+          let dt = Pred.Facts.term_of f d and nt = Pred.Facts.term_of f n in
+          proves Ir.Types.Ne dt 0
+          && (proves Ir.Types.Ne dt (-1) || proves Ir.Types.Ne nt min_int)
       | _ -> true
     in
     let diags = ref [] in

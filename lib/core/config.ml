@@ -30,6 +30,13 @@ type t = {
   predicate_inference : bool;
   value_inference : bool;
   phi_predication : bool;
+  pred_closure : bool;
+      (* extension: when the single-fact predicate inference of §2.7 fails,
+         re-ask the query against the *conjunction* of all dominating-edge
+         facts through the lib/pred implication closure (congruence +
+         difference-bound constraints). Strictly stronger — it runs only as
+         a fallback — but off by default: the paper decides from one
+         related predicate at a time. *)
   sccp_only : bool; (* replace non-constant expressions by Self (§2.9) *)
   propagation_limit : int; (* max operand count before propagation cancels *)
   phi_distribution : bool;
@@ -52,6 +59,7 @@ let full =
     predicate_inference = true;
     value_inference = true;
     phi_predication = true;
+    pred_closure = false;
     sccp_only = false;
     propagation_limit = 16;
     phi_distribution = false;

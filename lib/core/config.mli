@@ -26,6 +26,11 @@ type t = {
   predicate_inference : bool;
   value_inference : bool;
   phi_predication : bool;
+  pred_closure : bool;
+      (** extension: fall back to the lib/pred multi-fact implication
+          closure (congruence + difference bounds over the whole
+          dominating-fact conjunction) when single-fact predicate
+          inference fails; off by default *)
   sccp_only : bool;  (** §2.9: non-constant expressions collapse to Self *)
   propagation_limit : int;  (** operand bound cancelling forward propagation *)
   phi_distribution : bool;

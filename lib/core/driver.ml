@@ -155,6 +155,66 @@ let predicate_query_matchable st p =
   | Hexpr.Cmp (_, a, b) -> matchable a || matchable b
   | _ -> false
 
+(* The implication-closure term of a query/fact atom: constants by value,
+   values by congruence class (so class-congruent operands unify exactly as
+   [atoms_congruent] would); a class led by a constant is that constant. *)
+let closure_term st x =
+  match Hexpr.node x with
+  | Hexpr.Const k -> Some (Pred.Atom.Const k)
+  | Hexpr.Value v -> (
+      match (cls st st.class_of.(v)).leader with
+      | Lconst n -> Some (Pred.Atom.Const n)
+      | Lundef | Lvalue _ -> Some (Pred.Atom.Term st.class_of.(v)))
+  | _ -> None
+
+(* Extension to Figure 7 (config [pred_closure]): when no *single*
+   dominating fact decides the query, ask the {!Pred.Closure} decision
+   procedure over the *conjunction* of every fact the walk saw. The walk
+   below collects two kinds of facts: edge predicates [Infer.decide]
+   already failed on one at a time ([tried]), and facts the single-fact
+   walk cannot even express — a switch default edge carries no predicate
+   but excludes every case ([untried]). A fallback is worth attempting only
+   when facts could combine (two or more) or when some fact was never
+   tried singly. *)
+let closure_fallback st ~qop ~qa ~qb ~facts ~untried ~mentions ~record =
+  let n_facts = List.length facts in
+  (* Occurrence prefilter (in the spirit of the §3 filters): a non-constant
+     query term the facts never mention cannot be constrained — the walk
+     tracked [mentions] as it collected, so undecidable queries cost
+     nothing here. *)
+  if mentions && (n_facts >= 2 || (untried && n_facts >= 1)) then begin
+    match (closure_term st qa, closure_term st qb) with
+    | Some ta, Some tb ->
+        let atoms =
+          List.filter_map
+            (fun (fop, fa, fb) ->
+              match (closure_term st fa, closure_term st fb) with
+              | Some a, Some b -> Some (Pred.Atom.make fop a b)
+              | _ -> None)
+            facts
+        in
+        if atoms <> [] then begin
+          st.stats.Run_stats.pred_closure_queries <-
+            st.stats.Run_stats.pred_closure_queries + 1;
+          let cl = Pred.Closure.create () in
+          List.iter (Pred.Closure.assume cl) atoms;
+          if Pred.Closure.contradictory cl then
+            st.stats.Run_stats.pred_contradictions <-
+              st.stats.Run_stats.pred_contradictions + 1;
+          match Pred.Closure.decide cl qop ta tb with
+          | Pred.Closure.True ->
+              record true;
+              Some (Hexpr.const st.arena 1)
+          | Pred.Closure.False ->
+              record false;
+              Some (Hexpr.const st.arena 0)
+          | Pred.Closure.Unknown -> None
+        end
+        else None
+    | _ -> None
+  end
+  else None
+
 let infer_predicate st b0 p =
   if not (st.config.Config.predicate_inference && predicate_query_matchable st p) then p
   else begin
@@ -167,6 +227,47 @@ let infer_predicate st b0 p =
     let result = ref p in
     let b = ref b0 in
     let continue_walk = ref true in
+    (* Dominating facts collected for the multi-fact fallback (only when
+       the fallback is enabled, keeping the default path allocation-free).
+       Collecting is pointless unless both query operands are closure
+       terms — a constant or a value — so compound queries skip it too,
+       keeping the hot walk lean on the programs that dominate run time. *)
+    let termable x =
+      match Hexpr.node x with Hexpr.Const _ | Hexpr.Value _ -> true | _ -> false
+    in
+    let collect = st.config.Config.pred_closure && termable qa && termable qb in
+    let facts = ref [] in
+    let untried = ref false in
+    (* Occurrence tracking for the fallback's prefilter: a query term is
+       "mentioned" when some collected fact constrains it (constants are
+       always constrained — they connect through the closure's zero
+       node). *)
+    let mention_a = ref (collect && const_atom qa <> None) in
+    let mention_b = ref (collect && const_atom qb <> None) in
+    let collect_default_edge e =
+      (* A switch default edge carries no predicate expression, but
+         excludes every case: scrutinee ≠ case, for each case. Collected
+         only when the scrutinee is congruent to a query operand: a
+         case-exclusion fact can reach the query terms in the closure in
+         one hop or not at all (its other endpoint is a constant), and
+         switch-heavy routines produce piles of them otherwise. *)
+      match st.switch_default.(e) with
+      | Some (c, cases) -> (
+          match leader_atom st c with
+          | Some scrut ->
+              let rel_a = same scrut qa and rel_b = same scrut qb in
+              if rel_a || rel_b then begin
+                Array.iter
+                  (fun k ->
+                    facts := (Ir.Types.Ne, scrut, Hexpr.const st.arena k) :: !facts)
+                  cases;
+                untried := true;
+                if rel_a then mention_a := true;
+                if rel_b then mention_b := true
+              end
+          | None -> ())
+      | None -> ()
+    in
     while !continue_walk && !b >= 0 do
       st.stats.Run_stats.predicate_inference_visits <-
         st.stats.Run_stats.predicate_inference_visits + 1;
@@ -176,7 +277,9 @@ let infer_predicate st b0 p =
       | Via e -> (
           let origin = (Ir.Func.edge st.f e).Ir.Func.src in
           match st.pred_edge.(e) with
-          | None -> b := origin
+          | None ->
+              if collect then collect_default_edge e;
+              b := origin
           | Some fact -> (
               match Hexpr.node fact with
               | Hexpr.Cmp (fop, fa, fb) -> (
@@ -204,9 +307,34 @@ let infer_predicate st b0 p =
                       record false;
                       result := Hexpr.const st.arena 0;
                       continue_walk := false
-                  | Infer.Unknown -> b := origin)
+                  | Infer.Unknown ->
+                      if collect then begin
+                        facts := (fop, fa, fb) :: !facts;
+                        if not !mention_a then mention_a := same fa qa || same fb qa;
+                        if not !mention_b then mention_b := same fa qb || same fb qb
+                      end;
+                      b := origin)
               | _ -> b := origin))
     done;
+    (if collect && Hexpr.equal !result p then
+       let record verdict =
+         let atom x =
+           match Hexpr.node x with
+           | Hexpr.Const k -> Some (Run_stats.Aconst k)
+           | Hexpr.Value v -> Some (Run_stats.Avalue v)
+           | _ -> None
+         in
+         match (atom qa, atom qb) with
+         | Some a, Some b ->
+             Run_stats.record_pred_inference st.stats ~block:b0 ~op:qop ~a ~b ~verdict
+         | _ -> ()
+       in
+       match
+         closure_fallback st ~qop ~qa ~qb ~facts:!facts ~untried:!untried
+           ~mentions:(!mention_a && !mention_b) ~record
+       with
+       | Some decided -> result := decided
+       | None -> ());
     !result
   end
 
@@ -722,6 +850,12 @@ let record_metrics obs (st : State.t) =
   Obs.add obs "pgvn.class_moves" s.Run_stats.class_moves;
   Obs.add obs "pgvn.table_probes" s.Run_stats.table_probes;
   Obs.add obs "pgvn.table_hits" s.Run_stats.table_hits;
+  if s.Run_stats.pred_closure_queries > 0 then begin
+    Obs.add obs "pred.queries" s.Run_stats.pred_closure_queries;
+    Obs.add obs "pred.decided.true" s.Run_stats.pred_decided_true;
+    Obs.add obs "pred.decided.false" s.Run_stats.pred_decided_false;
+    Obs.add obs "pred.contradictions" s.Run_stats.pred_contradictions
+  end;
   let a = Hexpr.stats st.arena in
   Obs.add obs "pgvn.arena.live" a.Util.Hashcons.live;
   Obs.add obs "pgvn.arena.interned" a.Util.Hashcons.interned;

@@ -44,25 +44,34 @@ let same_operands_table (fact : Ir.Types.cmp) (query : Ir.Types.cmp) : verdict =
   | Ge, Lt -> False
   | Ge, (Eq | Ne | Gt | Le) -> Unknown
 
-(* Interval solution set of [x OP c] over the integers. *)
+(* Interval solution set of [x OP c] over the machine integers. [Never] is
+   the empty set: a fact that cannot hold (its edge never runs — every
+   implication from it is vacuously true), or a query that is identically
+   false. *)
 type interval =
   | Exactly of int
   | Not of int
   | At_most of int
   | At_least of int
+  | Never
 
+(* Trap-aware at the domain edges: [x < min_int] and [x > max_int] are
+   [Never] (the naive [c ± 1] would wrap to the full domain — unsound for
+   queries); [x ≤ min_int] and [x ≥ max_int] pin the value exactly. *)
 let interval_of ~(op : Ir.Types.cmp) ~c =
   match op with
   | Eq -> Exactly c
   | Ne -> Not c
-  | Lt -> At_most (c - 1)
-  | Le -> At_most c
-  | Gt -> At_least (c + 1)
-  | Ge -> At_least (c - 0)
+  | Lt -> if c = min_int then Never else At_most (c - 1)
+  | Le -> if c = min_int then Exactly min_int else At_most c
+  | Gt -> if c = max_int then Never else At_least (c + 1)
+  | Ge -> if c = max_int then Exactly max_int else At_least c
 
 (* Given x ∈ [fact], is x ∈ [query]? *)
 let interval_implies fact query : verdict =
   match (fact, query) with
+  | Never, _ -> True (* unsatisfiable fact: vacuous *)
+  | _, Never -> False
   | Exactly a, Exactly b -> if a = b then True else False
   | Exactly a, Not b -> if a = b then False else True
   | Exactly a, At_most b -> if a <= b then True else False
@@ -108,8 +117,12 @@ let with_fault f k =
   Fun.protect ~finally:(fun () -> Domain.DLS.set fault_key saved) k
 
 let decide_sound ~same ~const ~fop ~fa ~fb ~qop ~qa ~qb : verdict =
-  if same fa qa && same fb qb then same_operands_table fop qop
-  else if same fa qb && same fb qa then same_operands_table fop (Ir.Types.swap_cmp qop)
+  let table =
+    if same fa qa && same fb qb then same_operands_table fop qop
+    else if same fa qb && same fb qa then same_operands_table fop (Ir.Types.swap_cmp qop)
+    else Unknown
+  in
+  if table <> Unknown then table
   else
     (* Both sides normalized value-vs-constant, without building tuples:
        the constant side is flipped to the right (cf. [value_vs_const]). *)

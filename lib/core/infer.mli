@@ -16,10 +16,13 @@ val with_fault : (verdict -> verdict) -> (unit -> 'a) -> 'a
 val same_operands_table : Ir.Types.cmp -> Ir.Types.cmp -> verdict
 (** Given [a OP b], decide [a OP' b]. *)
 
-type interval = Exactly of int | Not of int | At_most of int | At_least of int
+type interval = Exactly of int | Not of int | At_most of int | At_least of int | Never
 
 val interval_of : op:Ir.Types.cmp -> c:int -> interval
-(** Solution set of [x op c]. *)
+(** Solution set of [x op c] over the machine integers — trap-aware at the
+    domain edges: [x < min_int] / [x > max_int] are {!Never} rather than a
+    wrapped full-domain bound, and [x ≤ min_int] / [x ≥ max_int] pin the
+    value exactly. *)
 
 val interval_implies : interval -> interval -> verdict
 (** Given x ∈ fact, is x ∈ query? *)

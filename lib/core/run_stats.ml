@@ -23,6 +23,19 @@ type inference = {
   inf_verdict : bool;
 }
 
+(* A query the single-fact walk could not decide but the multi-fact
+   implication closure (lib/pred) did, from the conjunction of all
+   dominating-edge facts — so no single [pinf_edge] exists. Recorded for
+   the same reason as [inference]: [Absint.Crosscheck] replays every
+   claim against independently computed interval facts. *)
+type pred_inference = {
+  pinf_block : int;
+  pinf_op : Ir.Types.cmp;
+  pinf_a : atom;
+  pinf_b : atom;
+  pinf_verdict : bool;
+}
+
 type t = {
   mutable passes : int;
   mutable instrs_processed : int;
@@ -35,6 +48,11 @@ type t = {
   mutable table_probes : int; (* TABLE lookups during congruence finding *)
   mutable table_hits : int; (* probes answered by an existing class *)
   mutable inferences : inference list; (* most recent first *)
+  mutable pred_closure_queries : int; (* closure fallbacks attempted *)
+  mutable pred_decided_true : int;
+  mutable pred_decided_false : int;
+  mutable pred_contradictions : int; (* contradictory fact conjunctions seen *)
+  mutable pred_inferences : pred_inference list; (* most recent first *)
 }
 
 let create () =
@@ -50,6 +68,11 @@ let create () =
     table_probes = 0;
     table_hits = 0;
     inferences = [];
+    pred_closure_queries = 0;
+    pred_decided_true = 0;
+    pred_decided_false = 0;
+    pred_contradictions = 0;
+    pred_inferences = [];
   }
 
 let record_inference t ~block ~edge ~op ~a ~b ~verdict =
@@ -57,6 +80,13 @@ let record_inference t ~block ~edge ~op ~a ~b ~verdict =
     { inf_block = block; inf_edge = edge; inf_op = op; inf_a = a; inf_b = b;
       inf_verdict = verdict }
     :: t.inferences
+
+let record_pred_inference t ~block ~op ~a ~b ~verdict =
+  (if verdict then t.pred_decided_true <- t.pred_decided_true + 1
+   else t.pred_decided_false <- t.pred_decided_false + 1);
+  t.pred_inferences <-
+    { pinf_block = block; pinf_op = op; pinf_a = a; pinf_b = b; pinf_verdict = verdict }
+    :: t.pred_inferences
 
 let per_instr count t =
   if t.instrs_processed = 0 then 0.0 else float_of_int count /. float_of_int t.instrs_processed

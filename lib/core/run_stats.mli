@@ -17,6 +17,18 @@ type inference = {
 (** A decided predicate-inference query, recorded so [Absint.Crosscheck]
     can statically replay the engine's claims against interval facts. *)
 
+type pred_inference = {
+  pinf_block : int;  (** block being computed when the query was asked *)
+  pinf_op : Ir.Types.cmp;
+  pinf_a : atom;
+  pinf_b : atom;
+  pinf_verdict : bool;
+}
+(** A query decided by the multi-fact implication closure (lib/pred) after
+    the single-fact walk gave up — no single deciding edge exists, the
+    verdict follows from the conjunction of dominating-edge facts.
+    Replayed by [Absint.Crosscheck] like {!inference}. *)
+
 type t = {
   mutable passes : int;
   mutable instrs_processed : int;
@@ -29,6 +41,11 @@ type t = {
   mutable table_probes : int;  (** TABLE lookups during congruence finding *)
   mutable table_hits : int;  (** probes answered by an existing class *)
   mutable inferences : inference list;  (** most recent first *)
+  mutable pred_closure_queries : int;  (** closure fallbacks attempted *)
+  mutable pred_decided_true : int;
+  mutable pred_decided_false : int;
+  mutable pred_contradictions : int;  (** contradictory conjunctions seen *)
+  mutable pred_inferences : pred_inference list;  (** most recent first *)
 }
 
 val create : unit -> t
@@ -42,6 +59,11 @@ val record_inference :
   b:atom ->
   verdict:bool ->
   unit
+
+val record_pred_inference :
+  t -> block:int -> op:Ir.Types.cmp -> a:atom -> b:atom -> verdict:bool -> unit
+(** Record a closure-decided query and bump the decided counters. *)
+
 val value_inference_per_instr : t -> float
 val predicate_inference_per_instr : t -> float
 val phi_predication_per_instr : t -> float

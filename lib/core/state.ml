@@ -61,6 +61,12 @@ type t = {
   pdom : Analysis.Postdom.t;
   inc_dom : Analysis.Inc_dom.t; (* complete variant: reachable dominator tree *)
   def_use : int array array;
+  switch_default : (int * int array) option array;
+      (* per edge: [Some (scrutinee, cases)] when the edge is a switch
+         default (it carries no predicate expression but excludes every
+         case); only populated under [Config.pred_closure], so the
+         dominating-fact walk pays one array load per predicate-less edge
+         instead of a terminator fetch and match *)
   stats : Run_stats.t;
   mutable rules_subject : Hexpr.t Rules.Engine.subject option;
       (* lazily built view of this run's expressions for the rewrite-rule
@@ -182,6 +188,17 @@ let create (config : Config.t) (f : Ir.Func.t) =
     pdom;
     inc_dom = Analysis.Inc_dom.create ~n:nb ~entry:Ir.Func.entry;
     def_use = Ir.Func.def_use f;
+    switch_default =
+      (let sd = Array.make ne None in
+       if config.Config.pred_closure then
+         Array.iteri
+           (fun e (ed : Ir.Func.edge) ->
+             match Ir.Func.instr f (Ir.Func.terminator_of_block f ed.Ir.Func.src) with
+             | Ir.Func.Switch (c, cases) when ed.Ir.Func.src_ix >= Array.length cases ->
+                 sd.(e) <- Some (c, cases)
+             | _ -> ())
+           f.Ir.Func.edges;
+       sd);
     stats = Run_stats.create ();
     rules_subject = None;
   }

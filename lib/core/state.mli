@@ -60,6 +60,9 @@ type t = {
   pdom : Analysis.Postdom.t;
   inc_dom : Analysis.Inc_dom.t;  (** complete variant's reachable dominator tree *)
   def_use : int array array;
+  switch_default : (int * int array) option array;
+      (** per edge: [Some (scrutinee, cases)] for switch default edges;
+          populated only under [Config.pred_closure] *)
   stats : Run_stats.t;
   mutable rules_subject : Hexpr.t Rules.Engine.subject option;
       (** lazily built matcher view of this run's expressions (see

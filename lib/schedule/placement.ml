@@ -108,37 +108,7 @@ let compute ?obs (f : Ir.Func.t) : t =
         if is_value_at f v then Speculate.classify f ~dom ~pdom ~ranges v
         else Speculate.Pinned Speculate.Anchored)
   in
-  let early = Array.make ni (-1) in
-  let rec early_of v =
-    if early.(v) >= 0 then early.(v)
-    else begin
-      let b = Ir.Func.block_of_instr f v in
-      (* Provisional self-placement guards against malformed SSA cycles;
-         well-formed cycles stop at a pinned φ before re-entering. *)
-      early.(v) <- b;
-      let e =
-        if (not (Analysis.Dom.reachable dom b)) || Speculate.is_pinned safety.(v)
-        then b
-        else begin
-          let e = ref Ir.Func.entry in
-          Ir.Func.iter_operands
-            (fun o ->
-              let eo = early_of o in
-              if Analysis.Dom.reachable dom eo
-                 && dom.Analysis.Dom.depth.(eo) > dom.Analysis.Dom.depth.(!e)
-              then e := eo)
-            (Ir.Func.instr f v);
-          !e
-        end
-      in
-      early.(v) <- e;
-      e
-    end
-  in
-  for v = 0 to ni - 1 do
-    ignore (early_of v)
-  done;
-  (* Use positions, per operand definition. *)
+  (* Use positions, per operand definition — independent of safety. *)
   let posns = Array.make ni [] in
   Array.iteri
     (fun u ins ->
@@ -154,36 +124,114 @@ let compute ?obs (f : Ir.Func.t) : t =
           let b = Ir.Func.block_of_instr f u in
           Ir.Func.iter_operands (fun v -> posns.(v) <- b :: posns.(v)) ins)
     f.Ir.Func.instrs;
-  let late = Array.make ni (-1) in
-  let best = Array.make ni (-1) in
+  (* Fact-cleared divisions get their early clamped to the highest block
+     whose dominating facts clear them (phase 2 below): the guards sit at
+     that block, so the value may float anywhere it dominates but not
+     above it. *)
+  let clamp = Array.make ni (-1) in
+  (* Both schedules under the current safety classification. *)
+  let schedule () =
+    let early = Array.make ni (-1) in
+    let rec early_of v =
+      if early.(v) >= 0 then early.(v)
+      else begin
+        let b = Ir.Func.block_of_instr f v in
+        (* Provisional self-placement guards against malformed SSA cycles;
+           well-formed cycles stop at a pinned φ before re-entering. *)
+        early.(v) <- b;
+        let e =
+          if (not (Analysis.Dom.reachable dom b)) || Speculate.is_pinned safety.(v)
+          then b
+          else begin
+            let e = ref Ir.Func.entry in
+            Ir.Func.iter_operands
+              (fun o ->
+                let eo = early_of o in
+                if Analysis.Dom.reachable dom eo
+                   && dom.Analysis.Dom.depth.(eo) > dom.Analysis.Dom.depth.(!e)
+                then e := eo)
+              (Ir.Func.instr f v);
+            if clamp.(v) >= 0 then clamp.(v) else !e
+          end
+        in
+        early.(v) <- e;
+        e
+      end
+    in
+    for v = 0 to ni - 1 do
+      ignore (early_of v)
+    done;
+    let late = Array.make ni (-1) in
+    let best = Array.make ni (-1) in
+    for v = 0 to ni - 1 do
+      let b = Ir.Func.block_of_instr f v in
+      if
+        (not (is_value_at f v))
+        || (not (Analysis.Dom.reachable dom b))
+        || Speculate.is_pinned safety.(v)
+      then begin
+        late.(v) <- b;
+        best.(v) <- b
+      end
+      else begin
+        (match List.filter (Analysis.Dom.reachable dom) posns.(v) with
+        | [] -> late.(v) <- b
+        | p :: ps -> late.(v) <- List.fold_left (Analysis.Dom.nca dom) p ps);
+        (* Minimum loop depth on the dominator path late .. early; the
+           latest such block wins ties. *)
+        let cur = ref late.(v) and bst = ref late.(v) in
+        while !cur <> early.(v) && !cur >= 0 do
+          cur := dom.Analysis.Dom.idom.(!cur);
+          if
+            !cur >= 0
+            && Analysis.Loops.depth_at forest !cur
+               < Analysis.Loops.depth_at forest !bst
+          then bst := !cur
+        done;
+        best.(v) <- !bst
+      end
+    done;
+    (early, late, best)
+  in
+  let early, late, best = schedule () in
+  (* Second phase: a division pinned for trap safety is re-examined on the
+     dominator chain between its block and the deepest of its operands'
+     earlies. The highest block on that chain whose dominating branch facts
+     clear the division marks where its protecting guards sit — above it
+     the facts no longer hold, below it (values being immutable) they
+     always do. When one exists strictly above the division, the
+     interval-based pin was conservative: upgrade to Proven, clamp early to
+     the clearing block, and reschedule, giving the value a real range. *)
+  let fact_upgrades = ref 0 in
+  let facts = lazy (Pred.Facts.compute f) in
   for v = 0 to ni - 1 do
-    let b = Ir.Func.block_of_instr f v in
-    if
-      (not (is_value_at f v))
-      || (not (Analysis.Dom.reachable dom b))
-      || Speculate.is_pinned safety.(v)
-    then begin
-      late.(v) <- b;
-      best.(v) <- b
-    end
-    else begin
-      (match List.filter (Analysis.Dom.reachable dom) posns.(v) with
-      | [] -> late.(v) <- b
-      | p :: ps -> late.(v) <- List.fold_left (Analysis.Dom.nca dom) p ps);
-      (* Minimum loop depth on the dominator path late .. early; the
-         latest such block wins ties. *)
-      let cur = ref late.(v) and bst = ref late.(v) in
-      while !cur <> early.(v) && !cur >= 0 do
-        cur := dom.Analysis.Dom.idom.(!cur);
-        if
-          !cur >= 0
-          && Analysis.Loops.depth_at forest !cur
-             < Analysis.Loops.depth_at forest !bst
-        then bst := !cur
-      done;
-      best.(v) <- !bst
-    end
+    match safety.(v) with
+    | Speculate.Pinned (Speculate.May_trap _)
+      when Analysis.Dom.reachable dom (Ir.Func.block_of_instr f v) ->
+        let b = Ir.Func.block_of_instr f v in
+        let e = ref Ir.Func.entry in
+        Ir.Func.iter_operands
+          (fun o ->
+            let eo = early.(o) in
+            if Analysis.Dom.reachable dom eo
+               && dom.Analysis.Dom.depth.(eo) > dom.Analysis.Dom.depth.(!e)
+            then e := eo)
+          (Ir.Func.instr f v);
+        let cleared = ref (-1) in
+        let a = ref dom.Analysis.Dom.idom.(b) in
+        while !a >= 0 && dom.Analysis.Dom.depth.(!a) >= dom.Analysis.Dom.depth.(!e) do
+          if Speculate.cleared_by_facts (Lazy.force facts) f ~block:!a v then cleared := !a;
+          a := dom.Analysis.Dom.idom.(!a)
+        done;
+        if !cleared >= 0 then begin
+          safety.(v) <-
+            Speculate.Proven (Fmt.str "dominating facts at b%d clear the division" !cleared);
+          clamp.(v) <- !cleared;
+          incr fact_upgrades
+        end
+    | _ -> ()
   done;
+  let early, late, best = if !fact_upgrades > 0 then schedule () else (early, late, best) in
   let t =
     { func = f; graph = g; dom; pdom; forest; ranges; safety; early; late; best }
   in
@@ -195,6 +243,7 @@ let compute ?obs (f : Ir.Func.t) : t =
       Obs.add o "schedule.hoistable" s.hoistable;
       Obs.add o "schedule.sinkable" s.sinkable;
       Obs.add o "schedule.speculation_blocked" s.speculation_blocked;
+      Obs.add o "schedule.fact_cleared" !fact_upgrades;
       Obs.observe_seconds o "schedule.compute_ns" (Obs.clock o -. t0));
   t
 

@@ -57,6 +57,23 @@ let classify (f : Ir.Func.t) ~dom ~pdom ~(ranges : Absint.Ranges.result) v =
   | Ir.Func.Return _ ->
       Pinned Anchored
 
+(* Dominating-fact clearing: do the branch facts holding on entry to
+   [block] prove the division cannot fault? Same soundness shape as
+   [cleared_at] — the facts embed [block]'s dominating guards, so they are
+   valid at [block] and (values being immutable) at every block it
+   dominates — but decided by the multi-fact implication closure instead
+   of one refined interval, so a guard conjunction like
+   [d != 0 && d != -1] clears a division no single interval fact can. *)
+let cleared_by_facts (facts : Pred.Facts.t) (f : Ir.Func.t) ~block v =
+  match Ir.Func.instr f v with
+  | Ir.Func.Binop ((Ir.Types.Div | Ir.Types.Rem), n, d) ->
+      let cl = Pred.Facts.closure_at_block facts block in
+      let proves op a c = Pred.Closure.decide cl op a (Pred.Atom.Const c) = Pred.Closure.True in
+      let dt = Pred.Facts.term_of f d and nt = Pred.Facts.term_of f n in
+      proves Ir.Types.Ne dt 0
+      && (proves Ir.Types.Ne dt (-1) || proves Ir.Types.Ne nt min_int)
+  | _ -> true
+
 let cleared_at (ranges : Absint.Ranges.result) (f : Ir.Func.t) ~block v =
   match Ir.Func.instr f v with
   | Ir.Func.Binop ((Ir.Types.Div | Ir.Types.Rem), n, d) ->

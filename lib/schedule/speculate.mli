@@ -42,6 +42,15 @@ val cleared_at : Absint.Ranges.result -> Ir.Func.t -> block:int -> Ir.Func.value
     legality checker's question, not the placement analysis's. Non-faulting
     instructions are trivially cleared. *)
 
+val cleared_by_facts : Pred.Facts.t -> Ir.Func.t -> block:int -> Ir.Func.value -> bool
+(** For a potentially faulting instruction: do the dominating branch facts
+    on entry to [block], combined by the multi-fact implication closure,
+    prove it cannot fault? The facts embed [block]'s guards, so — values
+    being immutable — the clearance is sound at [block] and at every block
+    it dominates. Strictly stronger than {!cleared_at} on guard
+    conjunctions intervals cannot express (e.g. [d != 0 && d != -1]).
+    Non-faulting instructions are trivially cleared. *)
+
 val controlling_predicate :
   Ir.Func.t -> dom:Analysis.Dom.t -> pdom:Analysis.Postdom.t -> int -> int option
 (** The nearest strict dominator of a block whose terminator branches and

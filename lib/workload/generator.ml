@@ -11,6 +11,8 @@ module Ast = Ir.Ast
    - equality-guarded branches over live variables (value inference);
    - nested comparisons against constants on the same variable
      (predicate inference);
+   - chained var-var inequalities dominating a query on their endpoints,
+     which no single fact decides (the multi-fact implication closure);
    - repeated conditional diamonds with congruent predicates
      (φ-predication);
    - counted loops, so every generated program terminates and the
@@ -23,6 +25,7 @@ type profile = {
   loop_weight : int; (* relative weights of statement kinds *)
   if_weight : int;
   switch_weight : int;
+  chain_weight : int; (* chained x ≤ y ≤ z guard ladders *)
   assign_weight : int;
   equality_guard_weight : int; (* of an if being equality-guarded *)
   constant_guard_weight : int; (* of an if being constant-guarded (dead arm) *)
@@ -38,6 +41,7 @@ let default_profile =
     loop_weight = 2;
     if_weight = 5;
     switch_weight = 1;
+    chain_weight = 1;
     assign_weight = 8;
     equality_guard_weight = 25;
     constant_guard_weight = 15;
@@ -134,13 +138,14 @@ let rec gen_stmts st depth : Ast.stmt list =
         let loop_w = if st.loop_depth >= 2 then 0 else p.loop_weight in
         match
           Util.Prng.weighted st.rng
-            [| p.assign_weight; p.if_weight; max loop_w 0; p.switch_weight |]
+            [| p.assign_weight; p.if_weight; max loop_w 0; p.switch_weight; p.chain_weight |]
         with
         | 0 -> `Assign
         | 1 -> `If
         | 2 when loop_w > 0 -> `Loop
         | 2 -> `Assign
-        | _ -> `Switch
+        | 3 -> `Switch
+        | _ -> `Chain
     in
     match kind with
     | `Assign ->
@@ -176,6 +181,48 @@ let rec gen_stmts st depth : Ast.stmt list =
           emit (Ast.Sassign (v2, Ast.Enum c1));
           emit (Ast.Sif (cond, [ Ast.Sassign (v2, Ast.Enum c2) ], []))
         end
+    | `Chain ->
+        (* A chained-inequality guard ladder over three fresh variables:
+           x ≤ y and y ≤ z dominate a query comparing x against z. Neither
+           fact decides the query alone — only their conjunction does — so
+           single-fact predicate inference must leave the inner branch
+           undecided while the multi-fact implication closure prunes its
+           (empty) else edge. The endpoints are initialized from uniquely-
+           named opaque calls and never registered in [st.vars]: opaque
+           values keep the intervals at top (only the closure can decide
+           the query) and the isolation guarantees no unrelated relational
+           guard can combine with the ladder into a contradictory — dead —
+           path, which would trip the lint-contradictory-path Warning the
+           benchmarks are pinned clean of. *)
+        let endpoint () =
+          let v = fresh_var st in
+          let arg =
+            if Array.length st.vars = 0 then Ast.Enum (small_const st)
+            else Ast.Evar (pick_var st)
+          in
+          emit (Ast.Sassign (v, Ast.Ecall ("chain_" ^ v, [ arg ])));
+          v
+        in
+        let x = endpoint () and y = endpoint () and z = endpoint () in
+        let op1 = if Util.Prng.bool st.rng then Ir.Types.Le else Ir.Types.Lt in
+        let op2 = if Util.Prng.bool st.rng then Ir.Types.Le else Ir.Types.Lt in
+        (* The implied relation: strict when either link is strict. *)
+        let opq =
+          if op1 = Ir.Types.Lt || op2 = Ir.Types.Lt then Ir.Types.Lt else Ir.Types.Le
+        in
+        let saved = st.vars in
+        let live = gen_stmts st (depth + 1) in
+        st.vars <- saved;
+        emit
+          (Ast.Sif
+             ( Ast.Ecmp (op1, Ast.Evar x, Ast.Evar y),
+               [
+                 Ast.Sif
+                   ( Ast.Ecmp (op2, Ast.Evar y, Ast.Evar z),
+                     [ Ast.Sif (Ast.Ecmp (opq, Ast.Evar x, Ast.Evar z), live, []) ],
+                     [] );
+               ],
+               [] ))
     | `Switch ->
         (* switch over a variable with a few small-constant cases; the per-
            case equality predicates feed value inference. *)

@@ -12,6 +12,7 @@ type profile = {
   loop_weight : int;
   if_weight : int;
   switch_weight : int;
+  chain_weight : int;  (** chained x ≤ y ≤ z guard ladders (implication closure) *)
   assign_weight : int;
   equality_guard_weight : int;  (** percent of ifs guarded by x == y *)
   constant_guard_weight : int;  (** percent guarded by constants (dead arms) *)

@@ -285,6 +285,53 @@ let test_refinement_proves_contradiction_dead () =
     "contradictorily-guarded block cannot execute" false
     res.Absint.Ranges.block_exec.(!b9)
 
+(* Order-robust disequality refinement. The constraints a block inherits
+   arrive in dominator-chain order, and switch-case exclusions in case
+   order — neither is a semantic order. Disequalities bite only at domain
+   boundaries, so both sites iterate their refinement folds to a fixpoint;
+   these pins fail under a single-pass fold. *)
+
+let test_refinement_ne_order_robust () =
+  (* x ≠ 3 is learned *before* x > 2 on the dominator chain, yet the
+     inner block still needs x ∈ [4, ∞): a < 4 there is contradictory. *)
+  let f =
+    Helpers.func_of_src
+      "routine n(a) { r = 0; if (a != 3) { if (a > 2) { if (a < 4) { r = 9; } } } return r; }"
+  in
+  let res = Absint.Ranges.run f in
+  let b9 = ref (-1) in
+  Array.iteri
+    (fun i ins ->
+      match ins with Ir.Func.Const 9 -> b9 := Ir.Func.block_of_instr f i | _ -> ())
+    f.Ir.Func.instrs;
+  Alcotest.(check bool) "found the guarded block" true (!b9 >= 0);
+  Alcotest.(check bool)
+    "boundary disequality sharpens regardless of order" false
+    res.Absint.Ranges.block_exec.(!b9)
+
+let test_switch_default_decided () =
+  (* x ∈ [3,5] and the cases cover {4; 5; 3} — but discovering that the
+     default is dead requires re-folding the exclusions: the first pass
+     over (≠4, ≠5, ≠3) only narrows [3,5] to [4,4]. *)
+  let f =
+    Helpers.func_of_src
+      "routine sd(x) {\n\
+      \  if (x >= 3) { if (x <= 5) {\n\
+      \    switch (x) { case 4: { return 1; } case 5: { return 2; } case 3: { return 3; } }\n\
+      \    return 9; } }\n\
+      \  return 0; }"
+  in
+  let res = Absint.Ranges.run f in
+  let b9 = ref (-1) in
+  Array.iteri
+    (fun i ins ->
+      match ins with Ir.Func.Const 9 -> b9 := Ir.Func.block_of_instr f i | _ -> ())
+    f.Ir.Func.instrs;
+  Alcotest.(check bool) "found the default block" true (!b9 >= 0);
+  Alcotest.(check bool)
+    "exhaustive cases prove the default dead" false
+    res.Absint.Ranges.block_exec.(!b9)
+
 (* --- the static cross-checker --- *)
 
 let assert_crosscheck_clean name (r : Absint.Crosscheck.report) =
@@ -391,6 +438,10 @@ let suite =
   @ [
       Alcotest.test_case "widening + exit-guard refinement" `Quick
         test_widening_terminates_precisely;
+      Alcotest.test_case "disequality refinement is order-robust" `Quick
+        test_refinement_ne_order_robust;
+      Alcotest.test_case "exhaustive switch cases decide the default" `Quick
+        test_switch_default_decided;
       Alcotest.test_case "contradictory guards prove a block dead" `Quick
         test_refinement_proves_contradiction_dead;
       Alcotest.test_case "crosscheck: corpus clean under every config" `Quick

@@ -332,6 +332,52 @@ let test_lint_absint_unreachable () =
   let g, _, _ = diamond () in
   Alcotest.(check bool) "a live diamond is clean" false (fires "lint-absint-unreachable" g)
 
+let test_lint_contradictory_path () =
+  (* A relational contradiction — a < b together with b < a — is invisible
+     to one-value interval refinement but the fact closure sees it, so the
+     Warning fires (and lint-absint-unreachable does not: exec stays true). *)
+  let f =
+    Helpers.func_of_src
+      "routine f(a, b) { r = 0; if (a < b) { if (b < a) { r = 9; } } return r; }"
+  in
+  assert_fires "lint-contradictory-path" f;
+  Alcotest.(check bool)
+    "severity is Warning" true
+    (List.exists
+       (fun d ->
+         check_id d = "lint-contradictory-path"
+         && d.Check.Diagnostic.severity = Check.Diagnostic.Warning)
+       (Check.run_all ~lint:true f));
+  (* A constant contradiction the interval tier already proves dead is
+     lint-absint-unreachable's territory: the Warning stays silent. *)
+  let g =
+    Helpers.func_of_src
+      "routine g(a) { r = 0; if (a > 5) { if (a < 3) { r = 9; } } return r; }"
+  in
+  Alcotest.(check bool) "interval-proven block is not re-flagged" false
+    (fires "lint-contradictory-path" g);
+  let h = Helpers.func_of_src "routine h(a, b) { r = 0; if (a < b) { r = 1; } return r; }" in
+  Alcotest.(check bool) "an open relational guard is clean" false
+    (fires "lint-contradictory-path" h)
+
+let test_lint_redundant_branch () =
+  (* Transitivity — a <= b and b <= c imply a <= c — needs two facts at
+     once, beyond both intervals (lint-branch-decided) and the single-fact
+     walk; only the closure decides it. *)
+  let f =
+    Helpers.func_of_src
+      "routine f(a, b, c) { r = 0; if (a <= b) { if (b <= c) { if (a <= c) { r = 1; } } } \
+       return r; }"
+  in
+  assert_fires "lint-redundant-branch" f;
+  Alcotest.(check bool) "interval tier alone does not see it" false
+    (fires "lint-branch-decided" f);
+  let g =
+    Helpers.func_of_src
+      "routine g(a, b) { r = 0; if (a <= b) { if (b <= a) { r = 1; } } return r; }"
+  in
+  Alcotest.(check bool) "an undecided guard is clean" false (fires "lint-redundant-branch" g)
+
 let test_lint_dead_store () =
   (* y's only user sits behind a self-contradictory comparison: structural
      liveness keeps it (so lint-dead-instr stays silent), the sparse
@@ -475,6 +521,10 @@ let suite =
     Alcotest.test_case "lint: semantically unreachable block" `Quick
       test_lint_absint_unreachable;
     Alcotest.test_case "lint: dead store (sparse liveness)" `Quick test_lint_dead_store;
+    Alcotest.test_case "lint: contradictory path conditions" `Quick
+      test_lint_contradictory_path;
+    Alcotest.test_case "lint: branch decided by the fact closure" `Quick
+      test_lint_redundant_branch;
     Alcotest.test_case "lints stay below --Werror on corpus and benchmarks" `Quick
       test_lint_werror_clean_everywhere;
     Alcotest.test_case "corpus clean under every preset" `Quick test_corpus_clean_all_presets;

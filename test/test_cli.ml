@@ -209,8 +209,97 @@ let test_jobs_deterministic_output () =
 
 let test_serve_conflicts () =
   let p = clean_mc () in
+  (* [--serve file.mc] parses the file as the socket path; binding refuses
+     to clobber an existing non-socket file, preserving the old pin. *)
   Alcotest.(check int) "--serve with a FILE" 2 (run [ "--serve"; p ]);
-  Alcotest.(check int) "--serve with --metrics" 2 (run [ "--serve"; "--metrics" ])
+  Alcotest.(check int) "--serve with --metrics" 2 (run [ "--serve"; "--metrics" ]);
+  Alcotest.(check int) "--serve=PATH refuses a non-socket file" 2 (run [ "--serve=" ^ p ])
+
+(* Client-side framing for the socket transport: 4-byte big-endian length,
+   then the payload — the same wire format test_par.ml pins for stdin. *)
+let put_frame oc payload =
+  let len = String.length payload in
+  output_byte oc ((len lsr 24) land 0xff);
+  output_byte oc ((len lsr 16) land 0xff);
+  output_byte oc ((len lsr 8) land 0xff);
+  output_byte oc (len land 0xff);
+  output_string oc payload;
+  flush oc
+
+let get_frame ic =
+  let hdr = really_input_string ic 4 in
+  let b i = Char.code hdr.[i] in
+  really_input_string ic ((b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3)
+
+let test_serve_socket_round_trip () =
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gvnopt_cli_%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists sock then Sys.remove sock;
+  let null = Unix.openfile Filename.null [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process gvnopt [| gvnopt; "--serve=" ^ sock |] null null Unix.stderr
+  in
+  Unix.close null;
+  (* The server binds before accepting: the socket file is the ready signal. *)
+  let rec await n =
+    if Sys.file_exists sock then ()
+    else if n = 0 then Alcotest.fail "server never bound its socket"
+    else begin
+      Unix.sleepf 0.05;
+      await (n - 1)
+    end
+  in
+  await 100;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* The file appears at bind, a hair before listen: retry a refused
+     connect rather than flaking on the race. *)
+  let rec connect n =
+    try Unix.connect fd (Unix.ADDR_UNIX sock)
+    with Unix.Unix_error (Unix.ECONNREFUSED, _, _) when n > 0 ->
+      Unix.sleepf 0.05;
+      connect (n - 1)
+  in
+  connect 100;
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  put_frame oc "routine f(a) { return a + 1; }";
+  let r = get_frame ic in
+  Alcotest.(check char) "clean request status" '0' r.[0];
+  Alcotest.(check bool) "framed body is the batch output" true (contains r "=== f ===");
+  put_frame oc "routine broken( {";
+  let r = get_frame ic in
+  Alcotest.(check char) "parse-error status" '2' r.[0];
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  close_in ic;
+  (* Worst status served becomes the exit code; the socket file is gone. *)
+  let _, status = Unix.waitpid [] pid in
+  Alcotest.(check bool) "exits with the worst status" true (status = Unix.WEXITED 2);
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists sock)
+
+let test_pred_modes () =
+  let chain =
+    write_tmp "chain.mc"
+      "routine c(a, b, c) { r = 0; if (a <= b) { if (b <= c) { if (a <= c) { r = 1; } } } \
+       return r; }\n"
+  in
+  (* Bare --pred defaults to the cross-check; trailing position keeps the
+     file from being parsed as the mode. *)
+  let code, out = run_capture [ chain; "--pred" ] in
+  Alcotest.(check int) "bare --pred" 0 code;
+  Alcotest.(check bool) "crosscheck line" true (contains out "crosscheck:");
+  Alcotest.(check bool) "no contradictions" true (contains out "0 contradiction(s)");
+  let code, out = run_capture [ "--pred=stats"; chain ] in
+  Alcotest.(check int) "--pred=stats" 0 code;
+  Alcotest.(check bool) "counter line" true (contains out "pred: ");
+  Alcotest.(check bool) "closure decided the chained guard" false (contains out "pred: 0 queries");
+  let code, out = run_capture [ "--pred=dump"; chain ] in
+  Alcotest.(check int) "--pred=dump" 0 code;
+  Alcotest.(check bool) "facts section" true (contains out "--- dominating facts ---");
+  Alcotest.(check int) "bad pred mode" 2 (run [ "--pred=bogus"; chain ]);
+  Alcotest.(check int) "--pred and --analyze conflict" 2 (run [ chain; "--pred"; "--analyze" ]);
+  Alcotest.(check int) "--pred and --schedule conflict" 2
+    (run [ chain; "--pred"; "--schedule" ])
 
 let test_cache_round_trip () =
   let p = clean_mc () in
@@ -257,6 +346,9 @@ let suite =
     Alcotest.test_case "--jobs argument contract" `Quick test_jobs_contract;
     Alcotest.test_case "--jobs=2 output is byte-identical" `Quick test_jobs_deterministic_output;
     Alcotest.test_case "--serve flag conflicts" `Quick test_serve_conflicts;
+    Alcotest.test_case "--serve=SOCKET round-trips over the socket" `Quick
+      test_serve_socket_round_trip;
+    Alcotest.test_case "--pred mode exit codes and output" `Quick test_pred_modes;
     Alcotest.test_case "--cache persisted tier round-trips" `Quick test_cache_round_trip;
     Alcotest.test_case "exit 2 on parse errors" `Quick test_exit_parse_error;
     Alcotest.test_case "exit 2 on usage errors" `Quick test_exit_usage_error;

@@ -128,8 +128,63 @@ let test_paper_inferences () =
     (E.Cmp (Ir.Types.Lt, E.Value 0, E.Const 0))
     (E.Cmp (Ir.Types.Lt, E.Value 1, E.Const 0))
 
+(* All 36 fact×query pairs of [same_operands_table], differenced against
+   brute force over a small domain — in both directions: a True/False
+   verdict must match every model of the fact (soundness), and Unknown is
+   allowed only when the models genuinely disagree on the query
+   (completeness: the table leaves nothing decidable on the table). *)
+let test_same_operands_exhaustive () =
+  List.iter
+    (fun fop ->
+      List.iter
+        (fun qop ->
+          let models = ref 0 and q_true = ref 0 in
+          for x = -2 to 2 do
+            for y = -2 to 2 do
+              if Ir.Types.eval_cmp fop x y = 1 then begin
+                incr models;
+                if Ir.Types.eval_cmp qop x y = 1 then incr q_true
+              end
+            done
+          done;
+          let truth =
+            if !q_true = !models then I.True
+            else if !q_true = 0 then I.False
+            else I.Unknown
+          in
+          let got = I.same_operands_table fop qop in
+          if got <> truth then
+            Alcotest.failf "x %s y => x %s y: table %s, brute force %s"
+              (Ir.Types.string_of_cmp fop) (Ir.Types.string_of_cmp qop)
+              (match got with I.True -> "True" | I.False -> "False" | I.Unknown -> "Unknown")
+              (match truth with I.True -> "True" | I.False -> "False" | I.Unknown -> "Unknown"))
+        ops)
+    ops
+
+(* The interval logic at the machine-integer edges: bounds one past the
+   domain must not wrap into full-domain facts. *)
+let test_interval_trap_boundaries () =
+  check_verdict "X>=5 refutes X>max_int" I.False
+    (E.Cmp (Ir.Types.Ge, E.Value 0, E.Const 5))
+    (E.Cmp (Ir.Types.Gt, E.Value 0, E.Const max_int));
+  check_verdict "X<=5 refutes X<min_int" I.False
+    (E.Cmp (Ir.Types.Le, E.Value 0, E.Const 5))
+    (E.Cmp (Ir.Types.Lt, E.Value 0, E.Const min_int));
+  check_verdict "X<=min_int implies X=min_int" I.True
+    (E.Cmp (Ir.Types.Le, E.Value 0, E.Const min_int))
+    (E.Cmp (Ir.Types.Eq, E.Value 0, E.Const min_int));
+  check_verdict "X>=max_int implies X=max_int" I.True
+    (E.Cmp (Ir.Types.Ge, E.Value 0, E.Const max_int))
+    (E.Cmp (Ir.Types.Eq, E.Value 0, E.Const max_int));
+  check_verdict "X>=max_int refutes X<max_int" I.False
+    (E.Cmp (Ir.Types.Ge, E.Value 0, E.Const max_int))
+    (E.Cmp (Ir.Types.Lt, E.Value 0, E.Const max_int))
+
 let suite =
   [
     Alcotest.test_case "exhaustive implication soundness" `Quick test_exhaustive_soundness;
+    Alcotest.test_case "same-operands table: 36 pairs vs brute force" `Quick
+      test_same_operands_exhaustive;
+    Alcotest.test_case "interval logic at min_int/max_int" `Quick test_interval_trap_boundaries;
     Alcotest.test_case "paper's inferences are decided" `Quick test_paper_inferences;
   ]

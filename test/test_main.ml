@@ -19,6 +19,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("transform", Test_transform.suite);
       ("validate", Test_validate.suite);
+      ("pred", Test_pred.suite);
       ("par", Test_par.suite);
       ("cli", Test_cli.suite);
       ("workload", Test_workload.suite);

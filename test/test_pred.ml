@@ -1,0 +1,512 @@
+(* The predicate implication engine (lib/pred): closure unit laws, the
+   dominating-fact collection, the GVN driver's multi-fact fallback, and
+   two of its three certification layers — the instrumented-interpreter
+   differential (collected facts must hold on every concrete trace;
+   decided branches must match execution) and the seeded unsound-closure
+   mutants, each rejected with a pinned check id. The third layer (the
+   static crosscheck against interval facts) lives with its engine in
+   test_absint.ml. *)
+
+module A = Pred.Atom
+module C = Pred.Closure
+
+let cT k = A.Const k  (* noise reduction *)
+let t_ i = A.Term i
+
+let closure facts =
+  let cl = C.create () in
+  List.iter
+    (fun (op, a, b) -> C.assume cl (A.make op a b))
+    facts;
+  cl
+
+let check_verdict msg expected got =
+  let s = function C.True -> "True" | C.False -> "False" | C.Unknown -> "Unknown" in
+  if expected <> got then Alcotest.failf "%s: expected %s, got %s" msg (s expected) (s got)
+
+(* ------------------------------------------------------------------ *)
+(* Closure unit laws.                                                  *)
+
+let test_closure_transitivity () =
+  let open Ir.Types in
+  (* a ≤ b ∧ b ≤ c ⇒ a ≤ c *)
+  let cl = closure [ (Le, t_ 1, t_ 2); (Le, t_ 2, t_ 3) ] in
+  check_verdict "a <= c" C.True (C.decide cl Le (t_ 1) (t_ 3));
+  check_verdict "c < a refuted" C.False (C.decide cl Lt (t_ 3) (t_ 1));
+  check_verdict "a < c unknown" C.Unknown (C.decide cl Lt (t_ 1) (t_ 3));
+  (* strict link makes the chain strict *)
+  let cl = closure [ (Lt, t_ 1, t_ 2); (Le, t_ 2, t_ 3) ] in
+  check_verdict "a < c" C.True (C.decide cl Lt (t_ 1) (t_ 3));
+  check_verdict "a != c" C.True (C.decide cl Ne (t_ 1) (t_ 3))
+
+let test_closure_value_vs_const () =
+  let open Ir.Types in
+  (* a < b ∧ b < 10 ⇒ a < 9 ≤ anything above *)
+  let cl = closure [ (Lt, t_ 1, t_ 2); (Lt, t_ 2, cT 10) ] in
+  check_verdict "a < 20" C.True (C.decide cl Lt (t_ 1) (cT 20));
+  check_verdict "a <= 8" C.True (C.decide cl Le (t_ 1) (cT 8));
+  check_verdict "a > 8 refuted" C.False (C.decide cl Gt (t_ 1) (cT 8));
+  check_verdict "a < 8 unknown" C.Unknown (C.decide cl Lt (t_ 1) (cT 8));
+  (* constants order themselves *)
+  check_verdict "5 < 7" C.True (C.decide cl Lt (cT 5) (cT 7))
+
+let test_closure_congruence () =
+  let open Ir.Types in
+  (* x = y ∧ y = z ⇒ x = z; disequality propagates across the class *)
+  let cl = closure [ (Eq, t_ 1, t_ 2); (Eq, t_ 2, t_ 3); (Ne, t_ 3, t_ 4) ] in
+  check_verdict "x = z" C.True (C.decide cl Eq (t_ 1) (t_ 3));
+  check_verdict "x != w" C.True (C.decide cl Ne (t_ 1) (t_ 4));
+  check_verdict "x vs w order" C.Unknown (C.decide cl Lt (t_ 1) (t_ 4));
+  (* equality + bound: x = y ∧ y ≤ 5 ⇒ x ≤ 5 *)
+  let cl = closure [ (Eq, t_ 1, t_ 2); (Le, t_ 2, cT 5) ] in
+  check_verdict "x <= 5" C.True (C.decide cl Le (t_ 1) (cT 5));
+  check_verdict "x > 6 refuted" C.False (C.decide cl Gt (t_ 1) (cT 6))
+
+let test_closure_diseq_sharpening () =
+  let open Ir.Types in
+  (* x > 2 ∧ x ≠ 3 ⇒ x > 3 (integer boundary sharpening) *)
+  let cl = closure [ (Gt, t_ 1, cT 2); (Ne, t_ 1, cT 3) ] in
+  check_verdict "x > 3" C.True (C.decide cl Gt (t_ 1) (cT 3));
+  check_verdict "x >= 4" C.True (C.decide cl Ge (t_ 1) (cT 4));
+  (* and in the reversed assumption order *)
+  let cl = closure [ (Ne, t_ 1, cT 3); (Gt, t_ 1, cT 2) ] in
+  check_verdict "x > 3 (reordered)" C.True (C.decide cl Gt (t_ 1) (cT 3))
+
+let test_closure_contradictions () =
+  let open Ir.Types in
+  let contra facts = Alcotest.(check bool) "contradictory" true (C.contradictory (closure facts)) in
+  contra [ (Eq, t_ 1, cT 5); (Eq, t_ 1, cT 7) ];  (* two constants in a class *)
+  contra [ (Eq, t_ 1, t_ 2); (Ne, t_ 1, t_ 2) ];  (* equal and disequal *)
+  contra [ (Lt, t_ 1, t_ 2); (Lt, t_ 2, t_ 1) ];  (* negative cycle *)
+  contra [ (Le, t_ 1, cT 3); (Ge, t_ 1, cT 4) ];  (* empty interval *)
+  contra [ (Lt, t_ 1, cT min_int) ];  (* below the machine domain *)
+  contra [ (Gt, t_ 1, cT max_int) ];
+  (* a contradictory closure never decides *)
+  let cl = closure [ (Eq, t_ 1, cT 5); (Eq, t_ 1, cT 7) ] in
+  check_verdict "no verdicts under contradiction" C.Unknown (C.decide cl Eq (t_ 1) (cT 5))
+
+let test_closure_trap_boundaries () =
+  let open Ir.Types in
+  (* x ≤ min_int strengthens to x = min_int; x ≥ max_int to x = max_int *)
+  let cl = closure [ (Le, t_ 1, cT min_int) ] in
+  Alcotest.(check bool) "satisfiable" false (C.contradictory cl);
+  check_verdict "x = min_int" C.True (C.decide cl Eq (t_ 1) (cT min_int));
+  let cl = closure [ (Ge, t_ 1, cT max_int) ] in
+  check_verdict "x = max_int" C.True (C.decide cl Eq (t_ 1) (cT max_int));
+  (* bounds at the domain edge must not wrap into false verdicts *)
+  let cl = closure [ (Le, t_ 1, cT min_int); (Le, t_ 2, t_ 1) ] in
+  Alcotest.(check bool) "still satisfiable" false (C.contradictory cl);
+  check_verdict "y <= min_int" C.True (C.decide cl Le (t_ 2) (cT min_int));
+  check_verdict "y > min_int refuted" C.False (C.decide cl Gt (t_ 2) (cT min_int))
+
+(* The closure's True/False verdicts versus brute-force evaluation of
+   random fact sets over a small domain: every verdict must hold in every
+   satisfying assignment. *)
+let test_closure_differential () =
+  let rng = Util.Prng.create 0x9ec1 in
+  let cmps = [| Ir.Types.Eq; Ir.Types.Ne; Ir.Types.Lt; Ir.Types.Le; Ir.Types.Gt; Ir.Types.Ge |] in
+  let nterms = 3 and lo = -2 and hi = 2 in
+  let term k = if k < 2 then cT (Util.Prng.range rng lo hi) else t_ (Util.Prng.range rng 0 (nterms - 1)) in
+  for _ = 1 to 2000 do
+    let nfacts = Util.Prng.range rng 1 4 in
+    let facts =
+      List.init nfacts (fun _ ->
+          (Util.Prng.choose rng cmps, term (Util.Prng.range rng 0 5), term (Util.Prng.range rng 0 5)))
+    in
+    let qop = Util.Prng.choose rng cmps in
+    let qa = term (Util.Prng.range rng 0 5) and qb = term (Util.Prng.range rng 0 5) in
+    let cl = closure facts in
+    let verdict = C.decide cl qop qa qb in
+    let contra = C.contradictory cl in
+    (* enumerate assignments of the [nterms] term ids over [lo..hi] *)
+    let models = ref 0 and q_true = ref 0 in
+    let assign = Array.make nterms lo in
+    let value = function A.Const k -> k | A.Term i -> assign.(i) in
+    let holds (op, a, b) = Ir.Types.eval_cmp op (value a) (value b) = 1 in
+    let rec enum i =
+      if i = nterms then begin
+        if List.for_all holds facts then begin
+          incr models;
+          if holds (qop, qa, qb) then incr q_true
+        end
+      end
+      else
+        for v = lo to hi do
+          assign.(i) <- v;
+          enum (i + 1)
+        done
+    in
+    enum 0;
+    let pp_fact ppf (op, a, b) =
+      Fmt.pf ppf "%a %s %a" A.pp_term a (Ir.Types.string_of_cmp op) A.pp_term b
+    in
+    let ctx () =
+      Fmt.str "facts [%a] query %a" (Fmt.list ~sep:(Fmt.any "; ") pp_fact) facts pp_fact
+        (qop, qa, qb)
+    in
+    (* contradiction claims require zero models over the whole int range;
+       the small domain only refutes (a model found ⇒ satisfiable). *)
+    if contra && !models > 0 then
+      Alcotest.failf "spurious contradiction: %s" (ctx ());
+    (match verdict with
+    | C.True -> if !q_true <> !models then Alcotest.failf "unsound True: %s" (ctx ())
+    | C.False -> if !q_true <> 0 then Alcotest.failf "unsound False: %s" (ctx ())
+    | C.Unknown -> ())
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fact collection.                                                    *)
+
+let test_facts_collection () =
+  let f =
+    Helpers.func_of_src
+      "routine g(a, b) { if (a < b) { if (b < 10) { return a; } return b; } return 0; }"
+  in
+  let facts = Pred.Facts.compute f in
+  let has_fact b (op, x, y) =
+    match A.make op x y with
+    | A.Atom at -> List.exists (A.equal at) (Pred.Facts.at_block facts b)
+    | A.Triv _ -> false
+  in
+  (* find the block returning [a]: both guards dominate it *)
+  let found = ref false in
+  for b = 0 to Array.length f.Ir.Func.blocks - 1 do
+    let term = Ir.Func.terminator_of_block f b in
+    match Ir.Func.instr f term with
+    | Ir.Func.Return v when (match Ir.Func.instr f v with Ir.Func.Param 0 -> true | _ -> false)
+      -> begin
+        found := true;
+        let cmp_args pred =
+          (* the Lt comparisons feeding the two branches *)
+          let out = ref [] in
+          for i = 0 to Ir.Func.num_instrs f - 1 do
+            match Ir.Func.instr f i with
+            | Ir.Func.Cmp (Ir.Types.Lt, x, y) when pred x y -> out := (x, y) :: !out
+            | _ -> ()
+          done;
+          !out
+        in
+        let var_var = cmp_args (fun _ y -> match Ir.Func.instr f y with Ir.Func.Const _ -> false | _ -> true) in
+        let var_const = cmp_args (fun _ y -> match Ir.Func.instr f y with Ir.Func.Const 10 -> true | _ -> false) in
+        (match var_var with
+        | [ (x, y) ] ->
+            Alcotest.(check bool) "a < b collected" true (has_fact b (Ir.Types.Lt, t_ x, t_ y))
+        | _ -> Alcotest.fail "expected one var-var comparison");
+        match var_const with
+        | [ (x, _) ] ->
+            Alcotest.(check bool) "b < 10 collected" true (has_fact b (Ir.Types.Lt, t_ x, cT 10))
+        | _ -> Alcotest.fail "expected one var-const comparison"
+      end
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "found the then-block" true !found
+
+let test_facts_switch_default () =
+  let f =
+    Helpers.func_of_src
+      "routine s(x) { switch (x) { case 3: { return 1; } case 5: { return 2; } } return 0; }"
+  in
+  let facts = Pred.Facts.compute f in
+  (* the default block (returning 0) excludes both cases *)
+  let checked = ref false in
+  for b = 0 to Array.length f.Ir.Func.blocks - 1 do
+    match Ir.Func.instr f (Ir.Func.terminator_of_block f b) with
+    | Ir.Func.Return v when (match Ir.Func.instr f v with Ir.Func.Const 0 -> true | _ -> false) ->
+        checked := true;
+        let cl = Pred.Facts.closure_at_block facts b in
+        (* the scrutinee is the routine's parameter *)
+        let x = ref (-1) in
+        for i = 0 to Ir.Func.num_instrs f - 1 do
+          match Ir.Func.instr f i with Ir.Func.Param 0 -> x := i | _ -> ()
+        done;
+        check_verdict "x != 3 in default" C.True (C.decide cl Ir.Types.Ne (t_ !x) (cT 3));
+        check_verdict "x != 5 in default" C.True (C.decide cl Ir.Types.Ne (t_ !x) (cT 5));
+        check_verdict "x != 4 unknown" C.Unknown (C.decide cl Ir.Types.Ne (t_ !x) (cT 4))
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "found the default block" true !checked
+
+(* ------------------------------------------------------------------ *)
+(* The driver's multi-fact fallback: strictly stronger than single-fact
+   inference, and behaviour-preserving.                                 *)
+
+let pred_config = { Pgvn.Config.full with pred_closure = true }
+
+let chain_src =
+  "routine chain(a, b, c) {\n\
+  \  if (a <= b) { if (b <= c) { if (a <= c) { return 1; } return 2; } }\n\
+  \  return 0; }"
+
+let bounds_src =
+  "routine bounds(a, b) {\n\
+  \  if (a < b) { if (b < 10) { if (a < 20) { return 1; } return 2; } }\n\
+  \  return 0; }"
+
+let sharpen_src =
+  "routine sharpen(x) {\n\
+  \  if (x > 2) { if (x != 3) { if (x > 3) { return 1; } return 2; } }\n\
+  \  return 0; }"
+
+let run_counts config src =
+  let f = Helpers.func_of_src src in
+  let st = Pgvn.Driver.run config f in
+  let s = Pgvn.Driver.summarize st in
+  (st, s.Pgvn.Driver.reachable_blocks)
+
+let check_closure_win ~name src =
+  let st_base, blocks_base = run_counts Pgvn.Config.full src in
+  let st_pred, blocks_pred = run_counts pred_config src in
+  Alcotest.(check int)
+    (name ^ ": single-fact baseline decides nothing extra")
+    0
+    (List.length (Pgvn.Driver.decided_branches st_base));
+  Alcotest.(check bool)
+    (name ^ ": closure decides the inner branch")
+    true
+    (List.length (Pgvn.Driver.decided_branches st_pred) >= 1);
+  Alcotest.(check bool)
+    (name ^ ": dead arm unreachable")
+    true (blocks_pred < blocks_base);
+  Alcotest.(check bool)
+    (name ^ ": closure verdicts recorded")
+    true
+    (st_pred.Pgvn.State.stats.Pgvn.Run_stats.pred_decided_true
+     + st_pred.Pgvn.State.stats.Pgvn.Run_stats.pred_decided_false
+     >= 1);
+  (* behaviour preserved end to end *)
+  let f = Helpers.func_of_src src in
+  let g = Helpers.optimize pred_config (Helpers.func_of_src src) in
+  Alcotest.(check bool) (name ^ ": equivalent") true (Helpers.equivalent ~seed:0x42 f g)
+
+let test_driver_le_chain () = check_closure_win ~name:"chain" chain_src
+let test_driver_bounds () = check_closure_win ~name:"bounds" bounds_src
+let test_driver_sharpen () = check_closure_win ~name:"sharpen" sharpen_src
+
+let test_driver_switch_default () =
+  let src =
+    "routine sd(x) {\n\
+    \  switch (x) { case 0: { return 10; } case 1: { return 11; } case 2: { return 12; } }\n\
+    \  if (x == 1) { return 99; }\n\
+    \  return 13; }"
+  in
+  let st_base, _ = run_counts Pgvn.Config.full src in
+  let st_pred, _ = run_counts pred_config src in
+  Alcotest.(check int) "baseline leaves the default test" 0
+    (List.length (Pgvn.Driver.decided_branches st_base));
+  Alcotest.(check bool) "closure refutes x == 1 in the default arm" true
+    (st_pred.Pgvn.State.stats.Pgvn.Run_stats.pred_decided_false >= 1);
+  let f = Helpers.func_of_src src in
+  let g = Helpers.optimize pred_config (Helpers.func_of_src src) in
+  Alcotest.(check bool) "equivalent" true (Helpers.equivalent ~seed:0x43 f g)
+
+(* Strictly stronger, corpus-wide: with the fallback on, every branch the
+   baseline decides stays decided, and the engine's other outputs are
+   otherwise reached through the identical code path. *)
+let test_driver_monotone_on_corpus () =
+  List.iter
+    (fun (name, src) ->
+      let f = Helpers.func_of_src src in
+      let st_base = Pgvn.Driver.run Pgvn.Config.full f in
+      let f' = Helpers.func_of_src src in
+      let st_pred = Pgvn.Driver.run pred_config f' in
+      let count st = List.length (Pgvn.Driver.decided_branches st) in
+      if count st_pred < count st_base then
+        Alcotest.failf "%s: closure lost decided branches (%d < %d)" name (count st_pred)
+          (count st_base))
+    Workload.Corpus.all_named
+
+(* ------------------------------------------------------------------ *)
+(* Certification: the instrumented-interpreter differential.            *)
+
+(* Replay a routine's collected facts and decided branches on concrete
+   traces. Returns the pinned ids of violated checks:
+   - "pred-trace-fact": a collected block/edge fact evaluated false on a
+     trace that reached it;
+   - "pred-trace-contra": a block whose dominating facts are contradictory
+     (statically unreachable) was entered;
+   - "pred-exec-branch": execution traversed an edge the engine decided
+     unreachable. *)
+let trace_violations ?(runs = 25) config f =
+  let violations = ref [] in
+  let violate id = if not (List.mem id !violations) then violations := id :: !violations in
+  let facts = Pred.Facts.compute f in
+  let nb = Array.length f.Ir.Func.blocks in
+  let contra =
+    Array.init nb (fun b -> C.contradictory (Pred.Facts.closure_at_block facts b))
+  in
+  let st = Pgvn.Driver.run config f in
+  let pruned = Array.make (Array.length f.Ir.Func.edges) false in
+  List.iter
+    (fun db -> List.iter (fun e -> pruned.(e) <- true) db.Pgvn.Driver.db_pruned)
+    (Pgvn.Driver.decided_branches st);
+  let rng = Util.Prng.create 0x5eed in
+  let extremes = [| min_int; max_int; -1; 0; 1; 3; 4 |] in
+  for run = 1 to runs do
+    let env = Hashtbl.create 64 in
+    let args =
+      Array.init 8 (fun _ ->
+          if run mod 3 = 0 then Util.Prng.choose rng extremes
+          else Util.Prng.range rng (-15) 15)
+    in
+    let check_atoms atoms =
+      List.iter
+        (fun a ->
+          match A.eval (Hashtbl.find env) a with
+          | true -> ()
+          | false -> violate "pred-trace-fact"
+          | exception Not_found -> ())
+        atoms
+    in
+    ignore
+      (Ir.Interp.run_instrumented
+         ~on_def:(fun i v -> Hashtbl.replace env i v)
+         ~on_block:(fun b ->
+           if contra.(b) then violate "pred-trace-contra";
+           check_atoms (Pred.Facts.at_block facts b))
+         ~on_edge:(fun e ->
+           if pruned.(e) then violate "pred-exec-branch";
+           check_atoms (Pred.Facts.at_edge facts e))
+         f args)
+  done;
+  !violations
+
+let test_differential_corpus () =
+  List.iter
+    (fun (name, src) ->
+      let f = Helpers.func_of_src src in
+      match trace_violations pred_config f with
+      | [] -> ()
+      | vs -> Alcotest.failf "%s: violated %s" name (String.concat ", " vs))
+    Workload.Corpus.all_named
+
+let test_differential_generated () =
+  for seed = 1 to 25 do
+    let f = Workload.Generator.func ~seed ~name:(Printf.sprintf "gen%d" seed) () in
+    match trace_violations ~runs:10 pred_config f with
+    | [] -> ()
+    | vs -> Alcotest.failf "gen seed %d: violated %s" seed (String.concat ", " vs)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Certification: seeded unsound-closure mutants.                       *)
+
+(* A fabricated-verdict mutant must be caught by the decided-branch replay:
+   the cyclic chain a ≤ b ≤ c with an undecidable closing test. *)
+let test_mutant_force_true () =
+  let src =
+    "routine cyc(a, b, c) {\n\
+    \  if (a <= b) { if (b <= c) { if (c <= a) { return 1; } return 2; } }\n\
+    \  return 0; }"
+  in
+  let f = Helpers.func_of_src src in
+  Alcotest.(check (list string)) "sound engine is clean" []
+    (trace_violations pred_config f);
+  let f' = Helpers.func_of_src src in
+  let vs = C.with_fault C.Force_true (fun () -> trace_violations pred_config f') in
+  Alcotest.(check bool)
+    "Force_true rejected by pred-exec-branch" true
+    (List.mem "pred-exec-branch" vs)
+
+(* Certification: the static crosscheck against interval facts. Every
+   closure verdict on the corpus and the benchmark suite replays cleanly;
+   a flipped-verdict mutant is refuted with the pinned id
+   "pred-vs-interval". *)
+
+let crosscheck_report src =
+  let f = Helpers.func_of_src src in
+  let st = Pgvn.Driver.run pred_config f in
+  Absint.Crosscheck.run st
+
+let test_crosscheck_corpus () =
+  let checked = ref 0 in
+  List.iter
+    (fun (name, src) ->
+      let r = crosscheck_report src in
+      checked := !checked + r.Absint.Crosscheck.pred_checked;
+      if not (Absint.Crosscheck.ok r) then
+        Alcotest.failf "%s: %s" name (Fmt.to_to_string Absint.Crosscheck.pp_report r))
+    Workload.Corpus.all_named;
+  List.iter
+    (fun ((bm : Workload.Suite.benchmark), fs) ->
+      List.iter
+        (fun f ->
+          let st = Pgvn.Driver.run pred_config f in
+          let r = Absint.Crosscheck.run st in
+          checked := !checked + r.Absint.Crosscheck.pred_checked;
+          if not (Absint.Crosscheck.ok r) then
+            Alcotest.failf "%s/%s: %s" bm.Workload.Suite.name f.Ir.Func.name
+              (Fmt.to_to_string Absint.Crosscheck.pp_report r))
+        fs)
+    (Workload.Suite.all ~scale:0.05 ())
+
+let test_mutant_flip_verdict () =
+  (* x > 2 ∧ x ≠ 3 ⇒ x > 3 — the interval analysis derives x ∈ [4, ∞) at
+     the inner test, so a flipped closure verdict is refuted statically. *)
+  let r = crosscheck_report sharpen_src in
+  Alcotest.(check bool) "sound engine replays clean" true (Absint.Crosscheck.ok r);
+  Alcotest.(check bool) "closure verdicts were replayed" true
+    (r.Absint.Crosscheck.pred_checked >= 1);
+  let r = C.with_fault C.Flip_verdict (fun () -> crosscheck_report sharpen_src) in
+  let rendered = Fmt.to_to_string Absint.Crosscheck.pp_report r in
+  Alcotest.(check bool) "Flip_verdict rejected" false (Absint.Crosscheck.ok r);
+  Alcotest.(check bool) "pinned id pred-vs-interval" true
+    (let re = "[pred-vs-interval]" in
+     let n = String.length rendered and m = String.length re in
+     let rec scan i = i + m <= n && (String.sub rendered i m = re || scan (i + 1)) in
+     scan 0)
+
+(* A wrapped −min_int mutant claims reachable paths contradictory; caught
+   by the contradiction replay. The min_int constant must appear
+   syntactically, so the routine is built directly. *)
+let test_mutant_wrap_const_negate () =
+  let b = Ir.Builder.create ~name:"minint" ~nparams:1 in
+  let b0 = Ir.Builder.add_block b in
+  let b1 = Ir.Builder.add_block b in
+  let b2 = Ir.Builder.add_block b in
+  let p = Ir.Builder.param b b0 0 in
+  let c = Ir.Builder.const b b0 min_int in
+  let t = Ir.Builder.cmp b b0 Ir.Types.Eq p c in
+  ignore (Ir.Builder.branch b b0 t ~ift:b1 ~iff:b2);
+  Ir.Builder.ret b b1 (Ir.Builder.const b b1 1);
+  Ir.Builder.ret b b2 (Ir.Builder.const b b2 0);
+  let f = Ir.Builder.finish b in
+  Alcotest.(check (list string)) "sound engine is clean" []
+    (trace_violations pred_config f);
+  let vs = C.with_fault C.Wrap_const_negate (fun () -> trace_violations pred_config f) in
+  Alcotest.(check bool)
+    "Wrap_const_negate rejected by pred-trace-contra" true
+    (List.mem "pred-trace-contra" vs)
+
+let suite =
+  [
+    Alcotest.test_case "closure: transitivity of </<= chains" `Quick test_closure_transitivity;
+    Alcotest.test_case "closure: value-vs-constant bounds" `Quick test_closure_value_vs_const;
+    Alcotest.test_case "closure: congruence + disequalities" `Quick test_closure_congruence;
+    Alcotest.test_case "closure: disequality boundary sharpening" `Quick
+      test_closure_diseq_sharpening;
+    Alcotest.test_case "closure: contradictions" `Quick test_closure_contradictions;
+    Alcotest.test_case "closure: min_int/max_int trap-awareness" `Quick
+      test_closure_trap_boundaries;
+    Alcotest.test_case "closure: random differential vs brute force" `Quick
+      test_closure_differential;
+    Alcotest.test_case "facts: dominating-path collection" `Quick test_facts_collection;
+    Alcotest.test_case "facts: switch default-edge exclusions" `Quick test_facts_switch_default;
+    Alcotest.test_case "driver: <= chain decided by the closure" `Quick test_driver_le_chain;
+    Alcotest.test_case "driver: var-var + var-const bounds decided" `Quick test_driver_bounds;
+    Alcotest.test_case "driver: boundary sharpening decided" `Quick test_driver_sharpen;
+    Alcotest.test_case "driver: switch default facts decided" `Quick test_driver_switch_default;
+    Alcotest.test_case "driver: strictly stronger on the corpus" `Quick
+      test_driver_monotone_on_corpus;
+    Alcotest.test_case "differential: corpus traces respect facts" `Quick
+      test_differential_corpus;
+    Alcotest.test_case "differential: generated traces respect facts" `Quick
+      test_differential_generated;
+    Alcotest.test_case "crosscheck: corpus + suite closure claims replay clean" `Quick
+      test_crosscheck_corpus;
+    Alcotest.test_case "mutant: Force_true rejected (pred-exec-branch)" `Quick
+      test_mutant_force_true;
+    Alcotest.test_case "mutant: Flip_verdict rejected (pred-vs-interval)" `Quick
+      test_mutant_flip_verdict;
+    Alcotest.test_case "mutant: Wrap_const_negate rejected (pred-trace-contra)" `Quick
+      test_mutant_wrap_const_negate;
+  ]

@@ -180,52 +180,44 @@ let prop_unop_atom_semantics =
 
 (* ---------------- ten-benchmark congruence differential ---------------- *)
 
-(* Per-benchmark whole-suite sums under the full configuration at scale
-   0.1, recorded with the pre-engine hand-coded folds. The rule engine may
-   only improve on them: same value universe, at least as many constants
-   and unreachable values, at most as many congruence classes. *)
-let pre_engine_baseline =
-  [
-    ("164.gzip", (125, 101, 75, 30));
-    ("175.vpr", (15, 5, 0, 12));
-    ("176.gcc", (1314, 485, 41, 741));
-    ("181.mcf", (124, 111, 107, 6));
-    ("186.crafty", (290, 96, 7, 166));
-    ("197.parser", (197, 80, 0, 112));
-    ("253.perlbmk", (1033, 412, 36, 568));
-    ("254.gap", (946, 335, 19, 588));
-    ("255.vortex", (609, 268, 18, 365));
-    ("300.twolf", (411, 277, 187, 128));
-  ]
+(* Per-benchmark whole-suite sums at scale 0.1, with the rule catalog off
+   (constant folding and commutative canonicalization only) versus the full
+   configuration. The rule engine may only improve on the catalog-free
+   baseline: same value universe, at least as many constants and
+   unreachable values, at most as many congruence classes. Computing the
+   baseline from the same suite run keeps the differential valid when the
+   workload generator evolves. *)
+let suite_totals config funcs =
+  let values = ref 0 and consts = ref 0 and unreach = ref 0 and classes = ref 0 in
+  List.iter
+    (fun f ->
+      let st = Pgvn.Driver.run config f in
+      let s = Pgvn.Driver.summarize st in
+      values := !values + s.Pgvn.Driver.values;
+      consts := !consts + s.Pgvn.Driver.constant_values;
+      unreach := !unreach + s.Pgvn.Driver.unreachable_values;
+      classes := !classes + s.Pgvn.Driver.congruence_classes)
+    funcs;
+  (!values, !consts, !unreach, !classes)
 
 let test_benchmark_differential () =
   let suite = Workload.Suite.all ~scale:0.1 () in
+  let baseline_config = { Pgvn.Config.full with Pgvn.Config.rules = false } in
   List.iter
     (fun ((b : Workload.Suite.benchmark), funcs) ->
       let name = b.Workload.Suite.name in
-      let values = ref 0 and consts = ref 0 and unreach = ref 0 and classes = ref 0 in
-      List.iter
-        (fun f ->
-          let st = Pgvn.Driver.run Pgvn.Config.full f in
-          let s = Pgvn.Driver.summarize st in
-          values := !values + s.Pgvn.Driver.values;
-          consts := !consts + s.Pgvn.Driver.constant_values;
-          unreach := !unreach + s.Pgvn.Driver.unreachable_values;
-          classes := !classes + s.Pgvn.Driver.congruence_classes)
-        funcs;
-      match List.assoc_opt name pre_engine_baseline with
-      | None -> Alcotest.failf "unknown benchmark %s" name
-      | Some (bv, bc, bu, bk) ->
-          Alcotest.(check int) (name ^ ": same value universe") bv !values;
-          Alcotest.(check bool)
-            (Printf.sprintf "%s: constants %d >= baseline %d" name !consts bc)
-            true (!consts >= bc);
-          Alcotest.(check bool)
-            (Printf.sprintf "%s: unreachable %d >= baseline %d" name !unreach bu)
-            true (!unreach >= bu);
-          Alcotest.(check bool)
-            (Printf.sprintf "%s: classes %d <= baseline %d" name !classes bk)
-            true (!classes <= bk))
+      let bv, bc, bu, bk = suite_totals baseline_config funcs in
+      let values, consts, unreach, classes = suite_totals Pgvn.Config.full funcs in
+      Alcotest.(check int) (name ^ ": same value universe") bv values;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: constants %d >= baseline %d" name consts bc)
+        true (consts >= bc);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: unreachable %d >= baseline %d" name unreach bu)
+        true (unreach >= bu);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: classes %d <= baseline %d" name classes bk)
+        true (classes <= bk))
     suite;
   Alcotest.(check int) "all ten benchmarks covered" 10 (List.length suite)
 

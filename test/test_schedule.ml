@@ -162,6 +162,47 @@ let test_speculation_classes () =
   | Speculate.Pinned Speculate.Call -> ()
   | s -> Alcotest.failf "call: expected pinned, got %s" (safety_str s)
 
+(* A division guarded by a conjunction — [d != 0 && d != -1] — that no
+   single interval fact can express. The dominating-fact closure clears it
+   at the block inside both guards, upgrading the pin to Proven with early
+   clamped there: the loop-invariant division becomes hoistable out of the
+   loop, and the checker certifies the hoisted placement (it re-derives the
+   same facts independently). Hoisting above the guards must stay rejected. *)
+let test_fact_cleared_division () =
+  let f =
+    func_of_src
+      "routine g(n, d) {\n\
+      \  r = 0;\n\
+      \  if (d != 0) { if (d != -1) {\n\
+      \    i = 0;\n\
+      \    while (i < n) { r = r + n / d; i = i + 1; }\n\
+      \  } }\n\
+      \  return r; }"
+  in
+  let pl = Placement.compute f in
+  let d = find_instr f (function Ir.Func.Binop (Ir.Types.Div, _, _) -> true | _ -> false) in
+  (match pl.Placement.safety.(d) with
+  | Speculate.Proven _ -> ()
+  | s -> Alcotest.failf "conjunction-guarded div: expected proven, got %s" (safety_str s));
+  Alcotest.(check bool) "division is hoistable out of the loop" true
+    (Placement.hoistable pl d);
+  let b = Ir.Func.block_of_instr f d in
+  let bst = pl.Placement.best.(d) in
+  Alcotest.(check bool) "best leaves the loop" true
+    (Analysis.Loops.depth_at pl.Placement.forest bst
+    < Analysis.Loops.depth_at pl.Placement.forest b);
+  let placement = Check.Schedule.identity f in
+  placement.(d) <- bst;
+  (match Check.Schedule.run ~placement f with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "fact-cleared hoist b%d->b%d rejected: %s" b bst
+        (Check.Diagnostic.to_string (List.hd errs)));
+  (* above the guards the facts evaporate: entry must still be illegal *)
+  let placement = Check.Schedule.identity f in
+  placement.(d) <- Ir.Func.entry;
+  expect_checks "hoist above the guards still rejected" f placement [ "sched-speculation" ]
+
 (* ------------------------------------------------------------------ *)
 (* Seeded illegal-placement mutants                                    *)
 
@@ -260,6 +301,8 @@ let suite =
     Alcotest.test_case "identity placement certifies everywhere" `Quick test_identity_certifies;
     Alcotest.test_case "proposed moves pass the checker" `Quick test_best_moves_certify;
     Alcotest.test_case "speculation classes" `Quick test_speculation_classes;
+    Alcotest.test_case "fact-cleared division gains a range" `Quick
+      test_fact_cleared_division;
     Alcotest.test_case "mutant: non-dominating move" `Quick test_mutant_dominance;
     Alcotest.test_case "mutant: div hoisted past guard" `Quick test_mutant_speculation;
     Alcotest.test_case "mutant: opaque call moved" `Quick test_mutant_opaque;

@@ -11,10 +11,15 @@ Usage: check_bench_schema.py BENCH_gvn.json
 import json
 import sys
 
-TOP_KEYS = {"schema", "scale", "table2", "gvn_stats", "rules", "schedule", "parallel", "scaling"}
+TOP_KEYS = {"schema", "scale", "table2", "gvn_stats", "rules", "schedule", "pred",
+            "parallel", "scaling"}
 TABLE2_KEYS = {"benchmark", "dense_ms", "sparse_ms", "basic_ms"}
 RULES_KEYS = {"benchmark", "total_fired", "fired"}
 SCHEDULE_KEYS = {"benchmark", "hoistable", "sinkable", "speculation_blocked", "analysis_ms"}
+PRED_KEYS = {
+    "benchmark", "baseline_decided", "pred_decided", "delta",
+    "closure_queries", "closure_decided", "baseline_ms", "analysis_ms",
+}
 GVN_STATS_KEYS = {
     "benchmark", "routines", "passes", "instrs", "table_probes", "table_hits",
     "arena_live", "arena_interned", "arena_hits", "arena_max_chain",
@@ -83,6 +88,23 @@ def main():
                 fail(f"schedule[{i}]: negative {k}: {rec}")
         if rec["analysis_ms"] < 0:
             fail(f"schedule[{i}]: negative analysis_ms: {rec}")
+    for i, rec in enumerate(doc["pred"]):
+        need(rec, PRED_KEYS, f"pred[{i}]")
+        if rec["delta"] != rec["pred_decided"] - rec["baseline_decided"]:
+            fail(f"pred[{i}]: delta != pred_decided - baseline_decided: {rec}")
+        if rec["delta"] < 0:
+            fail(f"pred[{i}]: the closure lost decided branches: {rec}")
+        for k in ("baseline_decided", "pred_decided", "closure_queries",
+                  "closure_decided"):
+            if rec[k] < 0:
+                fail(f"pred[{i}]: negative {k}: {rec}")
+        if rec["baseline_ms"] < 0 or rec["analysis_ms"] < 0:
+            fail(f"pred[{i}]: negative timing: {rec}")
+    # The yield gate: at the committed full scale the closure must decide
+    # strictly more branches than the single-fact baseline on at least one
+    # benchmark (at small smoke-test scales the chains may not be generated).
+    if doc["scale"] >= 1.0 and not any(r["delta"] > 0 for r in doc["pred"]):
+        fail("pred: no benchmark shows a strictly positive decided-branch delta")
     par = doc["parallel"]
     need(par, PARALLEL_KEYS, "parallel")
     if not isinstance(par["cores"], int) or par["cores"] < 1:
@@ -122,6 +144,9 @@ def main():
     sc = {r["benchmark"] for r in doc["schedule"]}
     if sc != t2:
         fail(f"table2/schedule benchmark sets differ: {sorted(t2 ^ sc)}")
+    pd = {r["benchmark"] for r in doc["pred"]}
+    if pd != t2:
+        fail(f"table2/pred benchmark sets differ: {sorted(t2 ^ pd)}")
     if doc["scaling"]["quadratic_ok"] is not True:
         fail(f"ladder scaling regressed: {doc['scaling']}")
 
