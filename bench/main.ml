@@ -3,7 +3,7 @@
    the related-work experiments of Figures 13/14. Run with no arguments for
    everything, or name sections:
 
-     dune exec bench/main.exe -- table1 table2 fig9 fig10 fig11 fig12 fig13 scalars absint schedule pred parallel validate bechamel
+     dune exec bench/main.exe -- table1 table2 fig9 fig10 fig11 fig12 fig13 scalars absint schedule gcm pred parallel validate bechamel
 
    Absolute times are this machine's, not a 440 MHz PA-8500's; the claims
    being reproduced are the *ratios* and *shapes* (see EXPERIMENTS.md).
@@ -41,10 +41,11 @@ let time_min ~name ~repeats f =
    "pipeline" span, [gvn_seconds] the kind-matched GVN pass spans. *)
 let pipeline_times config funcs =
   let opts = Transform.Pipeline.Options.(default |> with_config config |> with_obs obs) in
+  let passes = Transform.Pipeline.standard_passes opts in
   let hlo = ref 0.0 and gvn = ref 0.0 in
   List.iter
     (fun f ->
-      let r = Transform.Pipeline.run_with opts f in
+      let r = Transform.Pipeline.run_list opts passes f in
       hlo := !hlo +. r.Transform.Pipeline.total_seconds;
       gvn := !gvn +. r.Transform.Pipeline.gvn_seconds)
     funcs;
@@ -542,6 +543,108 @@ let schedule_section suite =
     ~rows Fmt.stdout;
   Fmt.pr "  (violations = identity-placement legality errors; must be 0)@\n"
 
+(* Global code motion (lib/transform/gcm): the transform the placement
+   analysis feeds. Each routine is optimized by the standard pipeline
+   first — GCM runs post-GVN in every real configuration — then the
+   certified rebuild runs on the result. Every run is gated by the
+   independent legality checker (a refused plan aborts the bench) and the
+   rebuild is diffed for observable behavior through Engine 2; the section
+   reports the motion yield and the transform's wall clock. *)
+
+type gcm_stat = {
+  m_name : string;
+  m_ms : float;
+  m_values : int;
+  m_moved : int;
+  m_hoisted : int;
+  m_sunk : int;
+  m_blocked : int;
+}
+
+let gcm_stats_pass suite =
+  let opts = Transform.Pipeline.Options.(default |> with_obs obs) in
+  let passes = Transform.Pipeline.standard_passes opts in
+  List.map
+    (fun ((b : Workload.Suite.benchmark), funcs) ->
+      let optimized =
+        List.map
+          (fun f -> (Transform.Pipeline.run_list opts passes f).Transform.Pipeline.func)
+          funcs
+      in
+      let gcm f =
+        match Transform.Gcm.run f with
+        | r -> r
+        | exception Transform.Gcm.Rejected { diagnostics } ->
+            failwith
+              (Printf.sprintf "%s: GCM plan rejected: %s" b.Workload.Suite.name
+                 (Check.Diagnostic.to_string (List.hd diagnostics)))
+      in
+      let t =
+        time_min ~name:"bench.gcm" ~repeats:3 (fun () ->
+            List.iter (fun f -> ignore (gcm f)) optimized)
+      in
+      let values = ref 0
+      and moved = ref 0
+      and hoisted = ref 0
+      and sunk = ref 0
+      and blocked = ref 0 in
+      List.iter
+        (fun f ->
+          let g, s = gcm f in
+          let d = Validate.Equiv.check ~pass:"gcm" f g in
+          if not (Validate.Equiv.ok d) then
+            failwith
+              (Printf.sprintf "%s: GCM rebuild changed observable behavior"
+                 b.Workload.Suite.name);
+          values := !values + s.Transform.Gcm.values;
+          moved := !moved + s.Transform.Gcm.moved;
+          hoisted := !hoisted + s.Transform.Gcm.hoisted;
+          sunk := !sunk + s.Transform.Gcm.sunk;
+          blocked := !blocked + s.Transform.Gcm.speculation_blocked)
+        optimized;
+      {
+        m_name = b.Workload.Suite.name;
+        m_ms = t;
+        m_values = !values;
+        m_moved = !moved;
+        m_hoisted = !hoisted;
+        m_sunk = !sunk;
+        m_blocked = !blocked;
+      })
+    suite
+
+let gcm_section suite =
+  Fmt.pr "@\n=== Global code motion: certified rebuilds on optimized code ===@\n";
+  let stats = gcm_stats_pass suite in
+  let rows =
+    List.map
+      (fun s ->
+        [
+          s.m_name;
+          Stats.Table.ms s.m_ms;
+          string_of_int s.m_values;
+          string_of_int s.m_moved;
+          string_of_int s.m_hoisted;
+          string_of_int s.m_sunk;
+          string_of_int s.m_blocked;
+        ])
+      stats
+  in
+  Stats.Table.render
+    ~columns:
+      [
+        ("Benchmark", Stats.Table.Left);
+        ("gcm ms", Stats.Table.Right);
+        ("values", Stats.Table.Right);
+        ("moved", Stats.Table.Right);
+        ("hoisted", Stats.Table.Right);
+        ("sunk", Stats.Table.Right);
+        ("spec-blocked", Stats.Table.Right);
+      ]
+    ~rows Fmt.stdout;
+  Fmt.pr
+    "  (every rebuild checker-certified and Engine-2 diffed; refusals abort the bench)@\n"
+
 (* The predicate implication engine: branch decisions with the multi-fact
    closure fallback on versus off, per benchmark. [decided] counts branches
    the run decided (pruned an arm of); the closure may only add to the
@@ -787,10 +890,11 @@ let validate_section suite =
     Hashtbl.replace h k (dt +. try Hashtbl.find h k with Not_found -> 0.0)
   in
   let opts = Transform.Pipeline.Options.(default |> with_validate Validate.All |> with_obs obs) in
+  let passes = Transform.Pipeline.standard_passes opts in
   let combined = ref Validate.Report.empty in
   List.iter
     (fun f ->
-      let r = Transform.Pipeline.run_with opts f in
+      let r = Transform.Pipeline.run_list opts passes f in
       List.iter
         (fun t -> bump pass_s t.Transform.Pipeline.kind t.Transform.Pipeline.seconds)
         r.Transform.Pipeline.timings;
@@ -982,6 +1086,19 @@ let emit_json path suite =
         (sep i (List.length sched)))
     sched;
   pr "  ],\n";
+  (* Global code motion: certified rebuild yield and cost on optimized code
+     (the gcm bench section's machine-readable twin). *)
+  let gstats = gcm_stats_pass suite in
+  pr "  \"gcm\": [\n";
+  List.iteri
+    (fun i g ->
+      pr
+        "    {\"benchmark\": \"%s\", \"values\": %d, \"moved\": %d, \"hoisted\": %d, \
+         \"sunk\": %d, \"speculation_blocked\": %d, \"transform_ms\": %.3f}%s\n"
+        g.m_name g.m_values g.m_moved g.m_hoisted g.m_sunk g.m_blocked (1000. *. g.m_ms)
+        (sep i (List.length gstats)))
+    gstats;
+  pr "  ],\n";
   (* The predicate implication engine: decided-branch yield and cost of the
      multi-fact closure fallback versus the single-fact baseline. *)
   let pstats = pred_stats_pass suite in
@@ -1073,6 +1190,7 @@ let () =
   if want "ablation" then ablation (Lazy.force suite);
   if want "absint" then absint_section (Lazy.force suite);
   if want "schedule" then schedule_section (Lazy.force suite);
+  if want "gcm" then gcm_section (Lazy.force suite);
   if want "pred" then pred_section (Lazy.force suite);
   if want "parallel" then parallel_section (Lazy.force suite);
   if want "validate" then validate_section (Lazy.force suite);

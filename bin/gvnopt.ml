@@ -22,6 +22,10 @@
      gvnopt --schedule=dump file.mc        per-value early/best/late blocks
                                            and speculation safety
      gvnopt --schedule=lint file.mc        hoist/sink opportunity lints
+     gvnopt --gcm file.mc                  global code motion after GVN:
+                                           certified placement rewrite +
+                                           observable-behavior diff
+     gvnopt --gcm=dump file.mc             + every move (hoist/sink)
      gvnopt --jobs=4 a.mc b.mc c.mc        batch mode: routines fan out
                                            across a 4-domain pool
      gvnopt file.mc --pred                 enable the multi-fact implication
@@ -48,7 +52,8 @@
    Exit codes: 0 clean; 1 diagnostics at or above the failure threshold
    (verifier errors, --Werror'd warnings, rejected rewrites, --run
    disagreement, a refuted rule under --rules=verify, a schedule-legality
-   violation under --schedule=check); 2 usage or parse error. In batch
+   violation under --schedule=check, a refuted GCM placement or behavior
+   diff under --gcm); 2 usage or parse error. In batch
    mode over several files the exit code is the worst per-file code; in
    --serve mode it is the worst per-request status. *)
 
@@ -73,7 +78,22 @@ type schedule_mode = Sdump | Scheck | Slint
 (* --pred sub-modes: check, dump, stats — see [pred_conv] below. *)
 type pred_mode = Pcheck | Pdump | Pstats
 
+(* --gcm sub-modes: [Gcheck] (the bare-flag default) additionally diffs
+   observable behavior across the motion through the interpreter; [Gdump]
+   prints every move. Both certify the placement with Check.Schedule
+   before rewriting. *)
+type gcm_mode = Gcheck | Gdump
+
 type action = Optimize | Analyze of analyze_mode | Schedule of schedule_mode | Pred of pred_mode
+
+let gcm_conv =
+  let parse = function
+    | "check" -> Ok Gcheck
+    | "dump" -> Ok Gdump
+    | s -> Error (`Msg (Printf.sprintf "unknown gcm mode %S (check, dump)" s))
+  in
+  let print ppf m = Fmt.string ppf (match m with Gcheck -> "check" | Gdump -> "dump") in
+  Arg.conv (parse, print)
 
 let schedule_conv =
   let parse = function
@@ -185,6 +205,7 @@ type opts = {
   lint : bool;
   werror : bool;
   validate : Validate.mode option;
+  gcm : gcm_mode option;
 }
 
 (* Render a diagnostic list under the --check/--lint flags; returns true
@@ -365,6 +386,80 @@ let process_routine ppf ~opts ~obs ~cir ~f name =
         Obs.span_o obs ~cat:"pass" "simplify-cfg" @@ fun () ->
         Transform.Simplify_cfg.fixpoint dced
       in
+      (* --gcm: global code motion after the GVN rewrite + cleanup. The
+         plan is certified by the independent legality checker before
+         anything moves; a refuted plan reports its sched-* diagnostics,
+         fails the run, and leaves the function as GVN left it. *)
+      let g =
+        match opts.gcm with
+        | None -> g
+        | Some mode ->
+            let p =
+              Obs.span_o obs ~cat:"schedule" "gcm.plan" @@ fun () ->
+              Transform.Gcm.plan ?obs g
+            in
+            let diags =
+              Obs.span_o obs ~cat:"verify" "gcm.certify" @@ fun () ->
+              Transform.Gcm.certify p
+            in
+            let errors = Check.errors diags in
+            Obs.add_o obs "gcm.violations" (List.length errors);
+            List.iter
+              (fun d -> Fmt.pf ppf "%s (gcm): %a@." name Check.Diagnostic.pp d)
+              (Check.sort diags);
+            if errors <> [] then begin
+              Fmt.pf ppf "gcm: REFUSED (%d violation(s)); not rewritten@."
+                (List.length errors);
+              failed := true;
+              g
+            end
+            else begin
+              let s = Transform.Gcm.stats p in
+              if mode = Gdump then
+                List.iter
+                  (fun (v, from_b, to_b) ->
+                    Fmt.pf ppf "gcm: v%d b%d -> b%d%s@." v from_b to_b
+                      (if Schedule.Placement.hoistable p.Transform.Gcm.placement v
+                       then " [hoist]"
+                       else if Schedule.Placement.sinkable p.Transform.Gcm.placement v
+                       then " [sink]"
+                       else ""))
+                  (Transform.Gcm.moves p);
+              let g' =
+                if s.Transform.Gcm.moved = 0 then g
+                else
+                  Obs.span_o obs ~cat:"pass" "gcm" @@ fun () ->
+                  Transform.Gcm.apply ?obs p
+              in
+              Fmt.pf ppf
+                "gcm: %d value(s) moved (%d hoisted, %d sunk) | %d speculation-blocked@."
+                s.Transform.Gcm.moved s.Transform.Gcm.hoisted s.Transform.Gcm.sunk
+                s.Transform.Gcm.speculation_blocked;
+              Obs.add_o obs "gcm.values" s.Transform.Gcm.values;
+              Obs.add_o obs "gcm.moved" s.Transform.Gcm.moved;
+              Obs.add_o obs "gcm.hoisted" s.Transform.Gcm.hoisted;
+              Obs.add_o obs "gcm.sunk" s.Transform.Gcm.sunk;
+              Obs.add_o obs "gcm.speculation_blocked" s.Transform.Gcm.speculation_blocked;
+              (if mode = Gcheck then begin
+                 (* Engine-2 diff across the motion alone: moved code must
+                    be observably invisible. *)
+                 let r =
+                   Obs.span_o obs ~cat:"verify" "gcm.diff" @@ fun () ->
+                   Validate.Equiv.check ~pass:"gcm" g g'
+                 in
+                 if Validate.Equiv.ok r then
+                   Fmt.pf ppf "gcm diff: observably equivalent (%d runs)@." r.Validate.Equiv.runs
+                 else begin
+                   List.iter
+                     (fun d -> Fmt.pf ppf "%s (gcm): %a@." name Check.Diagnostic.pp d)
+                     (Validate.Equiv.diagnostics r);
+                   Fmt.pf ppf "gcm diff: DISAGREE@.";
+                   failed := true
+                 end
+               end);
+              g'
+            end
+      in
       Fmt.pf ppf "--- optimized (%d -> %d instrs, %d -> %d blocks) ---@.%a@."
         (Ir.Func.num_instrs f) (Ir.Func.num_instrs g) (Ir.Func.num_blocks f)
         (Ir.Func.num_blocks g) Ir.Printer.pp g;
@@ -412,7 +507,8 @@ let fingerprint ~opts (r : Ir.Ast.routine) =
       opts.check,
       opts.lint,
       opts.werror,
-      opts.validate )
+      opts.validate,
+      opts.gcm )
   in
   let base = Marshal.to_string flags [] in
   if opts.lint then base ^ Marshal.to_string r [] else base
@@ -702,6 +798,24 @@ let cmd =
              $(b,lint) prints the hoist/sink opportunity lints \
              (lint-loop-invariant, lint-sinkable).")
   in
+  let gcm_flag =
+    Arg.(
+      value
+      & opt ~vopt:(Some Gcheck) (some gcm_conv) None
+      & info [ "gcm" ]
+          ~doc:
+            "Global code motion (Click '95) after the GVN rewrite: move every \
+             value whose speculation-safety class permits it to its best legal \
+             block (hoisting loop-invariant code, sinking values toward their \
+             uses). The placement is certified by the independent \
+             schedule-legality checker before anything moves; a refuted plan \
+             reports its sched-* diagnostics and fails the run (exit 1) \
+             without rewriting. $(b,check) (the default when the flag is \
+             given bare) additionally diffs observable behavior across the \
+             motion through the interpreter; $(b,dump) prints every move. \
+             Requires the optimizing mode (conflicts with $(b,--analyze), \
+             $(b,--schedule) and $(b,--pred)).")
+  in
   let pred_flag =
     Arg.(
       value
@@ -768,7 +882,7 @@ let cmd =
              it back at exit. Within one invocation the in-memory tier always \
              answers repeated routines, with or without this flag.")
   in
-  let main preset complete pruning analyze stats dump_input run_args check lint werror validate nr npi nvi npp nsp trace_file metrics rules schedule pred jobs serve_path cache_file paths =
+  let main preset complete pruning analyze stats dump_input run_args check lint werror validate nr npi nvi npp nsp trace_file metrics rules schedule pred gcm jobs serve_path cache_file paths =
     let toggles =
       {
         Cli.Cli_options.complete;
@@ -798,6 +912,14 @@ let cmd =
           Fmt.epr "gvnopt: --analyze, --schedule and --pred are mutually exclusive@.";
           2
         end
+        else if
+          gcm <> None && (analyze <> None || schedule <> None || pred <> None)
+        then begin
+          Fmt.epr
+            "gvnopt: --gcm rewrites and conflicts with the report-only modes \
+             (--analyze, --schedule, --pred)@.";
+          2
+        end
         else if serve_mode && paths <> [] then begin
           Fmt.epr "gvnopt: --serve reads routines from stdin and takes no FILE.mc argument@.";
           2
@@ -825,7 +947,7 @@ let cmd =
             else config
           in
           let opts =
-            { config; pruning; action; stats; dump_input; run_args; check; lint; werror; validate }
+            { config; pruning; action; stats; dump_input; run_args; check; lint; werror; validate; gcm }
           in
           let obs_opts = { Cli.Cli_options.trace_file; metrics } in
           let obs = Cli.Cli_options.obs_of obs_opts in
@@ -851,7 +973,7 @@ let cmd =
       const main $ preset $ complete $ pruning $ analyze $ stats $ dump_input $ run_args
       $ check_flag $ lint_flag $ werror_flag $ validate_flag
       $ no_reassoc $ no_pi $ no_vi $ no_pp $ no_sparse $ trace_flag $ metrics_flag
-      $ rules_flag $ schedule_flag $ pred_flag $ jobs_flag $ serve_flag $ cache_flag $ paths)
+      $ rules_flag $ schedule_flag $ pred_flag $ gcm_flag $ jobs_flag $ serve_flag $ cache_flag $ paths)
   in
   let exits =
     [
@@ -860,7 +982,8 @@ let cmd =
         ~doc:
           "on diagnostics at or above the failure threshold: verifier errors, \
            warnings under $(b,--Werror), rewrites rejected under $(b,--validate), \
-           schedule-legality violations under $(b,--schedule=check), \
+           schedule-legality violations under $(b,--schedule=check), a refuted \
+           GCM placement or behavior diff under $(b,--gcm), \
            or a $(b,--run) disagreement.";
       Cmd.Exit.info 2 ~doc:"on usage or parse errors.";
     ]

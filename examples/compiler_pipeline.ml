@@ -45,9 +45,9 @@ let () =
     (fun r ->
       let f = Ssa.Construct.of_cir (Ir.Lower.lower_routine r) in
       let result =
-        Transform.Pipeline.run_with
-          Transform.Pipeline.Options.(default |> with_config Pgvn.Config.full)
-          f
+        (* The pass-list API: the classic lineup is just [standard_passes]. *)
+        let opts = Transform.Pipeline.Options.(default |> with_config Pgvn.Config.full) in
+        Transform.Pipeline.run_list opts (Transform.Pipeline.standard_passes opts) f
       in
       let g = result.Transform.Pipeline.func in
       Fmt.pr "=== %s: %d -> %d instructions, %d -> %d blocks ===@." r.Ir.Ast.name

@@ -82,7 +82,11 @@ let dominates t a b =
 
 let strictly_dominates t a b = a <> b && dominates t a b
 
-(* Nearest common ancestor of two reachable nodes in the dominator tree. *)
+(* Nearest common ancestor of two reachable nodes in the dominator tree.
+   The undefined-query contract is shared with Postdom: the raising form
+   ([nca]) raises Invalid_argument, the total form ([nca_opt]) answers
+   None, and the conditions under which a query is undefined — here, a
+   node the analysis does not cover — are spelled out at each form. *)
 let nca t a b =
   if not (reachable t a && reachable t b) then invalid_arg "Dom.nca: unreachable node";
   let a = ref a and b = ref b in
@@ -95,3 +99,5 @@ let nca t a b =
     end
   done;
   !a
+
+let nca_opt t a b = if reachable t a && reachable t b then Some (nca t a b) else None

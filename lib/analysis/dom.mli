@@ -22,6 +22,20 @@ val dominates : t -> int -> int -> bool
 
 val strictly_dominates : t -> int -> int -> bool
 
+(** {2 Nearest common ancestors}
+
+    [Dom.nca]/[Postdom.nca] share one contract (pinned by test_analysis
+    "nca conventions"): each tree offers a raising form ([nca], total on
+    queries its tree answers, [Invalid_argument] otherwise) and a total
+    form ([nca_opt], [None] exactly where [nca] raises). A query is
+    undefined on a node the tree does not cover — here an unreachable
+    block; for postdominators a block that cannot reach an exit, or a pair
+    whose only common postdominator is the hidden virtual exit. *)
+
 val nca : t -> int -> int -> int
 (** Nearest common ancestor in the dominator tree.
     @raise Invalid_argument on unreachable nodes. *)
+
+val nca_opt : t -> int -> int -> int option
+(** Total form of {!nca}: [None] exactly where {!nca} raises (an
+    unreachable node), [Some] of the same answer everywhere else. *)

@@ -43,10 +43,22 @@ let postdominates t a b = Dom.dominates t.dom a b
 
 let reaches_exit t b = Dom.reachable t.dom b
 
-(* Nearest common postdominator; [None] when either block cannot reach an
-   exit or their only common postdominator is the virtual exit. *)
-let nca t a b =
+(* Nearest common postdominator, in both forms of the contract shared with
+   Dom.nca/nca_opt: the query is undefined when either block cannot reach
+   an exit, or when the only common postdominator is the hidden virtual
+   exit — the total form answers [None] there, the raising form
+   [Invalid_argument]. *)
+let nca_opt t a b =
   if not (reaches_exit t a && reaches_exit t b) then None
   else
     let z = Dom.nca t.dom a b in
     if z = t.n then None else Some z
+
+let nca t a b =
+  match nca_opt t a b with
+  | Some z -> z
+  | None ->
+      invalid_arg
+        (if not (reaches_exit t a && reaches_exit t b) then
+           "Postdom.nca: block cannot reach an exit"
+         else "Postdom.nca: only the virtual exit is common")

@@ -22,7 +22,19 @@ val postdominates : t -> int -> int -> bool
 
 val reaches_exit : t -> int -> bool
 
-val nca : t -> int -> int -> int option
-(** Nearest common postdominator. [None] when either block cannot reach an
-    exit, or when the only common postdominator is the virtual exit (the
-    two blocks sit on paths to different exits). *)
+(** {2 Nearest common postdominators}
+
+    Same two-form contract as {!Dom.nca}/{!Dom.nca_opt} (pinned by
+    test_analysis "nca conventions"): the query is undefined when either
+    block cannot reach an exit, or when the only common postdominator is
+    the hidden virtual exit (the two blocks sit on paths to different
+    exits) — the raising form raises [Invalid_argument] there, the total
+    form answers [None]. *)
+
+val nca : t -> int -> int -> int
+(** Nearest common postdominator.
+    @raise Invalid_argument where the query is undefined (see above). *)
+
+val nca_opt : t -> int -> int -> int option
+(** Total form of {!nca}: [None] exactly where {!nca} raises, [Some] of
+    the same answer everywhere else. *)

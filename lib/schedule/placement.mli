@@ -42,6 +42,12 @@ val identity : Ir.Func.t -> int array
 (** Every value at its current block — the placement the checker certifies
     today. *)
 
+val movable : t -> Ir.Func.value -> bool
+(** A reachable value definition whose {!Speculate} class permits motion
+    ([Safe] or [Proven]) — the gate a GCM transform must apply before
+    rewriting the value's block to [best]. Pinned values (φs, opaque calls,
+    uncleared faulting ops) and unreachable code are not movable. *)
+
 val hoistable : t -> Ir.Func.value -> bool
 (** The best block strictly dominates the current block at strictly smaller
     loop depth: a loop-invariant computation liftable out of its loop. *)

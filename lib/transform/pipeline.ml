@@ -1,18 +1,27 @@
 (* The "HLO analog": a multi-pass scalar optimization pipeline in which GVN
    is one pass among several, so that the paper's Table 1 measurement — GVN
    time as a fraction of total optimization time — has a meaningful
-   denominator. The pass mix is the usual early-scalar lineup: CFG cleanup,
-   local value numbering, dead code elimination, GVN + rewrite, cleanup.
+   denominator.
+
+   The pipeline is an ordered list of {!Pass.t} descriptors — name, kind,
+   transform, optional certifier — run by {!run_list}. The classic lineup
+   (CFG cleanup, analyses, LVN, DCE, GVN + rewrite, cleanup, with GCM
+   optionally appended after the last round) is {!standard_passes}, and the
+   legacy single-shape entry point {!run_with} is now just
+   [run_list opts (standard_passes opts)] — pinned behaviorally equivalent
+   by test, as was done for the PR 5 run → run_with migration.
 
    With [Options.check] the {!Check} verifier runs after every pass and the
-   first broken invariant is attributed to the pass that introduced it.
+   first broken invariant is attributed to the pass that introduced it. A
+   pass's own certifier (GCM's schedule-legality check) raises
+   {!Certification_failed} the same way.
 
    Every pass instance is an [Obs] span (cat "pass"); the [timings] list is
    a view over those spans, not a separate stopwatch, and all time
    accounting matches on the structural [pass_kind] — never the display
    name. *)
 
-type pass_kind = Simplify_cfg | Analyses | Lvn | Dce | Gvn
+type pass_kind = Simplify_cfg | Analyses | Lvn | Dce | Gvn | Gcm
 
 let pass_kind_name = function
   | Simplify_cfg -> "simplify-cfg"
@@ -20,6 +29,7 @@ let pass_kind_name = function
   | Lvn -> "lvn"
   | Dce -> "dce"
   | Gvn -> "gvn"
+  | Gcm -> "gcm"
 
 type timing = { pass : string; kind : pass_kind; seconds : float }
 
@@ -34,6 +44,7 @@ type result = {
   gvn_seconds : float;
   total_seconds : float;
   gvn_state : Pgvn.State.t option; (* the last GVN run's state *)
+  gcm_stats : Gcm.stats option; (* the last GCM pass's motion counts *)
   validation : Validate.Report.t option; (* under [Options.validate] *)
   crosschecks : (string * Absint.Crosscheck.report) list; (* under [Options.crosscheck] *)
 }
@@ -45,6 +56,7 @@ module Options = struct
     check : bool;
     validate : Validate.mode option;
     crosscheck : bool;
+    gcm : bool;
     obs : Obs.t option;
   }
 
@@ -55,6 +67,7 @@ module Options = struct
       check = false;
       validate = None;
       crosscheck = false;
+      gcm = false;
       obs = None;
     }
 
@@ -63,6 +76,7 @@ module Options = struct
   let with_check check t = { t with check }
   let with_validate validate t = { t with validate = Some validate }
   let with_crosscheck crosscheck t = { t with crosscheck }
+  let with_gcm gcm t = { t with gcm }
   let with_obs obs t = { t with obs = Some obs }
 end
 
@@ -74,6 +88,9 @@ exception
 
 exception
   Crosscheck_failed of { pass : string; report : Absint.Crosscheck.report }
+
+exception
+  Certification_failed of { pass : string; diagnostics : Check.Diagnostic.t list }
 
 let () =
   Printexc.register_printer (function
@@ -94,6 +111,13 @@ let () =
         Some
           (Fmt.str "pipeline pass %s contradicted by the interval semantics: %a" pass
              Absint.Crosscheck.pp_report report)
+    | Certification_failed { pass; diagnostics } ->
+        Some
+          (Fmt.str "pipeline pass %s refused certification with %d finding(s); first: %a"
+             pass
+             (List.length diagnostics)
+             Fmt.(option Check.Diagnostic.pp)
+             (List.nth_opt diagnostics 0))
     | _ -> None)
 
 (* The analysis bookkeeping a real pipeline recomputes between passes:
@@ -117,16 +141,125 @@ let guard ~obs ~check ~pass f =
     | diagnostics -> raise (Broken_invariant { pass; diagnostics })
   else f
 
-let run_with (opts : Options.t) (f : Ir.Func.t) : result =
-  let { Options.config; rounds; check; validate; crosscheck; obs } = opts in
+module Pass = struct
+  type ctx = {
+    obs : Obs.t;
+    config : Pgvn.Config.t;
+    crosscheck : bool;
+    gvn_state : Pgvn.State.t option ref;
+    crosschecks : (string * Absint.Crosscheck.report) list ref;
+    gcm_stats : Gcm.stats option ref;
+  }
+
+  type t = {
+    name : string;
+    kind : pass_kind;
+    transform :
+      ctx -> name:string -> Ir.Func.t -> Ir.Func.t * Validate.Witness.t list;
+    certifier :
+      (ctx ->
+      name:string ->
+      before:Ir.Func.t ->
+      after:Ir.Func.t ->
+      Check.Diagnostic.t list)
+      option;
+  }
+
+  let pure kind ~name p =
+    { name; kind; transform = (fun _ ~name:_ f -> (p f, [])); certifier = None }
+
+  let simplify_cfg ~name = pure Simplify_cfg ~name Simplify_cfg.fixpoint
+  let analyses ~name = pure Analyses ~name analysis_pass
+  let lvn ~name = pure Lvn ~name Lvn.run
+  let dce ~name = pure Dce ~name Dce.run
+
+  let gvn ~name:name_ =
+    {
+      name = name_;
+      kind = Gvn;
+      transform =
+        (fun ctx ~name fn ->
+          let st = Pgvn.Driver.run ~obs:ctx.obs ctx.config fn in
+          ctx.gvn_state := Some st;
+          if ctx.crosscheck then begin
+            (* Static replay of the run's claims against interval facts,
+               before the rewrite is even applied. *)
+            let report =
+              Obs.span ctx.obs ~cat:"verify" "crosscheck" (fun () ->
+                  Absint.Crosscheck.run st)
+            in
+            ctx.crosschecks := (name, report) :: !(ctx.crosschecks);
+            if not (Absint.Crosscheck.ok report) then
+              raise (Crosscheck_failed { pass = name; report })
+          end;
+          Apply.rebuild_witnessed st fn);
+      certifier = None;
+    }
+
+  let gcm ~name:name_ =
+    {
+      name = name_;
+      kind = Gcm;
+      transform =
+        (fun ctx ~name fn ->
+          match Gcm.run ~obs:ctx.obs fn with
+          | f', s ->
+              ctx.gcm_stats := Some s;
+              (f', [])
+          | exception Gcm.Rejected { diagnostics } ->
+              raise (Certification_failed { pass = name; diagnostics }));
+      (* Second opinion from the other side of the fence: the output
+         function's own (identity) schedule must still be legal. *)
+      certifier =
+        Some
+          (fun _ ~name:_ ~before:_ ~after ->
+            Check.errors (Check.Schedule.run after));
+    }
+end
+
+let standard_round round =
+  let n kind = Printf.sprintf "%s#%d" (pass_kind_name kind) round in
+  [
+    Pass.simplify_cfg ~name:(n Simplify_cfg);
+    Pass.analyses ~name:(n Analyses);
+    Pass.lvn ~name:(n Lvn);
+    Pass.dce ~name:(n Dce);
+    Pass.analyses ~name:(n Analyses);
+    Pass.gvn ~name:(n Gvn);
+    Pass.dce ~name:(n Dce);
+    Pass.analyses ~name:(n Analyses);
+    Pass.simplify_cfg ~name:(n Simplify_cfg);
+    Pass.lvn ~name:(n Lvn);
+    Pass.dce ~name:(n Dce);
+  ]
+
+let standard_passes (opts : Options.t) =
+  List.concat (List.init opts.Options.rounds (fun i -> standard_round (i + 1)))
+  @ (if opts.Options.gcm then [ Pass.gcm ~name:"gcm#1" ] else [])
+
+let run_list (opts : Options.t) (passes : Pass.t list) (f : Ir.Func.t) : result =
+  let { Options.config; rounds = _; check; validate; crosscheck; gcm = _; obs } =
+    opts
+  in
   (* The pipeline always runs under an observability context — a private
      one when the caller installs none — so the trace is the single source
      of truth for time accounting. *)
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let timings = ref [] in
   let gvn_state = ref None in
+  let gcm_stats = ref None in
   let vreport = ref Validate.Report.empty in
   let xreports = ref [] in
+  let ctx =
+    {
+      Pass.obs;
+      config;
+      crosscheck;
+      gvn_state;
+      crosschecks = xreports;
+      gcm_stats;
+    }
+  in
   (* Certify one pass instance under the requested validation mode. The
      analyses pass is the identity and is skipped; witness audits only ever
      apply to the GVN pass (the only pass that emits witnesses). *)
@@ -142,15 +275,21 @@ let run_with (opts : Options.t) (f : Ir.Func.t) : result =
           | diagnostics -> raise (Validation_failed { pass = name; diagnostics })
         end
   in
-  let time_pass kind round pass x =
-    let name = Printf.sprintf "%s#%d" (pass_kind_name kind) round in
+  let time_pass (p : Pass.t) x =
+    let name = p.Pass.name in
     let sp = Obs.Trace.begin_span obs.Obs.trace ~cat:"pass" name in
-    let y, witnesses = pass x in
+    let y, witnesses = p.Pass.transform ctx ~name x in
     Obs.Trace.end_span obs.Obs.trace sp;
-    timings := { pass = name; kind; seconds = Obs.Trace.duration sp } :: !timings;
+    timings := { pass = name; kind = p.Pass.kind; seconds = Obs.Trace.duration sp } :: !timings;
     Obs.observe_seconds obs "pipeline.pass_ns" (Obs.Trace.duration sp);
     let y = guard ~obs ~check ~pass:name y in
-    if kind <> Analyses then validate_pass ~name ~before:x ~after:y ~witnesses;
+    (match p.Pass.certifier with
+    | None -> ()
+    | Some cert -> (
+        match cert ctx ~name ~before:x ~after:y with
+        | [] -> ()
+        | diagnostics -> raise (Certification_failed { pass = name; diagnostics })));
+    if p.Pass.kind <> Analyses then validate_pass ~name ~before:x ~after:y ~witnesses;
     y
   in
   let pipeline_span = Obs.Trace.begin_span obs.Obs.trace ~cat:"pipeline" "pipeline" in
@@ -158,35 +297,7 @@ let run_with (opts : Options.t) (f : Ir.Func.t) : result =
   @@ fun () ->
   Obs.add obs "pipeline.runs" 1;
   let current = ref (guard ~obs ~check ~pass:"input" f) in
-  for round = 1 to rounds do
-    let pass_w kind p = current := time_pass kind round p !current in
-    let pass kind p = pass_w kind (fun x -> (p x, [])) in
-    pass Simplify_cfg Simplify_cfg.fixpoint;
-    pass Analyses analysis_pass;
-    pass Lvn Lvn.run;
-    pass Dce Dce.run;
-    pass Analyses analysis_pass;
-    pass_w Gvn (fun fn ->
-        let st = Pgvn.Driver.run ~obs config fn in
-        gvn_state := Some st;
-        if crosscheck then begin
-          (* Static replay of the run's claims against interval facts,
-             before the rewrite is even applied. *)
-          let name = Printf.sprintf "gvn#%d" round in
-          let report =
-            Obs.span obs ~cat:"verify" "crosscheck" (fun () -> Absint.Crosscheck.run st)
-          in
-          xreports := (name, report) :: !xreports;
-          if not (Absint.Crosscheck.ok report) then
-            raise (Crosscheck_failed { pass = name; report })
-        end;
-        Apply.rebuild_witnessed st fn);
-    pass Dce Dce.run;
-    pass Analyses analysis_pass;
-    pass Simplify_cfg Simplify_cfg.fixpoint;
-    pass Lvn Lvn.run;
-    pass Dce Dce.run
-  done;
+  List.iter (fun p -> current := time_pass p !current) passes;
   Obs.Trace.end_span obs.Obs.trace pipeline_span;
   let timings = List.rev !timings in
   {
@@ -197,6 +308,10 @@ let run_with (opts : Options.t) (f : Ir.Func.t) : result =
     gvn_seconds = kind_seconds Gvn timings;
     total_seconds = Obs.Trace.duration pipeline_span;
     gvn_state = !gvn_state;
+    gcm_stats = !gcm_stats;
     validation = (match validate with None -> None | Some _ -> Some !vreport);
     crosschecks = List.rev !xreports;
   }
+
+let run_with (opts : Options.t) (f : Ir.Func.t) : result =
+  run_list opts (standard_passes opts) f

@@ -1,16 +1,22 @@
 (** The "HLO analog": a multi-round scalar optimization pipeline in which
     GVN is one pass among several — the setting of the paper's Table 1,
-    which measures GVN's share of total optimization time. Each round runs
-    CFG cleanup, analyses (dominators, postdominators, frontiers, loops,
-    def-use, liveness), local value numbering, DCE, GVN + rewrite, and
-    cleanup again.
+    which measures GVN's share of total optimization time.
+
+    The pipeline is an ordered list of {!Pass.t} descriptors run by
+    {!run_list}; {!standard_passes} builds the classic lineup (per round:
+    CFG cleanup, analyses, LVN, DCE, GVN + rewrite, cleanup; with
+    [Options.gcm], one GCM pass after the last round), and {!run_with} is
+    the legacy single-shape entry point, now a thin wrapper over
+    [run_list opts (standard_passes opts)] — kept behaviorally equivalent
+    for one release (pinned by test) for the PR 5-era callers; new callers
+    should compose a pass list.
 
     Every pass instance is an {!Obs} span (category ["pass"]); the
     [timings] list is a view over those spans — there is no second
     stopwatch — and all time accounting matches on the structural
     {!pass_kind}, never on the display name. *)
 
-type pass_kind = Simplify_cfg | Analyses | Lvn | Dce | Gvn
+type pass_kind = Simplify_cfg | Analyses | Lvn | Dce | Gvn | Gcm
 
 val pass_kind_name : pass_kind -> string
 
@@ -31,6 +37,7 @@ type result = {
   gvn_seconds : float;  (** [kind_seconds Gvn timings] *)
   total_seconds : float;  (** duration of the whole pipeline span *)
   gvn_state : Pgvn.State.t option;  (** state of the last GVN run *)
+  gcm_stats : Gcm.stats option;  (** motion counts of the last GCM pass *)
   validation : Validate.Report.t option;
       (** per-pass validation results and overhead, under [Options.validate] *)
   crosschecks : (string * Absint.Crosscheck.report) list;
@@ -49,10 +56,12 @@ type result = {
 module Options : sig
   type t = {
     config : Pgvn.Config.t;
-    rounds : int;
+    rounds : int;  (** rounds of {!standard_passes}; ignored by {!run_list} *)
     check : bool;  (** verify invariants after every pass *)
     validate : Validate.mode option;  (** translation-validate every pass *)
     crosscheck : bool;  (** statically cross-check each GVN run *)
+    gcm : bool;
+        (** append one GCM pass after the last {!standard_passes} round *)
     obs : Obs.t option;
         (** observability context the run's spans and metrics land in; when
             absent the pipeline uses a private one (timings still work) *)
@@ -60,13 +69,14 @@ module Options : sig
 
   val default : t
   (** {!Pgvn.Config.full}, 2 rounds, no checking, no validation, no
-      cross-checking, private observability. *)
+      cross-checking, no GCM, private observability. *)
 
   val with_config : Pgvn.Config.t -> t -> t
   val with_rounds : int -> t -> t
   val with_check : bool -> t -> t
   val with_validate : Validate.mode -> t -> t
   val with_crosscheck : bool -> t -> t
+  val with_gcm : bool -> t -> t
   val with_obs : Obs.t -> t -> t
 end
 
@@ -87,21 +97,95 @@ exception Crosscheck_failed of { pass : string; report : Absint.Crosscheck.repor
 (** Raised under [Options.crosscheck] when the static cross-checker finds a
     GVN claim the interval semantics contradicts. *)
 
+exception
+  Certification_failed of { pass : string; diagnostics : Check.Diagnostic.t list }
+(** Raised when a pass's own certifier refuses its output, or when GCM's
+    planned placement is refuted by {!Check.Schedule} before the rewrite
+    ([pass] is e.g. "gcm#1", [diagnostics] the pinned [sched-*] errors). *)
+
 val analysis_pass : Ir.Func.t -> Ir.Func.t
 (** Recompute the standard analyses (identity on the function). *)
 
+(** Pass descriptors: what {!run_list} runs. A pass is a named transform
+    plus an optional certifier; the runner times it (one Obs span per
+    instance), guards it under [Options.check], certifies it, and
+    translation-validates it under [Options.validate]. *)
+module Pass : sig
+  (** Shared pipeline state a transform may read or update: the
+      observability context, the GVN configuration, and the result
+      accumulators ([gvn_state], [crosschecks], [gcm_stats]). *)
+  type ctx = {
+    obs : Obs.t;
+    config : Pgvn.Config.t;
+    crosscheck : bool;
+    gvn_state : Pgvn.State.t option ref;
+    crosschecks : (string * Absint.Crosscheck.report) list ref;
+    gcm_stats : Gcm.stats option ref;
+  }
+
+  type t = {
+    name : string;  (** display name, e.g. "gvn#2" — spans and attribution *)
+    kind : pass_kind;  (** structural identity — time accounting *)
+    transform :
+      ctx -> name:string -> Ir.Func.t -> Ir.Func.t * Validate.Witness.t list;
+        (** the rewrite; witnesses feed the translation validator *)
+    certifier :
+      (ctx ->
+      name:string ->
+      before:Ir.Func.t ->
+      after:Ir.Func.t ->
+      Check.Diagnostic.t list)
+      option;
+        (** pass-specific certification; any returned diagnostic raises
+            {!Certification_failed} *)
+  }
+
+  val simplify_cfg : name:string -> t
+  val analyses : name:string -> t
+  val lvn : name:string -> t
+  val dce : name:string -> t
+
+  val gvn : name:string -> t
+  (** {!Pgvn.Driver.run} under [ctx.config] + {!Apply.rebuild_witnessed};
+      records [ctx.gvn_state]; under [ctx.crosscheck] statically replays
+      the run's claims and raises {!Crosscheck_failed} on contradiction. *)
+
+  val gcm : name:string -> t
+  (** {!Gcm.run}: plan, certify against {!Check.Schedule} (a refuted plan
+      raises {!Certification_failed}), rebuild; records [ctx.gcm_stats].
+      Its certifier re-verifies the {e output}'s identity schedule. *)
+end
+
+val standard_round : int -> Pass.t list
+(** One round of the classic lineup, display names suffixed "#round". *)
+
+val standard_passes : Options.t -> Pass.t list
+(** [Options.rounds] rounds of {!standard_round}, plus a final GCM pass
+    under [Options.gcm]. *)
+
+val run_list : Options.t -> Pass.t list -> Ir.Func.t -> result
+(** Run an ordered pass list. With [Options.check], {!Check.run_all} runs
+    on the input and after every pass; the first Error-severity diagnostic
+    raises {!Broken_invariant} attributed to the pass that introduced it.
+    Each pass's own certifier (if any) then runs on its output — a
+    returned diagnostic raises {!Certification_failed}. With
+    [Options.validate] every rewriting pass is certified by the
+    translation validator ({!Validate.certify}): the GVN pass's witnesses
+    are audited against the independent oracle (modes [Witness]/[All]) and
+    every pass's observable behavior is diffed through the interpreter
+    (modes [Diff]/[All]); a refuted pass raises {!Validation_failed}.
+    [Analyses]-kind passes are exempt from validation (identity). With
+    [Options.crosscheck] each GVN run's decided branches, predicate
+    inferences, φ block predicates and constants are statically replayed
+    against interval facts ({!Absint.Crosscheck}) before the rewrite; a
+    contradicted claim raises {!Crosscheck_failed}. With [Options.obs] all
+    spans, counters and histograms land in the caller's context.
+    [Options.rounds] and [Options.gcm] only shape {!standard_passes} — an
+    explicit pass list is run exactly as given. *)
+
 val run_with : Options.t -> Ir.Func.t -> result
-(** Run the pipeline under the given {!Options}. With [Options.check],
-    {!Check.run_all} runs on the input and after every pass; the first
-    Error-severity diagnostic raises {!Broken_invariant} attributed to the
-    pass that introduced it. With [Options.validate] every rewriting pass
-    is certified by the translation validator ({!Validate.certify}): the
-    GVN pass's witnesses are audited against the independent oracle (modes
-    [Witness]/[All]) and every pass's observable behavior is diffed through
-    the interpreter (modes [Diff]/[All]); a refuted pass raises
-    {!Validation_failed}. With [Options.crosscheck] each GVN run's decided
-    branches, predicate inferences, φ block predicates and constants are
-    statically replayed against interval facts ({!Absint.Crosscheck})
-    before the rewrite; a contradicted claim raises {!Crosscheck_failed}.
-    With [Options.obs] all spans, counters and histograms of the run land
-    in the caller's context (pass spans, [pgvn.*], [validate.*]). *)
+(** @deprecated The legacy fixed-shape entry point:
+    [run_list opts (standard_passes opts)]. Kept behaviorally equivalent
+    (pinned by test) for one release; new callers should use {!run_list}
+    over an explicit pass list, or {!standard_passes} to start from the
+    classic lineup. *)

@@ -390,9 +390,8 @@ let test_pipeline_crosscheck_hook () =
     (fun (name, src) ->
       let f = Helpers.func_of_src src in
       let r =
-        Transform.Pipeline.run_with
-          Transform.Pipeline.Options.(default |> with_crosscheck true)
-          f
+        let opts = Transform.Pipeline.Options.(default |> with_crosscheck true) in
+        Transform.Pipeline.run_list opts (Transform.Pipeline.standard_passes opts) f
       in
       Alcotest.(check bool)
         (name ^ ": one report per GVN pass")

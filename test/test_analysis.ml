@@ -510,7 +510,7 @@ let test_postdom_conventions () =
   Alcotest.(check int) "no-exit: ipdom" (-1) (Analysis.Postdom.ipdom pd 0);
   Alcotest.(check bool) "no-exit: reflexive postdominates" false
     (Analysis.Postdom.postdominates pd 0 0);
-  Alcotest.(check (option int)) "no-exit: nca" None (Analysis.Postdom.nca pd 0 1);
+  Alcotest.(check (option int)) "no-exit: nca" None (Analysis.Postdom.nca_opt pd 0 1);
   (* Two exits: their only common postdominator is the virtual exit, which
      is never exposed. *)
   let g = Analysis.Graph.make ~entry:0 [| [| 1; 2 |]; [||]; [||] |] in
@@ -518,16 +518,16 @@ let test_postdom_conventions () =
   Alcotest.(check int) "two exits: ipdom of the branch" (-1) (Analysis.Postdom.ipdom pd 0);
   Alcotest.(check bool) "two exits: arm does not postdominate" false
     (Analysis.Postdom.postdominates pd 1 0);
-  Alcotest.(check (option int)) "two exits: nca across arms" None (Analysis.Postdom.nca pd 1 2);
+  Alcotest.(check (option int)) "two exits: nca across arms" None (Analysis.Postdom.nca_opt pd 1 2);
   Alcotest.(check (option int)) "two exits: nca is reflexive" (Some 1)
-    (Analysis.Postdom.nca pd 1 1);
+    (Analysis.Postdom.nca_opt pd 1 1);
   (* One exit: the diamond join postdominates everything. *)
   let g = Analysis.Graph.make ~entry:0 [| [| 1; 2 |]; [| 3 |]; [| 3 |]; [||] |] in
   let pd = Analysis.Postdom.compute g in
   Alcotest.(check int) "diamond: ipdom of the branch is the join" 3
     (Analysis.Postdom.ipdom pd 0);
   Alcotest.(check (option int)) "diamond: nca of the arms is the join" (Some 3)
-    (Analysis.Postdom.nca pd 1 2);
+    (Analysis.Postdom.nca_opt pd 1 2);
   Alcotest.(check bool) "diamond: join postdominates entry" true
     (Analysis.Postdom.postdominates pd 3 0);
   (* Mixed divergence: one arm exits, the other spins forever. The diverging
@@ -539,7 +539,38 @@ let test_postdom_conventions () =
   Alcotest.(check bool) "exit arm postdominates entry" true
     (Analysis.Postdom.postdominates pd 1 0);
   Alcotest.(check int) "ipdom of entry skips the divergence" 1 (Analysis.Postdom.ipdom pd 0);
-  Alcotest.(check (option int)) "nca with a diverging block" None (Analysis.Postdom.nca pd 1 2)
+  Alcotest.(check (option int)) "nca with a diverging block" None (Analysis.Postdom.nca_opt pd 1 2)
+
+(* ------------------------------------------------------------------ *)
+(* The shared Dom.nca / Postdom.nca contract (pinned; see dom.mli):
+   each tree offers a raising form and a total form, and they agree —
+   nca_opt is None exactly where nca raises Invalid_argument, and Some of
+   the same block everywhere else. *)
+
+let test_nca_conventions () =
+  let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  (* Dominators: block 3 is unreachable; 1 and 2 join at 0. *)
+  let g = Analysis.Graph.make ~entry:0 [| [| 1; 2 |]; [||]; [||]; [| 0 |] |] in
+  let dom = Analysis.Dom.compute g in
+  Alcotest.(check int) "dom: defined nca" 0 (Analysis.Dom.nca dom 1 2);
+  Alcotest.(check (option int)) "dom: nca_opt agrees" (Some 0) (Analysis.Dom.nca_opt dom 1 2);
+  Alcotest.(check (option int)) "dom: reflexive nca_opt" (Some 1) (Analysis.Dom.nca_opt dom 1 1);
+  Alcotest.(check bool) "dom: unreachable raises" true (raises (fun () -> Analysis.Dom.nca dom 1 3));
+  Alcotest.(check (option int)) "dom: unreachable is None" None (Analysis.Dom.nca_opt dom 1 3);
+  (* Postdominators: two exits (1, 2) plus a no-exit spinner (3). The
+     raising form raises exactly where the total form is None. *)
+  let g = Analysis.Graph.make ~entry:0 [| [| 1; 2; 3 |]; [||]; [||]; [| 3 |] |] in
+  let pd = Analysis.Postdom.compute g in
+  Alcotest.(check int) "pdom: defined nca (reflexive)" 1 (Analysis.Postdom.nca pd 1 1);
+  Alcotest.(check (option int)) "pdom: nca_opt agrees" (Some 1) (Analysis.Postdom.nca_opt pd 1 1);
+  Alcotest.(check bool) "pdom: virtual-exit-only raises" true
+    (raises (fun () -> Analysis.Postdom.nca pd 1 2));
+  Alcotest.(check (option int)) "pdom: virtual-exit-only is None" None
+    (Analysis.Postdom.nca_opt pd 1 2);
+  Alcotest.(check bool) "pdom: no-exit block raises" true
+    (raises (fun () -> Analysis.Postdom.nca pd 1 3));
+  Alcotest.(check (option int)) "pdom: no-exit block is None" None
+    (Analysis.Postdom.nca_opt pd 1 3)
 
 (* ------------------------------------------------------------------ *)
 (* Liveness vs a definitional reference                                *)
@@ -654,6 +685,7 @@ let suite =
     Alcotest.test_case "loop forest on the benchmark suite" `Quick test_loop_forest_benchmarks;
     Alcotest.test_case "irreducible retreating edges" `Quick test_irreducible;
     Alcotest.test_case "postdominator conventions" `Quick test_postdom_conventions;
+    Alcotest.test_case "nca conventions" `Quick test_nca_conventions;
     Alcotest.test_case "liveness on a diamond" `Quick test_liveness_simple;
     Alcotest.test_case "liveness of a latch-defined phi arg" `Quick test_liveness_phi_latch;
   ]

@@ -428,9 +428,10 @@ let test_corpus_clean_all_presets () =
       List.iter
         (fun (cname, config) ->
           match
-            Transform.Pipeline.run_with
+            let opts =
               Transform.Pipeline.Options.(default |> with_config config |> with_check true)
-              f
+            in
+            Transform.Pipeline.run_list opts (Transform.Pipeline.standard_passes opts) f
           with
           | r -> assert_clean r.Transform.Pipeline.func
           | exception Transform.Pipeline.Broken_invariant { pass; diagnostics } ->
@@ -452,10 +453,11 @@ let test_benchmark_suite_clean () =
           List.iter
             (fun config ->
               match
-                Transform.Pipeline.run_with
+                let opts =
                   Transform.Pipeline.Options.(
                     default |> with_config config |> with_rounds 1 |> with_check true)
-                  f
+                in
+                Transform.Pipeline.run_list opts (Transform.Pipeline.standard_passes opts) f
               with
               | r -> assert_clean r.Transform.Pipeline.func
               | exception Transform.Pipeline.Broken_invariant { pass; diagnostics } ->
@@ -474,9 +476,8 @@ let prop_generated_pipeline_checked =
     (fun seed ->
       let f = Workload.Generator.func ~seed ~name:"c" () in
       let r =
-        Transform.Pipeline.run_with
-          Transform.Pipeline.Options.(default |> with_check true)
-          f
+        let opts = Transform.Pipeline.Options.(default |> with_check true) in
+        Transform.Pipeline.run_list opts (Transform.Pipeline.standard_passes opts) f
       in
       not (Check.has_errors (Check.run_all r.Transform.Pipeline.func)))
 

@@ -277,6 +277,65 @@ let test_serve_socket_round_trip () =
   Alcotest.(check bool) "exits with the worst status" true (status = Unix.WEXITED 2);
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists sock)
 
+(* The GCM surface: mode exit codes and output, determinism under --jobs,
+   and the persisted cache never cross-serving across the flag. *)
+
+let licm_mc () =
+  write_tmp "gcm_licm.mc"
+    "routine f(a, n) { i = 0; s = 0; while (i < n) { s = s + a * 3; i = i + 1; } return s; }\n"
+
+let test_gcm_modes () =
+  let p = licm_mc () in
+  (* Bare --gcm defaults to the certified-and-diffed rewrite; trailing
+     position keeps the file from being parsed as the mode. *)
+  let code, out = run_capture [ p; "--gcm" ] in
+  Alcotest.(check int) "bare --gcm" 0 code;
+  Alcotest.(check bool) "motion summary" true
+    (contains out "gcm: 1 value(s) moved (1 hoisted, 0 sunk)");
+  Alcotest.(check bool) "behavioral diff ran" true
+    (contains out "gcm diff: observably equivalent");
+  let code, out = run_capture [ "--gcm=dump"; p ] in
+  Alcotest.(check int) "--gcm=dump" 0 code;
+  Alcotest.(check bool) "dump lists the hoist" true (contains out "-> b0 [hoist]");
+  let code, out = run_capture [ "--gcm=check"; p ] in
+  Alcotest.(check int) "--gcm=check" 0 code;
+  Alcotest.(check bool) "check diffs the rewrite" true
+    (contains out "gcm diff: observably equivalent");
+  Alcotest.(check int) "bad gcm mode" 2 (run [ "--gcm=bogus"; p ]);
+  Alcotest.(check int) "--gcm and --schedule conflict" 2 (run [ p; "--gcm"; "--schedule" ]);
+  Alcotest.(check int) "--gcm and --analyze conflict" 2 (run [ p; "--gcm"; "--analyze" ]);
+  Alcotest.(check int) "--gcm and --pred conflict" 2 (run [ p; "--gcm"; "--pred" ])
+
+let test_gcm_jobs_deterministic () =
+  (* The batch pin of test_jobs_deterministic_output, with motion on:
+     parallel output must stay byte-identical to sequential. *)
+  let a = licm_mc () in
+  let b = write_tmp "gcm_det_b.mc" "routine g(n) { if (n < 0) { return 0 - n; } return n; }\n" in
+  let code1, seq = run_capture [ "--gcm=check"; "--jobs=1"; a; b ] in
+  let code2, par = run_capture [ "--gcm=check"; "--jobs=2"; a; b ] in
+  Alcotest.(check int) "sequential exit" 0 code1;
+  Alcotest.(check int) "parallel exit" 0 code2;
+  Alcotest.(check string) "byte-identical output with --gcm" seq par
+
+let test_gcm_cache_isolation () =
+  (* One persisted cache, the same routine with and without --gcm: the
+     flag is part of the fingerprint, so neither run is ever served the
+     other's output. *)
+  let p = licm_mc () in
+  let cache = Filename.temp_file "gvnopt_cli" ".ccache" in
+  Sys.remove cache;
+  let code, plain_cold = run_capture [ "--cache=" ^ cache; p ] in
+  Alcotest.(check int) "plain cold run" 0 code;
+  let code, gcm_cold = run_capture [ "--cache=" ^ cache; "--gcm=dump"; p ] in
+  Alcotest.(check int) "gcm cold run" 0 code;
+  Alcotest.(check bool) "gcm run hoists" true (contains gcm_cold "[hoist]");
+  Alcotest.(check bool) "plain run does not" false (contains plain_cold "[hoist]");
+  let _, plain_warm = run_capture [ "--cache=" ^ cache; p ] in
+  let _, gcm_warm = run_capture [ "--cache=" ^ cache; "--gcm=dump"; p ] in
+  Alcotest.(check string) "plain warm identical to cold" plain_cold plain_warm;
+  Alcotest.(check string) "gcm warm identical to cold" gcm_cold gcm_warm;
+  Sys.remove cache
+
 let test_pred_modes () =
   let chain =
     write_tmp "chain.mc"
@@ -348,6 +407,10 @@ let suite =
     Alcotest.test_case "--serve flag conflicts" `Quick test_serve_conflicts;
     Alcotest.test_case "--serve=SOCKET round-trips over the socket" `Quick
       test_serve_socket_round_trip;
+    Alcotest.test_case "--gcm mode exit codes and output" `Quick test_gcm_modes;
+    Alcotest.test_case "--jobs=2 output is byte-identical with --gcm" `Quick
+      test_gcm_jobs_deterministic;
+    Alcotest.test_case "--cache never cross-serves across --gcm" `Quick test_gcm_cache_isolation;
     Alcotest.test_case "--pred mode exit codes and output" `Quick test_pred_modes;
     Alcotest.test_case "--cache persisted tier round-trips" `Quick test_cache_round_trip;
     Alcotest.test_case "exit 2 on parse errors" `Quick test_exit_parse_error;

@@ -18,6 +18,7 @@ let () =
       ("paper", Test_paper.suite);
       ("baselines", Test_baselines.suite);
       ("transform", Test_transform.suite);
+      ("gcm", Test_gcm.suite);
       ("validate", Test_validate.suite);
       ("pred", Test_pred.suite);
       ("par", Test_par.suite);

@@ -390,9 +390,8 @@ let test_timings_agree_with_trace () =
         (fun f ->
           let o = Obs.create () in
           let r =
-            Transform.Pipeline.run_with
-              Transform.Pipeline.Options.(default |> with_obs o)
-              f
+            let opts = Transform.Pipeline.Options.(default |> with_obs o) in
+            Transform.Pipeline.run_list opts (Transform.Pipeline.standard_passes opts) f
           in
           let from_trace = reconstruct_pass_totals (Obs.Trace.events o.Obs.trace) in
           (* A pass instance name can repeat within a round (dce runs three

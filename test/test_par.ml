@@ -201,6 +201,25 @@ let test_ccache_hit_miss_evict () =
   Alcotest.(check int) "misses" 2 s.Par.Ccache.misses;
   Alcotest.(check int) "evictions" 1 s.Par.Ccache.evictions
 
+(* Same routine, different flag fingerprints (the gvnopt --gcm toggle is
+   one): a result cached under one fingerprint must never answer a lookup
+   under another, and each fingerprint's entry must come back verbatim. *)
+let test_ccache_fingerprint_hit_miss () =
+  let c = Par.Ccache.create () in
+  let f = func_of_src "routine F(A) { return A * 7; }" in
+  let k_off = Par.Ccache.key_of ~fingerprint:"gcm=off" f in
+  let k_on = Par.Ccache.key_of ~fingerprint:"gcm=on" f in
+  Par.Ccache.add c k_off "no motion";
+  Alcotest.(check (option string)) "other-flags lookup misses" None (Par.Ccache.find c k_on);
+  Par.Ccache.add c k_on "hoisted";
+  Alcotest.(check (option string)) "each fingerprint keeps its own entry"
+    (Some "no motion") (Par.Ccache.find c k_off);
+  Alcotest.(check (option string)) "same-flags lookup hits" (Some "hoisted")
+    (Par.Ccache.find c k_on);
+  let s = Par.Ccache.stats c in
+  Alcotest.(check int) "one cross-flag miss" 1 s.Par.Ccache.misses;
+  Alcotest.(check int) "two same-flag hits" 2 s.Par.Ccache.hits
+
 let test_ccache_collision_verifies () =
   let c = Par.Ccache.create () in
   let k = key_of_src "routine F(A) { return A * 3; }" in
@@ -300,6 +319,8 @@ let suite =
     Alcotest.test_case "canonical form keeps semantic differences" `Quick
       test_ccache_canonical_distinguishes;
     Alcotest.test_case "cache hit, miss, overwrite and eviction" `Quick test_ccache_hit_miss_evict;
+    Alcotest.test_case "flag fingerprints never cross-serve" `Quick
+      test_ccache_fingerprint_hit_miss;
     Alcotest.test_case "hash collision verifies to a miss" `Quick test_ccache_collision_verifies;
     Alcotest.test_case "two domains share one cache safely" `Quick test_ccache_concurrent_access;
     Alcotest.test_case "persisted tier round-trips" `Quick test_ccache_persist_round_trip;

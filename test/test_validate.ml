@@ -287,10 +287,11 @@ let test_pipeline_validates_corpus () =
       List.iter
         (fun (cname, config) ->
           let r =
-            Transform.Pipeline.run_with
+            let opts =
               Transform.Pipeline.Options.(
                 default |> with_config config |> with_rounds 1 |> with_validate Validate.All)
-              f
+            in
+            Transform.Pipeline.run_list opts (Transform.Pipeline.standard_passes opts) f
           in
           match r.Transform.Pipeline.validation with
           | None -> Alcotest.failf "%s under %s: no validation report" name cname
@@ -309,11 +310,12 @@ let test_pipeline_validates_suite () =
           List.iter
             (fun (cname, config) ->
               let r =
-                Transform.Pipeline.run_with
+                let opts =
                   Transform.Pipeline.Options.(
                     default |> with_config config |> with_rounds 1
                     |> with_validate Validate.All)
-                  f
+                in
+                Transform.Pipeline.run_list opts (Transform.Pipeline.standard_passes opts) f
               in
               match r.Transform.Pipeline.validation with
               | Some v when Validate.Report.clean v -> ()
@@ -326,9 +328,8 @@ let test_pipeline_validates_suite () =
 let test_validation_report_shape () =
   let f = Workload.Generator.func ~seed:4242 ~name:"w" () in
   let r =
-    Transform.Pipeline.run_with
-      Transform.Pipeline.Options.(default |> with_validate Validate.All)
-      f
+    let opts = Transform.Pipeline.Options.(default |> with_validate Validate.All) in
+    Transform.Pipeline.run_list opts (Transform.Pipeline.standard_passes opts) f
   in
   match r.Transform.Pipeline.validation with
   | None -> Alcotest.fail "expected a validation report"

@@ -11,11 +11,16 @@ Usage: check_bench_schema.py BENCH_gvn.json
 import json
 import sys
 
-TOP_KEYS = {"schema", "scale", "table2", "gvn_stats", "rules", "schedule", "pred",
-            "parallel", "scaling"}
+TOP_KEYS = {"schema", "scale", "table2", "gvn_stats", "rules", "schedule", "gcm",
+            "pred", "parallel", "scaling"}
 TABLE2_KEYS = {"benchmark", "dense_ms", "sparse_ms", "basic_ms"}
 RULES_KEYS = {"benchmark", "total_fired", "fired"}
 SCHEDULE_KEYS = {"benchmark", "hoistable", "sinkable", "speculation_blocked", "analysis_ms"}
+GCM_KEYS = {"benchmark", "values", "moved", "hoisted", "sunk", "speculation_blocked",
+            "transform_ms"}
+# The motion gate applies to the loop-heavy benchmarks: at full scale the
+# certified rebuild must actually move something there.
+GCM_REQUIRED_MOTION = {"176.gcc", "253.perlbmk", "254.gap"}
 PRED_KEYS = {
     "benchmark", "baseline_decided", "pred_decided", "delta",
     "closure_queries", "closure_decided", "baseline_ms", "analysis_ms",
@@ -88,6 +93,22 @@ def main():
                 fail(f"schedule[{i}]: negative {k}: {rec}")
         if rec["analysis_ms"] < 0:
             fail(f"schedule[{i}]: negative analysis_ms: {rec}")
+    for i, rec in enumerate(doc["gcm"]):
+        need(rec, GCM_KEYS, f"gcm[{i}]")
+        for k in ("values", "moved", "hoisted", "sunk", "speculation_blocked"):
+            if rec[k] < 0:
+                fail(f"gcm[{i}]: negative {k}: {rec}")
+        if rec["moved"] > rec["values"]:
+            fail(f"gcm[{i}]: moved more values than exist: {rec}")
+        if rec["hoisted"] + rec["sunk"] > rec["moved"]:
+            fail(f"gcm[{i}]: hoisted + sunk exceeds moved: {rec}")
+        if rec["transform_ms"] < 0:
+            fail(f"gcm[{i}]: negative transform_ms: {rec}")
+        # Like the pred yield gate: only enforced at the committed full
+        # scale, where the loop-heavy benchmarks reliably expose motion.
+        if (doc["scale"] >= 1.0 and rec["benchmark"] in GCM_REQUIRED_MOTION
+                and rec["moved"] <= 0):
+            fail(f"gcm[{i}]: no motion on loop-heavy {rec['benchmark']}: {rec}")
     for i, rec in enumerate(doc["pred"]):
         need(rec, PRED_KEYS, f"pred[{i}]")
         if rec["delta"] != rec["pred_decided"] - rec["baseline_decided"]:
@@ -144,6 +165,9 @@ def main():
     sc = {r["benchmark"] for r in doc["schedule"]}
     if sc != t2:
         fail(f"table2/schedule benchmark sets differ: {sorted(t2 ^ sc)}")
+    gc = {r["benchmark"] for r in doc["gcm"]}
+    if gc != t2:
+        fail(f"table2/gcm benchmark sets differ: {sorted(t2 ^ gc)}")
     pd = {r["benchmark"] for r in doc["pred"]}
     if pd != t2:
         fail(f"table2/pred benchmark sets differ: {sorted(t2 ^ pd)}")
